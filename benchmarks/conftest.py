@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every experiment benchmark runs the experiment's quick configuration exactly
+once through pytest-benchmark's pedantic mode (the experiments are themselves
+Monte-Carlo aggregates; repeating them inside the timer would only multiply
+runtime without adding information) and attaches the headline measurements as
+benchmark extra_info so `pytest benchmarks/ --benchmark-only` doubles as a
+results printer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_experiment_benchmark(benchmark, module, **run_kwargs):
+    """Run ``module.run(module.quick_config())`` once under the benchmark timer."""
+    result_holder = {}
+
+    def target():
+        result_holder["result"] = module.run(module.quick_config(), **run_kwargs)
+        return result_holder["result"]
+
+    result = benchmark.pedantic(target, rounds=1, iterations=1)
+    benchmark.extra_info["experiment"] = module.EXPERIMENT_ID
+    benchmark.extra_info["title"] = module.TITLE
+    for finding in result.findings[:2]:
+        benchmark.extra_info.setdefault("findings", []).append(finding)
+    # Surface the first table in the captured output for convenience.
+    print()
+    for table in result.tables:
+        print(table.to_text())
+        print()
+    return result

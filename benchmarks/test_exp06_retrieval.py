@@ -1,0 +1,16 @@
+"""Benchmark / reproduction target for experiment E6: see repro.experiments.exp06_retrieval.
+
+Regenerates the experiment's result table (the paper is a theory paper, so
+this stands in for the corresponding table/figure; see DESIGN.md section 3)
+and times the quick configuration.
+"""
+
+from repro.experiments import exp06_retrieval as experiment_module
+
+from conftest import run_experiment_benchmark
+
+
+def test_exp06_retrieval_benchmark(benchmark):
+    result = run_experiment_benchmark(benchmark, experiment_module)
+    assert result.tables and not result.tables[0].is_empty()
+    assert result.findings

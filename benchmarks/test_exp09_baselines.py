@@ -1,0 +1,16 @@
+"""Benchmark / reproduction target for experiment E9: see repro.experiments.exp09_baselines.
+
+Regenerates the experiment's result table (the paper is a theory paper, so
+this stands in for the corresponding table/figure; see DESIGN.md section 3)
+and times the quick configuration.
+"""
+
+from repro.experiments import exp09_baselines as experiment_module
+
+from conftest import run_experiment_benchmark
+
+
+def test_exp09_baselines_benchmark(benchmark):
+    result = run_experiment_benchmark(benchmark, experiment_module)
+    assert result.tables and not result.tables[0].is_empty()
+    assert result.findings

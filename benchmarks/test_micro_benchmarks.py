@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the performance-critical substrate pieces.
+
+These are not paper experiments; they document the cost of the hot paths
+(per-round topology generation, one vectorised walk step over ~10^5 tokens,
+a full protocol round, IDA encode/decode) so regressions in the simulator's
+throughput are visible in the benchmark history.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.erasure import InformationDispersal
+from repro.core.protocol import P2PStorageSystem
+from repro.net.topology import RegularTopology
+from repro.util.rng import RngStream
+from repro.walks.soup import WalkSoup
+from repro.net.network import DynamicNetwork
+
+
+def test_topology_generation_benchmark(benchmark):
+    rng = np.random.default_rng(0)
+    topo = benchmark(lambda: RegularTopology.random(4096, 8, rng))
+    assert topo.n_slots == 4096
+
+
+def test_walk_step_benchmark(benchmark):
+    rng = np.random.default_rng(1)
+    topo = RegularTopology.random(4096, 8, rng)
+    positions = rng.integers(0, 4096, size=100_000).astype(np.int32)
+    stepped = benchmark(lambda: topo.step_walks(positions, rng))
+    assert stepped.shape == positions.shape
+
+
+def test_full_round_benchmark(benchmark):
+    system = P2PStorageSystem(n=1024, churn_rate=8, seed=3)
+    system.warm_up()
+    system.store(b"benchmark item")
+
+    summary = benchmark(system.run_round)
+    assert summary.walks_in_flight > 0
+
+
+def test_soup_round_benchmark(benchmark):
+    net = DynamicNetwork(2048, degree=8, adversary_rng=RngStream(5))
+    soup = WalkSoup(net, walk_length=15, walks_per_node=8, rng=RngStream(6))
+
+    def one_round():
+        report = net.begin_round()
+        delivery = soup.advance_round(report)
+        net.end_round()
+        return delivery
+
+    delivery = benchmark(one_round)
+    assert delivery is not None
+
+
+def test_ida_encode_decode_benchmark(benchmark):
+    ida = InformationDispersal(total_pieces=12, required_pieces=8)
+    data = bytes(np.random.default_rng(7).integers(0, 256, size=64 * 1024, dtype=np.uint8))
+
+    def roundtrip():
+        pieces = ida.encode(data)
+        return ida.decode(pieces[2:10])
+
+    recovered = benchmark(roundtrip)
+    assert recovered == data

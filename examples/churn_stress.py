@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Churn stress test: sweep the churn rate and watch the protocol degrade.
+
+Reproduces the shape of experiment E7 interactively: the same workload (store
+a few items, wait, retrieve them) is run at increasing churn rates -- from
+mild, through the paper's O(n/log^{1+delta} n) regime, up to a constant
+fraction of n per round where the Section-5 conjecture predicts collapse --
+and against both the uniform oblivious adversary and the sequential-sweep
+adversary that replaces the entire population over time.
+
+Run with::
+
+    python examples/churn_stress.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro import P2PStorageSystem, SequentialSweepChurn, UniformRandomChurn
+from repro.analysis.tables import ResultTable
+from repro.util.rng import SplitRng
+
+
+def run_scenario(n: int, churn_rate: int, adversary_kind: str, seed: int) -> dict:
+    split = SplitRng(seed)
+    if adversary_kind == "sweep":
+        adversary = SequentialSweepChurn(n, churn_rate, split.adversary.generator)
+    else:
+        adversary = UniformRandomChurn(n, churn_rate, split.adversary.generator) if churn_rate else None
+    system = (
+        P2PStorageSystem(n=n, adversary=adversary, seed=seed)
+        if adversary is not None
+        else P2PStorageSystem(n=n, churn_rate=0, seed=seed)
+    )
+    system.warm_up()
+    items = [system.store(bytes([i]) * 64) for i in range(3)]
+    system.run_rounds(3 * system.params.committee_refresh_period)
+    ops = [system.retrieve(item.item_id) for item in items if system.storage.is_available(item.item_id)]
+    system.run_until_finished(ops)
+    return {
+        "availability": float(np.mean([system.storage.is_available(i.item_id) for i in items])),
+        "retrieved": float(np.mean([op.succeeded for op in ops])) if ops else 0.0,
+        "walk_survival": system.soup.stats.survival_rate,
+    }
+
+
+def main() -> None:
+    n = 512
+    log_n = math.log(n)
+    paper_rate = n / log_n ** 1.5
+    rates = [0, int(paper_rate * 0.05), int(paper_rate * 0.25), int(paper_rate), int(n / log_n)]
+    table = ResultTable(
+        title=f"churn stress sweep (n={n}, paper regime ~{int(paper_rate)} per round, n/ln n = {int(n/log_n)})",
+        columns=["churn_per_round", "adversary", "availability", "retrieved", "walk_survival"],
+    )
+    for rate in rates:
+        for kind in ("uniform", "sweep"):
+            if rate == 0 and kind == "sweep":
+                continue
+            outcome = run_scenario(n, rate, kind, seed=100 + rate)
+            table.add_row(
+                churn_per_round=rate,
+                adversary=kind if rate else "none",
+                availability=outcome["availability"],
+                retrieved=outcome["retrieved"],
+                walk_survival=outcome["walk_survival"],
+            )
+            print(f"rate={rate:4d} adversary={kind:8s} -> {outcome}")
+    print()
+    print(table.to_text())
+    print(
+        "\nreading: availability and retrieval stay near 1 well past the paper's churn regime and collapse as "
+        "the rate approaches a constant fraction of n per round -- the knee the Section-5 conjecture predicts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""repro -- reproduction of *Storage and Search in Dynamic Peer-to-Peer Networks*.
+
+Augustine, Molla, Morsy, Pandurangan, Robinson, Upfal (SPAA 2013,
+arXiv:1305.1121).  The library provides:
+
+* a synchronous dynamic-network simulator with per-round d-regular expander
+  topologies and oblivious churn adversaries (``repro.net``);
+* the continuously running random-walk "soup" used for near-uniform node
+  sampling under churn (``repro.walks``);
+* the paper's storage and search protocols -- committee election and
+  maintenance, landmark trees, replicated or erasure-coded storage, and
+  O(log n)-round retrieval (``repro.core``);
+* baseline schemes for comparison (``repro.baselines``);
+* a simulation/experiment harness and the per-claim experiments
+  (``repro.sim``, ``repro.experiments``, ``repro.analysis``).
+
+Quickstart::
+
+    from repro import P2PStorageSystem
+
+    system = P2PStorageSystem(n=1024, churn_rate=8, seed=7)
+    system.warm_up()
+    item = system.store(b"hello, dynamic world")
+    system.run_rounds(20)
+    op = system.retrieve(item.item_id)
+    system.run_until_finished(op)
+    print(op.succeeded, op.latency, op.holder_ids)
+"""
+
+from repro.core.erasure import InformationDispersal
+from repro.core.params import ProtocolParameters
+from repro.core.protocol import P2PStorageSystem, RoundSummary
+from repro.core.retrieval import RetrievalOperation
+from repro.core.storage import StoredItem
+from repro.net.churn import (
+    AdaptiveAdversary,
+    BurstChurn,
+    NoChurn,
+    SequentialSweepChurn,
+    UniformRandomChurn,
+    paper_churn_limit,
+)
+from repro.net.network import DynamicNetwork
+from repro.walks.soup import WalkSoup
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "InformationDispersal",
+    "ProtocolParameters",
+    "P2PStorageSystem",
+    "RoundSummary",
+    "RetrievalOperation",
+    "StoredItem",
+    "AdaptiveAdversary",
+    "BurstChurn",
+    "NoChurn",
+    "SequentialSweepChurn",
+    "UniformRandomChurn",
+    "paper_churn_limit",
+    "DynamicNetwork",
+    "WalkSoup",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Analysis helpers: the paper's bounds, Monte-Carlo statistics, result tables."""
+
+from repro.analysis.stats import (
+    MeanCI,
+    linear_fit,
+    log_fit_slope,
+    mean_ci,
+    percentile,
+    success_fraction,
+    wilson_interval,
+)
+from repro.analysis.tables import ResultTable, format_value
+from repro.analysis.theory import PaperBounds
+
+__all__ = [
+    "MeanCI",
+    "linear_fit",
+    "log_fit_slope",
+    "mean_ci",
+    "percentile",
+    "success_fraction",
+    "wilson_interval",
+    "ResultTable",
+    "format_value",
+    "PaperBounds",
+]

@@ -1,0 +1,117 @@
+"""Monte-Carlo statistics helpers.
+
+The paper's guarantees are "with high probability" statements; the experiments
+estimate the corresponding probabilities over independent seeded trials.
+These helpers provide the small set of statistics the experiment tables
+report: means with normal-approximation confidence intervals, success
+fractions with Wilson score intervals (well-behaved near 0 and 1), medians
+and percentiles, and simple linear fits used to check O(log n) scaling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "MeanCI",
+    "mean_ci",
+    "wilson_interval",
+    "success_fraction",
+    "percentile",
+    "linear_fit",
+    "log_fit_slope",
+]
+
+
+@dataclass(frozen=True)
+class MeanCI:
+    """A mean with a symmetric confidence interval."""
+
+    mean: float
+    lower: float
+    upper: float
+    count: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.3g} [{self.lower:.3g}, {self.upper:.3g}]"
+
+
+def mean_ci(values: Sequence[float] | np.ndarray, confidence: float = 0.95) -> MeanCI:
+    """Mean and normal-approximation confidence interval of ``values``.
+
+    For tiny samples (< 2) the interval collapses onto the mean.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return MeanCI(mean=float("nan"), lower=float("nan"), upper=float("nan"), count=0)
+    mean = float(arr.mean())
+    if arr.size < 2:
+        return MeanCI(mean=mean, lower=mean, upper=mean, count=int(arr.size))
+    z = _z_value(confidence)
+    sem = float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    return MeanCI(mean=mean, lower=mean - z * sem, upper=mean + z * sem, count=int(arr.size))
+
+
+def _z_value(confidence: float) -> float:
+    """Two-sided z value for the given confidence level (lookup, no scipy needed)."""
+    table = {0.90: 1.6449, 0.95: 1.9600, 0.98: 2.3263, 0.99: 2.5758}
+    best = min(table, key=lambda c: abs(c - confidence))
+    return table[best]
+
+
+def wilson_interval(successes: int, trials: int, confidence: float = 0.95) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation because experiment success rates
+    are often exactly 0 or 1 at the sample sizes we run.
+    """
+    if trials <= 0:
+        return (0.0, 1.0)
+    z = _z_value(confidence)
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    margin = (z / denom) * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+    return (max(0.0, centre - margin), min(1.0, centre + margin))
+
+
+def success_fraction(outcomes: Iterable[bool]) -> Tuple[float, Tuple[float, float], int]:
+    """Fraction of True outcomes, its Wilson interval, and the trial count."""
+    values = [bool(o) for o in outcomes]
+    trials = len(values)
+    successes = sum(values)
+    fraction = successes / trials if trials else 0.0
+    return fraction, wilson_interval(successes, trials), trials
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """q-th percentile (0-100) of ``values`` (NaN for empty input)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return float("nan")
+    return float(np.percentile(arr, q))
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares slope and intercept of ``ys`` against ``xs``."""
+    x = np.asarray(list(xs), dtype=np.float64)
+    y = np.asarray(list(ys), dtype=np.float64)
+    if x.size < 2:
+        return (float("nan"), float(y.mean()) if y.size else float("nan"))
+    slope, intercept = np.polyfit(x, y, 1)
+    return (float(slope), float(intercept))
+
+
+def log_fit_slope(ns: Sequence[float], ys: Sequence[float]) -> float:
+    """Slope of ``ys`` against ``ln(ns)``.
+
+    Used to check claims of the form "latency grows like c * log n": a clean
+    O(log n) relationship shows up as an approximately constant slope.
+    """
+    xs = [math.log(n) for n in ns]
+    slope, _ = linear_fit(xs, ys)
+    return slope

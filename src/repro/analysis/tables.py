@@ -1,0 +1,133 @@
+"""Plain-text / Markdown / CSV result tables.
+
+Every experiment produces one or more :class:`ResultTable` objects -- the
+reproduction's stand-in for the paper's (non-existent) tables and figures.
+A table is a list of column names plus rows of values, with light formatting
+logic so the same object can be printed to a terminal, embedded in
+EXPERIMENTS.md, or dumped as CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["ResultTable", "format_value"]
+
+
+def format_value(value: Any, precision: int = 4) -> str:
+    """Human-friendly formatting for table cells."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if value != 0 and (abs(value) >= 10 ** precision or abs(value) < 10 ** (-precision + 1)):
+            return f"{value:.{precision - 1}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+@dataclass
+class ResultTable:
+    """A titled table of experiment results.
+
+    Attributes
+    ----------
+    title:
+        Table caption (e.g. ``"E6: retrieval latency vs n"``).
+    columns:
+        Column names, in display order.
+    rows:
+        One dict per row; missing keys render as ``-``.
+    notes:
+        Free-text notes rendered under the table (assumptions, parameters).
+    """
+
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append a row given as keyword arguments."""
+        self.rows.append(dict(values))
+
+    def add_note(self, note: str) -> None:
+        """Append a free-text note."""
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column (missing cells become None)."""
+        return [row.get(name) for row in self.rows]
+
+    # ------------------------------------------------------------------ rendering
+    def _formatted_rows(self) -> List[List[str]]:
+        return [[format_value(row.get(col)) for col in self.columns] for row in self.rows]
+
+    def to_text(self) -> str:
+        """Fixed-width text rendering for terminals and log files."""
+        formatted = self._formatted_rows()
+        widths = [len(col) for col in self.columns]
+        for row in formatted:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * max(len(self.title), 8)]
+        lines.append(" | ".join(col.ljust(widths[i]) for i, col in enumerate(self.columns)))
+        lines.append(sep)
+        for row in formatted:
+            lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured Markdown rendering (used by EXPERIMENTS.md)."""
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join(["---"] * len(self.columns)) + "|")
+        for row in self._formatted_rows():
+            lines.append("| " + " | ".join(row) + " |")
+        for note in self.notes:
+            lines.append(f"\n*{note}*")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV rendering for external plotting tools."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow([row.get(col, "") for col in self.columns])
+        return buffer.getvalue()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_text()
+
+    # ------------------------------------------------------------------ small helpers
+    def is_empty(self) -> bool:
+        """True when the table has no rows."""
+        return not self.rows
+
+    @staticmethod
+    def merge(title: str, tables: Iterable["ResultTable"]) -> "ResultTable":
+        """Concatenate tables that share the same columns."""
+        tables = list(tables)
+        if not tables:
+            return ResultTable(title=title, columns=[])
+        columns = tables[0].columns
+        merged = ResultTable(title=title, columns=list(columns))
+        for table in tables:
+            if table.columns != columns:
+                raise ValueError("cannot merge tables with different columns")
+            merged.rows.extend(table.rows)
+            merged.notes.extend(table.notes)
+        return merged

@@ -1,0 +1,141 @@
+"""The paper's theoretical predictions as executable functions.
+
+Each function evaluates one of the paper's bounds at a concrete ``n`` (and
+``delta``), so the experiment tables can print the predicted value next to
+the measured one.  All logarithms are natural, as in the paper.
+
+These are the *asymptotic* expressions with their literal constants; at
+laptop-scale ``n`` several of them are vacuous (e.g. the Core-size lower
+bound ``n - 8n / log^{(k-1)/2} n`` is negative below n ~ 10^12 for
+delta = 0.5).  The experiments therefore report them alongside the measured
+quantities rather than asserting them, and EXPERIMENTS.md discusses where the
+finite-size gap lies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["PaperBounds"]
+
+
+@dataclass(frozen=True)
+class PaperBounds:
+    """Evaluates the paper's stated bounds for one (n, delta) pair."""
+
+    n: int
+    delta: float = 0.5
+
+    @property
+    def k(self) -> float:
+        """The churn exponent ``k = 1 + delta``."""
+        return 1.0 + self.delta
+
+    @property
+    def log_n(self) -> float:
+        """Natural log of n."""
+        return math.log(self.n)
+
+    # ------------------------------------------------------------------ Section 2/3
+    def churn_limit(self, constant: float = 4.0) -> float:
+        """Per-round churn bound ``constant * n / log^k n`` (Section 2.1 / 3)."""
+        return constant * self.n / (self.log_n ** self.k)
+
+    def mixing_time(self, m: float = 2.0) -> float:
+        """Dynamic mixing time ``tau = m log n`` (Lemma 1)."""
+        return m * self.log_n
+
+    def core_size_lower_bound(self) -> float:
+        """Soup Theorem Core size, ``n - 8n / log^{(k-1)/2} n`` (Theorem 1)."""
+        return self.n - 8.0 * self.n / (self.log_n ** ((self.k - 1.0) / 2.0))
+
+    def survival_set_lower_bound(self) -> float:
+        """Lemma 2's bound on sources with good survival, ``n - 4n / log^{(k-1)/2} n``."""
+        return self.n - 4.0 * self.n / (self.log_n ** ((self.k - 1.0) / 2.0))
+
+    def survival_probability_lower_bound(self) -> float:
+        """Lemma 2's per-source survival probability bound ``1 - 1 / log^{(k-1)/2} n``."""
+        return 1.0 - 1.0 / (self.log_n ** ((self.k - 1.0) / 2.0))
+
+    def hit_probability_window(self) -> tuple[float, float]:
+        """Theorem 1's per-pair hit-probability window ``[1/17n, 3/2n]``."""
+        return (1.0 / (17.0 * self.n), 1.5 / self.n)
+
+    # ------------------------------------------------------------------ Section 4
+    def committee_size(self, h: float = 1.0) -> float:
+        """Committee size ``h log n`` (Algorithm 1)."""
+        return h * self.log_n
+
+    def committee_failure_probability(self, h: float = 1.0, ell1_exponent: float = None) -> float:
+        """Theorem 2's per-refresh failure probability ``p = 1/n^{l1} + 2/n^{2h}``.
+
+        With ``l1 <= alpha/144`` left symbolic in the paper, we use the simple
+        ``n^{-Omega(1)}`` reading: the probability that a refresh goes bad is
+        polynomially small, so the expected committee lifetime is ``n^{Omega(1)}``
+        refresh periods.
+        """
+        exponent = ell1_exponent if ell1_exponent is not None else min(1.0, 2.0 * h)
+        return 1.0 / (self.n ** exponent) + 2.0 / (self.n ** (2.0 * h))
+
+    def expected_committee_lifetime_refreshes(self, h: float = 1.0) -> float:
+        """Expected refreshes before the committee stops being good (1/p, Corollary 2)."""
+        p = self.committee_failure_probability(h)
+        return math.inf if p <= 0 else 1.0 / p
+
+    def landmark_lower_bound(self) -> float:
+        """Lemma 8's lower bound on the landmark set, ``sqrt(n)``."""
+        return math.sqrt(self.n)
+
+    def landmark_upper_bound(self) -> float:
+        """Lemma 8's upper bound, ``n^{1/2+delta} * log n``."""
+        return (self.n ** (0.5 + self.delta)) * self.log_n
+
+    def retrieval_rounds(self, constant: float = 1.0) -> float:
+        """Theorem 4's retrieval latency ``O(log n)`` with an explicit constant."""
+        return constant * self.log_n
+
+    def retrieval_miss_probability_per_window(self) -> float:
+        """Theorem 4's per-tau-window miss bound ``(1 - 1/Theta(sqrt n))^{Theta(sqrt n)} <= e^{-Omega(1)}``."""
+        return math.exp(-1.0)
+
+    def storage_copies(self, h: float = 1.0) -> float:
+        """Theta(log n) stored copies per item (Theorem 3)."""
+        return h * self.log_n
+
+    def erasure_blowup(self, h: float = 1.0) -> float:
+        """Section 4.4's space blow-up ``L/K = h/(h-2)`` (constant-factor overhead)."""
+        if h <= 2:
+            return float("inf")
+        return h / (h - 2.0)
+
+    def good_nodes_lower_bound(self) -> float:
+        """Theorems 3/4's ``n - o(n)`` node set, instantiated as the Core lower bound."""
+        return max(0.0, self.core_size_lower_bound())
+
+    # ------------------------------------------------------------------ conjecture (Section 5)
+    def conjectured_churn_ceiling(self) -> float:
+        """The conclusion's conjectured hard limit ``o(n / log n)`` for walk-based schemes."""
+        return self.n / self.log_n
+
+    # ------------------------------------------------------------------ reporting
+    def summary(self) -> Dict[str, float]:
+        """All bounds as a flat dict (printed in experiment headers)."""
+        lo, hi = self.hit_probability_window()
+        return {
+            "n": float(self.n),
+            "delta": self.delta,
+            "churn_limit": self.churn_limit(),
+            "mixing_time": self.mixing_time(),
+            "core_size_lower_bound": self.core_size_lower_bound(),
+            "survival_probability_lower_bound": self.survival_probability_lower_bound(),
+            "hit_probability_low": lo,
+            "hit_probability_high": hi,
+            "committee_size": self.committee_size(),
+            "landmark_lower_bound": self.landmark_lower_bound(),
+            "landmark_upper_bound": self.landmark_upper_bound(),
+            "retrieval_rounds": self.retrieval_rounds(),
+            "storage_copies": self.storage_copies(),
+            "conjectured_churn_ceiling": self.conjectured_churn_ceiling(),
+        }

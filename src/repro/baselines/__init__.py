@@ -1,0 +1,19 @@
+"""Baseline storage/search schemes the paper compares against (or improves on)."""
+
+from repro.baselines.birthday import BirthdayItem, BirthdayReplicationStore
+from repro.baselines.chord import ChordDHT, ChordLookupResult, ChordNodeState
+from repro.baselines.flooding import FloodedItem, FloodingStore
+from repro.baselines.random_probe import RandomProbeItem, RandomProbeQuery, RandomProbeSearch
+
+__all__ = [
+    "BirthdayItem",
+    "BirthdayReplicationStore",
+    "ChordDHT",
+    "ChordLookupResult",
+    "ChordNodeState",
+    "FloodedItem",
+    "FloodingStore",
+    "RandomProbeItem",
+    "RandomProbeQuery",
+    "RandomProbeSearch",
+]

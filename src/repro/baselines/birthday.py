@@ -1,0 +1,158 @@
+"""Birthday-paradox replication baseline (no maintenance).
+
+Section 4 sketches the "well known solution" the paper improves on: the
+storing node samples Theta(sqrt(n log n)) random nodes ("data nodes") and
+places a copy of the item on each; a searcher samples Theta(sqrt(n log n))
+random nodes and, by the birthday paradox, hits a data node with high
+probability.  The paper points out the two problems this scheme has under
+churn: (i) the data-node population decays because nothing replenishes it,
+and (ii) replenishing it naively requires global coordination (estimating how
+many data nodes remain).
+
+This baseline implements exactly that scheme -- one-shot placement on
+``placement_multiplier * sqrt(n ln n)`` random nodes, no maintenance -- so
+experiment E9 can show its availability decaying within O(log^{1+delta} n)
+rounds at the paper's churn rate while the committee-based scheme persists.
+Searches draw fresh random samples (modelling the searcher's own walk soup)
+and succeed if any sample is a surviving data node.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.net.network import ChurnReport, DynamicNetwork
+from repro.util.rng import RngStream
+
+__all__ = ["BirthdayItem", "BirthdayReplicationStore"]
+
+_birthday_item_counter = itertools.count(1)
+
+
+@dataclass
+class BirthdayItem:
+    """Book-keeping for one birthday-replicated item."""
+
+    item_id: int
+    data: bytes
+    origin_uid: int
+    created_round: int
+    data_nodes: Set[int] = field(default_factory=set)
+    initial_replicas: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        """Original item size in bytes."""
+        return len(self.data)
+
+
+class BirthdayReplicationStore:
+    """sqrt(n)-scale one-shot replication without maintenance.
+
+    Parameters
+    ----------
+    network:
+        The shared dynamic-network substrate.
+    rng:
+        Protocol-side RNG stream (placement and search samples).
+    placement_multiplier:
+        Copies placed are ``ceil(placement_multiplier * sqrt(n * ln n))``.
+    search_samples:
+        Random nodes probed per search attempt (defaults to the same count).
+    """
+
+    def __init__(
+        self,
+        network: DynamicNetwork,
+        rng: RngStream,
+        placement_multiplier: float = 1.0,
+        search_samples: Optional[int] = None,
+    ) -> None:
+        self.network = network
+        self.rng = rng
+        self.placement_multiplier = float(placement_multiplier)
+        n = network.n_slots
+        self.placement_count = max(4, math.ceil(self.placement_multiplier * math.sqrt(n * math.log(n))))
+        self.search_samples = self.placement_count if search_samples is None else int(search_samples)
+        self.items: Dict[int, BirthdayItem] = {}
+
+    # ------------------------------------------------------------------ store
+    def store(self, origin_uid: int, data: bytes) -> BirthdayItem:
+        """Place copies of ``data`` on ``placement_count`` uniformly random alive nodes."""
+        if not self.network.is_alive(origin_uid):
+            raise ValueError(f"origin {origin_uid} is not in the network")
+        item = BirthdayItem(
+            item_id=next(_birthday_item_counter),
+            data=bytes(data),
+            origin_uid=origin_uid,
+            created_round=self.network.round_index,
+        )
+        alive = self.network.alive_uids()
+        count = min(self.placement_count, alive.size)
+        chosen = self.rng.generator.choice(alive, size=count, replace=False)
+        for uid in chosen.tolist():
+            item.data_nodes.add(int(uid))
+            self.network.ledger.charge(
+                self.network.round_index, origin_uid, ids=3, payload_bytes=item.size_bytes
+            )
+        item.initial_replicas = len(item.data_nodes)
+        self.items[item.item_id] = item
+        return item
+
+    # ------------------------------------------------------------------ per-round driver
+    def step(self, report: ChurnReport) -> None:
+        """Account churn: data nodes that leave take their copy with them (no replacement)."""
+        churned = set(int(u) for u in report.churned_out_uids.tolist())
+        if not churned:
+            return
+        for item in self.items.values():
+            item.data_nodes -= churned
+
+    # ------------------------------------------------------------------ queries
+    def replica_count(self, item_id: int) -> int:
+        """Surviving data nodes of the item."""
+        item = self.items[item_id]
+        return sum(1 for u in item.data_nodes if self.network.is_alive(u))
+
+    def is_available(self, item_id: int) -> bool:
+        """Whether at least one copy survives."""
+        return self.replica_count(item_id) >= 1
+
+    def stored_bytes(self, item_id: int) -> int:
+        """Bytes stored network-wide."""
+        item = self.items[item_id]
+        return self.replica_count(item_id) * item.size_bytes
+
+    def search(self, requester_uid: int, item_id: int) -> Optional[int]:
+        """One search attempt: probe ``search_samples`` random nodes, return a hit or None."""
+        item = self.items.get(item_id)
+        if item is None or not self.network.is_alive(requester_uid):
+            return None
+        alive = self.network.alive_uids()
+        count = min(self.search_samples, alive.size)
+        probes = self.rng.generator.choice(alive, size=count, replace=False)
+        for uid in probes.tolist():
+            self.network.ledger.charge(self.network.round_index, requester_uid, ids=3)
+            if int(uid) in item.data_nodes:
+                return int(uid)
+        return None
+
+    def expected_half_life(self, churn_rate: int) -> float:
+        """Rounds until half the initial replicas are expected to be churned out.
+
+        With ``churn_rate`` uniform replacements per round the survival
+        probability of one replica after ``t`` rounds is
+        ``(1 - churn_rate/n)^t``; the half-life is ``ln 2 / -ln(1 - rate/n)``.
+        """
+        n = self.network.n_slots
+        if churn_rate <= 0:
+            return math.inf
+        per_round = 1.0 - churn_rate / n
+        if per_round <= 0:
+            return 0.0
+        return math.log(2.0) / -math.log(per_round)

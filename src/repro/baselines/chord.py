@@ -1,0 +1,345 @@
+"""A Chord-style structured DHT baseline under churn.
+
+The related-work discussion (Section 1.3) contrasts the paper's unstructured
+scheme with DHTs such as Chord [55]: DHTs give O(log n) lookups in stable or
+mildly dynamic networks, but their invariants (correct successor pointers and
+finger tables) need continuous stabilisation and break down under heavy
+adversarial churn.  This baseline implements a deliberately simple Chord
+variant on top of the same churn schedule so that experiment E9 can show the
+crossover: at low churn Chord lookups succeed quickly, while at the paper's
+churn rates the routing state decays faster than the (rate-limited)
+stabiliser can repair it and lookups start failing -- whereas the paper's
+committee/landmark scheme keeps working.
+
+Design notes (all standard Chord, simplified):
+
+* Identifier space: ``2**id_bits`` points on a ring; node ids are hashes of
+  their uid, item keys are hashes of the item id.
+* Each node keeps a successor list of length ``successor_list_len`` and a
+  finger table of ``id_bits`` entries.
+* Every round a limited number of nodes run one stabilisation step
+  (refreshing successors and one finger each), modelling the per-round
+  bandwidth cap: the whole network cannot rebuild all state instantly.
+* New nodes join by looking up their own id through an alive bootstrap node;
+  keys are *not* proactively re-replicated (plain Chord stores a key only on
+  its successor, with ``replication`` immediate successors as backups).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.net.network import ChurnReport, DynamicNetwork
+from repro.util.rng import RngStream
+
+__all__ = ["ChordNodeState", "ChordLookupResult", "ChordDHT"]
+
+
+def _hash_to_ring(value: int, id_bits: int) -> int:
+    """Deterministically hash an integer onto the ring [0, 2**id_bits)."""
+    digest = hashlib.sha256(str(int(value)).encode()).digest()
+    return int.from_bytes(digest[:8], "big") % (1 << id_bits)
+
+
+def _in_interval(x: int, a: int, b: int, ring: int) -> bool:
+    """Whether x lies in the half-open ring interval (a, b]."""
+    x, a, b = x % ring, a % ring, b % ring
+    if a < b:
+        return a < x <= b
+    if a > b:
+        return x > a or x <= b
+    return True  # a == b: full circle
+
+
+@dataclass
+class ChordNodeState:
+    """Routing state of one alive Chord node."""
+
+    uid: int
+    ring_id: int
+    successors: List[int] = field(default_factory=list)
+    predecessor: Optional[int] = None
+    fingers: Dict[int, int] = field(default_factory=dict)
+    keys: Dict[int, bytes] = field(default_factory=dict)
+    next_finger_to_fix: int = 0
+
+
+@dataclass(frozen=True)
+class ChordLookupResult:
+    """Outcome of one lookup."""
+
+    key: int
+    success: bool
+    hops: int
+    holder_uid: Optional[int]
+
+
+class ChordDHT:
+    """A simplified Chord DHT sharing the dynamic-network churn schedule.
+
+    Parameters
+    ----------
+    network:
+        The dynamic network (only membership/churn and the ledger are used;
+        Chord maintains its own overlay links, which is exactly why it is a
+        *structured* scheme).
+    rng:
+        Protocol-side RNG.
+    id_bits:
+        Ring size is ``2**id_bits``.
+    successor_list_len:
+        Number of successors each node tracks.
+    replication:
+        Keys are stored on the responsible node and this many further successors.
+    stabilize_fraction:
+        Fraction of alive nodes that run one stabilisation step per round
+        (models the per-round bandwidth budget).
+    max_hops:
+        Lookup hop limit before declaring failure.
+    """
+
+    def __init__(
+        self,
+        network: DynamicNetwork,
+        rng: RngStream,
+        id_bits: int = 24,
+        successor_list_len: int = 4,
+        replication: int = 3,
+        stabilize_fraction: float = 0.25,
+        max_hops: int = 64,
+    ) -> None:
+        self.network = network
+        self.rng = rng
+        self.id_bits = id_bits
+        self.ring = 1 << id_bits
+        self.successor_list_len = successor_list_len
+        self.replication = replication
+        self.stabilize_fraction = stabilize_fraction
+        self.max_hops = max_hops
+        self.nodes: Dict[int, ChordNodeState] = {}
+        self.lookups: List[ChordLookupResult] = []
+        self._bootstrap_ring()
+
+    # ------------------------------------------------------------------ construction
+    def _bootstrap_ring(self) -> None:
+        """Build a perfect ring over the initial population (a freshly stabilised DHT)."""
+        uids = [int(u) for u in self.network.alive_uids().tolist()]
+        states = [ChordNodeState(uid=u, ring_id=_hash_to_ring(u, self.id_bits)) for u in uids]
+        states.sort(key=lambda s: s.ring_id)
+        count = len(states)
+        for i, state in enumerate(states):
+            succs = [states[(i + j + 1) % count].uid for j in range(self.successor_list_len)]
+            state.successors = succs
+            state.predecessor = states[(i - 1) % count].uid
+            self.nodes[state.uid] = state
+        for state in states:
+            self._rebuild_fingers(state)
+
+    def _rebuild_fingers(self, state: ChordNodeState) -> None:
+        """Recompute the full finger table of ``state`` from global knowledge.
+
+        Used only at bootstrap; afterwards fingers are refreshed one per
+        stabilisation step via lookups, as in the real protocol.
+        """
+        for k in range(self.id_bits):
+            target = (state.ring_id + (1 << k)) % self.ring
+            owner = self._global_successor_of(target)
+            if owner is not None:
+                state.fingers[k] = owner
+
+    def _global_successor_of(self, ring_point: int) -> Optional[int]:
+        """The alive node whose id is the first at or after ``ring_point`` (global view)."""
+        alive = [s for s in self.nodes.values() if self.network.is_alive(s.uid)]
+        if not alive:
+            return None
+        alive.sort(key=lambda s: s.ring_id)
+        for state in alive:
+            if state.ring_id >= ring_point:
+                return state.uid
+        return alive[0].uid
+
+    # ------------------------------------------------------------------ per-round driver
+    def step(self, report: ChurnReport) -> None:
+        """Handle churn (joins/leaves) and run the rate-limited stabiliser."""
+        round_index = report.round_index
+        for uid in report.churned_out_uids.tolist():
+            self.nodes.pop(int(uid), None)
+        for uid in report.churned_in_uids.tolist():
+            self._join(int(uid), round_index)
+        self._stabilize_some(round_index)
+
+    def _join(self, uid: int, round_index: int) -> None:
+        """A new node joins through a random alive bootstrap node."""
+        state = ChordNodeState(uid=uid, ring_id=_hash_to_ring(uid, self.id_bits))
+        self.nodes[uid] = state
+        alive = [u for u in self.nodes if self.network.is_alive(u) and u != uid]
+        if not alive:
+            state.successors = [uid]
+            return
+        bootstrap = int(self.rng.generator.choice(alive))
+        result = self._route(bootstrap, state.ring_id, round_index)
+        if result is not None:
+            state.successors = [result]
+        else:
+            state.successors = [bootstrap]
+        self.network.ledger.charge(round_index, uid, ids=4)
+
+    def _stabilize_some(self, round_index: int) -> None:
+        """A random ``stabilize_fraction`` of nodes run one stabilisation step."""
+        alive = [u for u in self.nodes if self.network.is_alive(u)]
+        if not alive:
+            return
+        count = max(1, int(len(alive) * self.stabilize_fraction))
+        chosen = self.rng.generator.choice(alive, size=min(count, len(alive)), replace=False)
+        for uid in chosen.tolist():
+            self._stabilize_node(int(uid), round_index)
+
+    def _stabilize_node(self, uid: int, round_index: int) -> None:
+        """One Chord stabilisation step: prune dead successors, learn from the live one, fix a finger."""
+        state = self.nodes.get(uid)
+        if state is None:
+            return
+        state.successors = [s for s in state.successors if self.network.is_alive(s) and s in self.nodes]
+        self.network.ledger.charge(round_index, uid, ids=2 + len(state.successors))
+        if not state.successors:
+            # Lost every successor: fall back to a finger or give up until a later step.
+            candidates = [f for f in state.fingers.values() if self.network.is_alive(f) and f in self.nodes]
+            if candidates:
+                state.successors = [candidates[0]]
+            return
+        succ = self.nodes.get(state.successors[0])
+        if succ is not None:
+            merged = [succ.uid] + succ.successors
+            state.successors = list(dict.fromkeys(
+                [s for s in ([state.successors[0]] + merged) if self.network.is_alive(s)]
+            ))[: self.successor_list_len]
+            if succ.predecessor is None or _in_interval(
+                state.ring_id, self.nodes[succ.uid].ring_id - 1, succ.ring_id, self.ring
+            ):
+                succ.predecessor = state.uid
+        # Fix one finger via routing.
+        k = state.next_finger_to_fix
+        state.next_finger_to_fix = (k + 1) % self.id_bits
+        target = (state.ring_id + (1 << k)) % self.ring
+        owner = self._route(uid, target, round_index, charge=False)
+        if owner is not None:
+            state.fingers[k] = owner
+
+    # ------------------------------------------------------------------ routing / storage
+    def _closest_preceding(self, state: ChordNodeState, key: int) -> Optional[int]:
+        """Closest alive routing entry of ``state`` preceding ``key``."""
+        best: Optional[int] = None
+        best_dist = self.ring + 1
+        candidates = list(state.fingers.values()) + state.successors
+        for cand in candidates:
+            cand_state = self.nodes.get(cand)
+            if cand_state is None or not self.network.is_alive(cand):
+                continue
+            if _in_interval(cand_state.ring_id, state.ring_id, key, self.ring):
+                dist = (key - cand_state.ring_id) % self.ring
+                if dist < best_dist:
+                    best = cand
+                    best_dist = dist
+        return best
+
+    def _route(self, start_uid: int, key: int, round_index: int, charge: bool = True) -> Optional[int]:
+        """Route greedily from ``start_uid`` towards ``key``; returns the responsible uid or None."""
+        current = start_uid
+        for _ in range(self.max_hops):
+            state = self.nodes.get(current)
+            if state is None or not self.network.is_alive(current):
+                return None
+            if charge:
+                self.network.ledger.charge(round_index, current, ids=3)
+            succ = next((s for s in state.successors if self.network.is_alive(s) and s in self.nodes), None)
+            if succ is None:
+                return None
+            succ_state = self.nodes[succ]
+            if _in_interval(key, state.ring_id, succ_state.ring_id, self.ring):
+                return succ
+            nxt = self._closest_preceding(state, key)
+            if nxt is None or nxt == current:
+                return succ
+            current = nxt
+        return None
+
+    def store(self, origin_uid: int, item_key: int, data: bytes) -> bool:
+        """Store ``data`` under ``item_key`` on its successor plus ``replication`` backups."""
+        round_index = max(self.network.round_index, 0)
+        key = _hash_to_ring(item_key, self.id_bits)
+        owner = self._route(origin_uid, key, round_index)
+        if owner is None:
+            return False
+        placed = 0
+        current = owner
+        for _ in range(self.replication + 1):
+            state = self.nodes.get(current)
+            if state is None:
+                break
+            state.keys[item_key] = bytes(data)
+            self.network.ledger.charge(round_index, origin_uid, ids=3, payload_bytes=len(data))
+            placed += 1
+            nxt = next((s for s in state.successors if s in self.nodes), None)
+            if nxt is None:
+                break
+            current = nxt
+        return placed > 0
+
+    def lookup(self, requester_uid: int, item_key: int) -> ChordLookupResult:
+        """Look up ``item_key`` from ``requester_uid``; record and return the outcome."""
+        round_index = max(self.network.round_index, 0)
+        key = _hash_to_ring(item_key, self.id_bits)
+        current = requester_uid
+        hops = 0
+        result: ChordLookupResult
+        visited: Set[int] = set()
+        while hops < self.max_hops:
+            state = self.nodes.get(current)
+            if state is None or not self.network.is_alive(current) or current in visited:
+                result = ChordLookupResult(key=item_key, success=False, hops=hops, holder_uid=None)
+                self.lookups.append(result)
+                return result
+            visited.add(current)
+            self.network.ledger.charge(round_index, current, ids=3)
+            if item_key in state.keys:
+                result = ChordLookupResult(key=item_key, success=True, hops=hops, holder_uid=current)
+                self.lookups.append(result)
+                return result
+            succ = next((s for s in state.successors if self.network.is_alive(s) and s in self.nodes), None)
+            if succ is not None and _in_interval(key, state.ring_id, self.nodes[succ].ring_id, self.ring):
+                nxt = succ
+            else:
+                nxt = self._closest_preceding(state, key) or succ
+            if nxt is None:
+                result = ChordLookupResult(key=item_key, success=False, hops=hops, holder_uid=None)
+                self.lookups.append(result)
+                return result
+            current = nxt
+            hops += 1
+        result = ChordLookupResult(key=item_key, success=False, hops=hops, holder_uid=None)
+        self.lookups.append(result)
+        return result
+
+    # ------------------------------------------------------------------ reporting
+    def replica_count(self, item_key: int) -> int:
+        """Alive nodes currently holding ``item_key``."""
+        return sum(
+            1
+            for state in self.nodes.values()
+            if item_key in state.keys and self.network.is_alive(state.uid)
+        )
+
+    def success_rate(self) -> float:
+        """Fraction of recorded lookups that succeeded."""
+        if not self.lookups:
+            return 0.0
+        return sum(1 for l in self.lookups if l.success) / len(self.lookups)
+
+    def mean_hops(self) -> float:
+        """Mean hops over successful lookups."""
+        hops = [l.hops for l in self.lookups if l.success]
+        return float(np.mean(hops)) if hops else float("nan")

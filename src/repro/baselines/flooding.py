@@ -1,0 +1,146 @@
+"""Flooding baseline (the paper's "naive solution").
+
+Section 4's introduction describes the obvious robust scheme: flood the item
+through the network and store it at a linear number of nodes.  Retrieval is
+then trivial (ask any neighbour) and persistence is essentially certain, but
+the cost is Theta(n) messages per store, Theta(n) copies of every item, and
+per-node bandwidth proportional to the item size times its degree -- exactly
+what the paper's committee/landmark construction avoids.
+
+The baseline is implemented against the same :class:`DynamicNetwork`
+substrate so that experiment E9 can compare message counts, storage bytes and
+availability under identical churn schedules.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.net.network import ChurnReport, DynamicNetwork
+from repro.util.rng import RngStream
+
+__all__ = ["FloodedItem", "FloodingStore"]
+
+_flood_item_counter = itertools.count(1)
+
+
+@dataclass
+class FloodedItem:
+    """Book-keeping for one flooded item."""
+
+    item_id: int
+    data: bytes
+    origin_uid: int
+    created_round: int
+    holders: Set[int] = field(default_factory=set)
+    frontier: Set[int] = field(default_factory=set)
+    flood_complete_round: Optional[int] = None
+    messages_sent: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        """Original item size in bytes."""
+        return len(self.data)
+
+
+class FloodingStore:
+    """Store and search by flooding over the current round's edges.
+
+    A store floods the item hop-by-hop: in each round every node that already
+    holds the item forwards it to all of its current neighbours that do not.
+    Because the topology is an expander, the flood covers the network in
+    O(log n) rounds; every alive holder keeps a full copy forever (new nodes
+    joining after the flood do *not* receive the item, matching the paper's
+    observation that even flooding cannot reach nodes that join later without
+    continuous re-flooding).
+
+    Searching is modelled as: the query succeeds in the first round in which
+    the requester or any of its current neighbours holds a copy -- i.e. one
+    round whenever the flood has saturated the network.
+    """
+
+    def __init__(self, network: DynamicNetwork, rng: Optional[RngStream] = None) -> None:
+        self.network = network
+        self.rng = rng if rng is not None else RngStream(0, name="flooding")
+        self.items: Dict[int, FloodedItem] = {}
+
+    # ------------------------------------------------------------------ store
+    def store(self, origin_uid: int, data: bytes) -> FloodedItem:
+        """Begin flooding ``data`` from ``origin_uid``."""
+        if not self.network.is_alive(origin_uid):
+            raise ValueError(f"origin {origin_uid} is not in the network")
+        item = FloodedItem(
+            item_id=next(_flood_item_counter),
+            data=bytes(data),
+            origin_uid=origin_uid,
+            created_round=self.network.round_index,
+        )
+        item.holders.add(origin_uid)
+        item.frontier.add(origin_uid)
+        self.items[item.item_id] = item
+        return item
+
+    # ------------------------------------------------------------------ per-round driver
+    def step(self, report: ChurnReport) -> None:
+        """Advance every flood by one round and account churn losses."""
+        churned = set(int(u) for u in report.churned_out_uids.tolist())
+        for item in self.items.values():
+            if churned:
+                item.holders -= churned
+                item.frontier -= churned
+            if not item.frontier:
+                continue
+            new_frontier: Set[int] = set()
+            for holder in list(item.frontier):
+                if not self.network.is_alive(holder):
+                    continue
+                for neighbor in self.network.neighbors_of_uid(holder):
+                    # Forwarding the full item to each neighbour: Theta(d) item-sized
+                    # messages per frontier node per round.
+                    self.network.ledger.charge(
+                        report.round_index, holder, ids=2, payload_bytes=item.size_bytes
+                    )
+                    item.messages_sent += 1
+                    if neighbor not in item.holders:
+                        item.holders.add(neighbor)
+                        new_frontier.add(neighbor)
+            item.frontier = new_frontier
+            if not new_frontier and item.flood_complete_round is None:
+                item.flood_complete_round = report.round_index
+
+    # ------------------------------------------------------------------ queries
+    def replica_count(self, item_id: int) -> int:
+        """Alive nodes currently holding a copy."""
+        item = self.items[item_id]
+        return sum(1 for u in item.holders if self.network.is_alive(u))
+
+    def is_available(self, item_id: int) -> bool:
+        """Whether at least one copy survives."""
+        return self.replica_count(item_id) >= 1
+
+    def stored_bytes(self, item_id: int) -> int:
+        """Bytes stored network-wide (n copies once the flood saturates)."""
+        item = self.items[item_id]
+        return self.replica_count(item_id) * item.size_bytes
+
+    def search(self, requester_uid: int, item_id: int) -> Optional[int]:
+        """One-shot search: returns the uid of a holder reachable in one hop, else None."""
+        item = self.items.get(item_id)
+        if item is None or not self.network.is_alive(requester_uid):
+            return None
+        if requester_uid in item.holders:
+            return requester_uid
+        # Ask all current neighbours (d messages).
+        for neighbor in self.network.neighbors_of_uid(requester_uid):
+            self.network.ledger.charge(self.network.round_index, requester_uid, ids=3)
+            if neighbor in item.holders and self.network.is_alive(neighbor):
+                return neighbor
+        return None
+
+    def total_messages(self) -> int:
+        """Flood messages sent across all items."""
+        return sum(item.messages_sent for item in self.items.values())

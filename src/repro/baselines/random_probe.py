@@ -1,0 +1,174 @@
+"""Unstructured random-probe search baseline.
+
+The simplest unstructured search (Section 1.3's "unstructured schemes", e.g.
+Gnutella-style random walks without any storage-side assistance): the item is
+replicated on Theta(log n) random nodes exactly as the paper's committee does,
+but the searcher gets **no landmarks** -- it simply probes nodes sampled by
+its own random walks, one batch per round, until it happens to probe a
+holder.  Because only Theta(log n) of the n nodes hold the item, the expected
+number of probes is Theta(n / log n), i.e. the searcher needs
+Theta(n / log^2 n) rounds at Theta(log n) probes per round -- far above the
+O(log n) rounds the paper achieves with the sqrt(n)-landmark rendezvous.
+
+Experiment E9 runs this baseline on the same substrate to exhibit that gap.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.net.network import ChurnReport, DynamicNetwork
+from repro.util.rng import RngStream
+from repro.walks.sampler import NodeSampler
+
+__all__ = ["RandomProbeItem", "RandomProbeQuery", "RandomProbeSearch"]
+
+_rp_item_counter = itertools.count(1)
+_rp_query_counter = itertools.count(1)
+
+
+@dataclass
+class RandomProbeItem:
+    """An item replicated on a fixed set of holders (no maintenance, no landmarks)."""
+
+    item_id: int
+    data: bytes
+    holders: Set[int] = field(default_factory=set)
+
+
+@dataclass
+class RandomProbeQuery:
+    """One in-flight random-probe search."""
+
+    query_id: int
+    requester_uid: int
+    item_id: int
+    start_round: int
+    status: str = "pending"  # pending | succeeded | failed
+    finish_round: Optional[int] = None
+    probes_sent: int = 0
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Rounds from issue to completion."""
+        if self.finish_round is None:
+            return None
+        return self.finish_round - self.start_round
+
+
+class RandomProbeSearch:
+    """Search by probing walk samples directly, with no landmark rendezvous.
+
+    Parameters
+    ----------
+    network, sampler:
+        The shared substrate (the baseline reuses the same walk soup samples
+        as the paper's protocol, so the only difference is the missing
+        committee/landmark machinery).
+    rng:
+        Protocol-side RNG stream.
+    copies:
+        Replicas placed per stored item (Theta(log n) to match the paper).
+    timeout:
+        Rounds after which a query is declared failed.
+    """
+
+    def __init__(
+        self,
+        network: DynamicNetwork,
+        sampler: NodeSampler,
+        rng: RngStream,
+        copies: int,
+        timeout: int,
+    ) -> None:
+        self.network = network
+        self.sampler = sampler
+        self.rng = rng
+        self.copies = int(copies)
+        self.timeout = int(timeout)
+        self.items: Dict[int, RandomProbeItem] = {}
+        self.queries: Dict[int, RandomProbeQuery] = {}
+
+    # ------------------------------------------------------------------ store / search
+    def store(self, origin_uid: int, data: bytes) -> RandomProbeItem:
+        """Replicate ``data`` on ``copies`` uniformly random alive nodes."""
+        if not self.network.is_alive(origin_uid):
+            raise ValueError(f"origin {origin_uid} is not in the network")
+        item = RandomProbeItem(item_id=next(_rp_item_counter), data=bytes(data))
+        alive = self.network.alive_uids()
+        chosen = self.rng.generator.choice(alive, size=min(self.copies, alive.size), replace=False)
+        for uid in chosen.tolist():
+            item.holders.add(int(uid))
+            self.network.ledger.charge(
+                max(self.network.round_index, 0), origin_uid, ids=3, payload_bytes=len(data)
+            )
+        self.items[item.item_id] = item
+        return item
+
+    def search(self, requester_uid: int, item_id: int) -> RandomProbeQuery:
+        """Issue a search for ``item_id`` from ``requester_uid``."""
+        query = RandomProbeQuery(
+            query_id=next(_rp_query_counter),
+            requester_uid=requester_uid,
+            item_id=item_id,
+            start_round=self.network.round_index,
+        )
+        self.queries[query.query_id] = query
+        return query
+
+    # ------------------------------------------------------------------ per-round driver
+    def step(self, report: ChurnReport) -> None:
+        """Advance holders (churn losses) and all pending queries by one round."""
+        churned = set(int(u) for u in report.churned_out_uids.tolist())
+        if churned:
+            for item in self.items.values():
+                item.holders -= churned
+        round_index = report.round_index
+        for query in self.queries.values():
+            if query.status != "pending":
+                continue
+            item = self.items.get(query.item_id)
+            if item is None:
+                query.status = "failed"
+                query.finish_round = round_index
+                continue
+            if not self.network.is_alive(query.requester_uid):
+                query.status = "failed"
+                query.finish_round = round_index
+                continue
+            samples = self.sampler.sample_sources(
+                query.requester_uid, round_index=round_index, alive_only=True
+            )
+            for target in samples:
+                self.network.ledger.charge(round_index, query.requester_uid, ids=3)
+                query.probes_sent += 1
+                if target in item.holders and self.network.is_alive(target):
+                    query.status = "succeeded"
+                    query.finish_round = round_index
+                    break
+            if query.status == "pending" and round_index - query.start_round >= self.timeout:
+                query.status = "failed"
+                query.finish_round = round_index
+
+    # ------------------------------------------------------------------ reporting
+    def success_rate(self) -> float:
+        """Fraction of finished queries that succeeded."""
+        finished = [q for q in self.queries.values() if q.status != "pending"]
+        if not finished:
+            return 0.0
+        return sum(1 for q in finished if q.status == "succeeded") / len(finished)
+
+    def latencies(self) -> List[int]:
+        """Latencies of successful queries."""
+        return [
+            q.latency
+            for q in self.queries.values()
+            if q.status == "succeeded" and q.latency is not None
+        ]
+
+    def replica_count(self, item_id: int) -> int:
+        """Surviving holders of an item."""
+        item = self.items[item_id]
+        return sum(1 for u in item.holders if self.network.is_alive(u))

@@ -1,0 +1,29 @@
+"""The paper's primary contribution: committees, landmarks, storage, search."""
+
+from repro.core.committee import Committee, CommitteeEvent
+from repro.core.context import ProtocolContext
+from repro.core.erasure import InformationDispersal, Piece
+from repro.core.landmarks import LandmarkBuildReport, LandmarkRecord, LandmarkSet
+from repro.core.params import ProtocolParameters
+from repro.core.protocol import P2PStorageSystem, RoundSummary
+from repro.core.retrieval import RetrievalOperation, RetrievalService
+from repro.core.storage import StorageService, StorageSnapshot, StoredItem
+
+__all__ = [
+    "Committee",
+    "CommitteeEvent",
+    "ProtocolContext",
+    "InformationDispersal",
+    "Piece",
+    "LandmarkBuildReport",
+    "LandmarkRecord",
+    "LandmarkSet",
+    "ProtocolParameters",
+    "P2PStorageSystem",
+    "RoundSummary",
+    "RetrievalOperation",
+    "RetrievalService",
+    "StorageService",
+    "StorageSnapshot",
+    "StoredItem",
+]

@@ -1,0 +1,311 @@
+"""Committee election and maintenance (Algorithm 1).
+
+A *committee* is a small (Theta(log n)) clique of essentially random nodes
+that is entrusted with a task -- storing an item, or coordinating a search --
+and that must survive churn for a long time.  Algorithm 1 of the paper:
+
+* **Creation** (round r1): the creating node ``u`` picks ``h log n`` of the
+  walk samples it received and invites those nodes; the roster is included in
+  the invitation so the members form a clique.
+* **Maintenance** (every ``2 tau`` rounds): members record the walk samples
+  they received, exchange their counts, the member with the most samples
+  becomes the leader ``c_r``, the leader invites ``h log n`` of *its* fresh
+  samples to form the next generation, the old members hand over the task and
+  resign.
+
+Because the samples are near-uniform (Soup Theorem) and the adversary is
+oblivious, each new generation consists of essentially random nodes, so whp
+only an O(churn-rate * refresh-period / n) fraction is lost between
+re-formations and the committee stays "good" for a polynomial number of
+rounds (Theorem 2).
+
+The implementation keeps each committee as an explicit object whose
+:meth:`Committee.step` is called once per round by the owner (storage /
+retrieval services or the simulation engine).  Message costs -- the count
+exchange, the invitations carrying the roster, and the per-generation
+handover -- are charged to the bandwidth ledger; deliverability follows node
+liveness exactly as in the network model (an invitation to a node that has
+just been churned out is simply lost).
+
+The footnote of Algorithm 1 (what if the chosen leader is churned out before
+it can invite) is handled the same way the paper suggests: the leader is
+chosen among *currently alive* members, and if it is churned out before the
+invitations take effect, the old generation simply stays in place until the
+next refresh, by which point a new leader is chosen.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.context import ProtocolContext
+from repro.util.datastructures import RoundTimer
+
+__all__ = ["CommitteeEvent", "Committee"]
+
+_committee_id_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class CommitteeEvent:
+    """A notable committee life-cycle event (creation, refresh, death)."""
+
+    round_index: int
+    kind: str
+    committee_id: int
+    generation: int
+    member_count: int
+    details: Dict[str, object] = field(default_factory=dict)
+
+
+class Committee:
+    """One committee instance: a roster of member uids plus its maintenance logic.
+
+    Parameters
+    ----------
+    ctx:
+        Shared protocol context.
+    creator_uid:
+        Node that created the committee.
+    task:
+        Label of the entrusted task (``"storage"`` or ``"search"``).
+    item_id:
+        Item this committee is responsible for, if any.
+    created_round:
+        Round of creation.
+    members:
+        Initial roster.
+    on_handover:
+        Optional callback ``(old_members, new_members, leader, round) -> None``
+        invoked whenever a new generation takes over; the storage service uses
+        it to transfer item copies / IDA pieces to the new members.
+    """
+
+    def __init__(
+        self,
+        ctx: ProtocolContext,
+        creator_uid: int,
+        task: str,
+        created_round: int,
+        members: Sequence[int],
+        item_id: Optional[int] = None,
+        on_handover: Optional[Callable[[List[int], List[int], int, int], None]] = None,
+    ) -> None:
+        self.ctx = ctx
+        self.committee_id = next(_committee_id_counter)
+        self.creator_uid = creator_uid
+        self.task = task
+        self.item_id = item_id
+        self.created_round = created_round
+        self.members: List[int] = list(dict.fromkeys(int(m) for m in members))
+        self.generation = 0
+        self.on_handover = on_handover
+        self._timer = RoundTimer(start=created_round, period=ctx.params.committee_refresh_period)
+        self.events: List[CommitteeEvent] = [
+            CommitteeEvent(
+                round_index=created_round,
+                kind="created",
+                committee_id=self.committee_id,
+                generation=0,
+                member_count=len(self.members),
+                details={"creator": creator_uid, "task": task, "item_id": item_id},
+            )
+        ]
+        self.dissolved = False
+        self.refresh_successes = 0
+        self.refresh_failures = 0
+        # Creation cost: the creator sends one invitation (with roster) per member.
+        for member in self.members:
+            ctx.charge(creator_uid, ids=2 + len(self.members))
+
+    # ------------------------------------------------------------------ construction
+    @classmethod
+    def create(
+        cls,
+        ctx: ProtocolContext,
+        creator_uid: int,
+        task: str,
+        item_id: Optional[int] = None,
+        on_handover: Optional[Callable[[List[int], List[int], int, int], None]] = None,
+        sample_max_age: Optional[int] = None,
+    ) -> "Committee":
+        """Create a committee on behalf of ``creator_uid`` (Algorithm 1, creation step).
+
+        The creator draws ``committee_size`` distinct alive nodes from its
+        recently received walk samples.  If it has not yet received enough
+        samples (e.g. during warm-up, or because it is outside the Core), the
+        committee starts under-sized and is topped up at the next refresh --
+        the same behaviour as a committee decimated by churn.
+        """
+        params = ctx.params
+        max_age = params.landmark_refresh_period if sample_max_age is None else sample_max_age
+        picked = ctx.sampler.draw_distinct_sources(
+            creator_uid,
+            params.committee_size,
+            ctx.rng.generator,
+            max_age=max_age,
+        )
+        if creator_uid not in picked and ctx.is_alive(creator_uid) and len(picked) < params.committee_size:
+            # The creator may serve as a member itself while the roster is short.
+            picked.append(creator_uid)
+        committee = cls(
+            ctx=ctx,
+            creator_uid=creator_uid,
+            task=task,
+            created_round=ctx.round_index,
+            members=picked,
+            item_id=item_id,
+            on_handover=on_handover,
+        )
+        ctx.record(
+            "committee",
+            "created",
+            committee_id=committee.committee_id,
+            task=task,
+            item_id=item_id,
+            size=len(picked),
+        )
+        return committee
+
+    # ------------------------------------------------------------------ status
+    def alive_members(self) -> List[int]:
+        """Members that are currently in the network."""
+        return [m for m in self.members if self.ctx.is_alive(m)]
+
+    @property
+    def size(self) -> int:
+        """Nominal roster size (including members that may have been churned out)."""
+        return len(self.members)
+
+    def alive_fraction(self) -> float:
+        """Fraction of the roster still alive."""
+        if not self.members:
+            return 0.0
+        return len(self.alive_members()) / len(self.members)
+
+    def is_good(self, epsilon: float = 0.5) -> bool:
+        """The paper's "good committee" predicate.
+
+        A committee is good when at least ``(1 - epsilon) * committee_size``
+        of its members are alive (the paper additionally asks that they be
+        Core members; liveness is the measurable proxy at finite n, and the
+        Core-membership version is evaluated separately in experiment E3).
+        """
+        target = (1.0 - epsilon) * self.ctx.params.committee_size
+        return len(self.alive_members()) >= target
+
+    def contains(self, uid: int) -> bool:
+        """Whether ``uid`` is on the current roster."""
+        return int(uid) in self.members
+
+    # ------------------------------------------------------------------ per-round driver
+    def step(self, round_index: int) -> Optional[CommitteeEvent]:
+        """Run one round of committee maintenance.
+
+        Only does real work on refresh rounds (every ``committee_refresh_period``
+        rounds after creation).  Returns the event generated, if any.
+        """
+        if self.dissolved:
+            return None
+        if not self._timer.fires_at(round_index) or round_index == self.created_round:
+            return None
+        return self._refresh(round_index)
+
+    def dissolve(self, round_index: int) -> None:
+        """Dissolve the committee (used by completed search operations)."""
+        if self.dissolved:
+            return
+        self.dissolved = True
+        event = CommitteeEvent(
+            round_index=round_index,
+            kind="dissolved",
+            committee_id=self.committee_id,
+            generation=self.generation,
+            member_count=len(self.alive_members()),
+        )
+        self.events.append(event)
+        self.ctx.record("committee", "dissolved", committee_id=self.committee_id)
+
+    # ------------------------------------------------------------------ refresh internals
+    def _refresh(self, round_index: int) -> CommitteeEvent:
+        """Re-form the committee from the leader's fresh samples (Algorithm 1 maintenance)."""
+        ctx = self.ctx
+        params = ctx.params
+        survivors = self.alive_members()
+
+        if not survivors:
+            self.dissolved = True
+            self.refresh_failures += 1
+            event = CommitteeEvent(
+                round_index=round_index,
+                kind="died",
+                committee_id=self.committee_id,
+                generation=self.generation,
+                member_count=0,
+                details={"reason": "all members churned out before refresh"},
+            )
+            self.events.append(event)
+            ctx.record("committee", "died", committee_id=self.committee_id, item_id=self.item_id)
+            return event
+
+        # Round r / r+1 of Algorithm 1: members exchange the number of walk
+        # samples each received (a clique's worth of tiny messages).
+        counts = {m: ctx.sampler.sample_count(m, round_index=round_index) for m in survivors}
+        for member in survivors:
+            ctx.charge(member, ids=1 + len(survivors))
+
+        # Leader c_r: most samples, ties broken by uid (deterministic and
+        # "unanimous" because the counts are common knowledge).
+        leader = max(survivors, key=lambda m: (counts[m], -m))
+
+        # Round r+2: the leader invites committee_size of the samples it
+        # received this refresh window to form the new committee.
+        recruits = ctx.sampler.draw_distinct_sources(
+            leader,
+            params.committee_size,
+            ctx.rng.generator,
+            max_age=params.committee_refresh_period,
+        )
+        if len(recruits) < max(2, params.committee_size // 2):
+            # Not enough fresh samples to hand over safely: keep the current
+            # generation in place (topped up with whatever recruits exist)
+            # rather than shrinking the committee drastically.
+            new_members = list(dict.fromkeys(survivors + recruits))[: params.committee_size]
+            outcome = "kept"
+            self.refresh_failures += 1
+        else:
+            new_members = list(dict.fromkeys(recruits))[: params.committee_size]
+            outcome = "reformed"
+            self.refresh_successes += 1
+
+        # Invitation messages carry the full new roster (clique formation).
+        for member in new_members:
+            ctx.charge(leader, ids=2 + len(new_members))
+
+        old_members = list(self.members)
+        self.members = new_members
+        self.generation += 1
+
+        if self.on_handover is not None:
+            self.on_handover(old_members, new_members, leader, round_index)
+
+        event = CommitteeEvent(
+            round_index=round_index,
+            kind=outcome,
+            committee_id=self.committee_id,
+            generation=self.generation,
+            member_count=len(new_members),
+            details={"leader": leader, "survivors": len(survivors)},
+        )
+        self.events.append(event)
+        ctx.record(
+            "committee",
+            outcome,
+            committee_id=self.committee_id,
+            generation=self.generation,
+            size=len(new_members),
+            leader=leader,
+        )
+        return event

@@ -1,0 +1,72 @@
+"""Shared execution context for the protocol building blocks.
+
+Committees, landmark sets, storage and retrieval operations all need the same
+handful of collaborators: the dynamic network (to send messages and test
+liveness), the node sampler (the walk-soup samples each node received), the
+derived protocol parameters, a protocol-side RNG and a structured event log.
+Bundling them in :class:`ProtocolContext` keeps the building blocks' method
+signatures small and makes them easy to unit-test with hand-built fixtures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.params import ProtocolParameters
+from repro.net.network import DynamicNetwork
+from repro.util.rng import RngStream
+from repro.util.simlog import SimulationLog
+from repro.walks.sampler import NodeSampler
+
+__all__ = ["ProtocolContext"]
+
+
+@dataclass
+class ProtocolContext:
+    """Everything a protocol building block needs to execute one round.
+
+    Attributes
+    ----------
+    network:
+        The dynamic network (membership, topology, messaging, bandwidth ledger).
+    sampler:
+        Per-node windows of delivered walk samples.
+    params:
+        Derived protocol parameters for this network size.
+    rng:
+        Protocol-side RNG stream (the algorithm's coins).
+    log:
+        Structured event log shared by all components of one simulation.
+    """
+
+    network: DynamicNetwork
+    sampler: NodeSampler
+    params: ProtocolParameters
+    rng: RngStream
+    log: SimulationLog = field(default_factory=SimulationLog)
+
+    @property
+    def round_index(self) -> int:
+        """Current round of the underlying network."""
+        return self.network.round_index
+
+    def is_alive(self, uid: int) -> bool:
+        """Liveness shortcut."""
+        return self.network.is_alive(uid)
+
+    def charge(self, sender: int, ids: int = 0, payload_bytes: int = 0) -> None:
+        """Charge a message from ``sender`` to the bandwidth ledger.
+
+        Building blocks use this for interactions they simulate in aggregate
+        (e.g. the committee's intra-clique count exchange) so that experiment
+        E8's accounting stays honest even where no Message object is built.
+        """
+        if self.network.is_alive(sender):
+            self.network.ledger.charge(
+                self.network.round_index, sender, ids=ids, payload_bytes=payload_bytes
+            )
+
+    def record(self, category: str, message: str, **data) -> None:
+        """Append a structured event to the simulation log."""
+        self.log.record(self.network.round_index, category, message, **data)

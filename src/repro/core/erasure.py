@@ -1,0 +1,273 @@
+"""Rabin's Information Dispersal Algorithm (IDA) over GF(2^8).
+
+Section 4.4 of the paper replaces full replication with erasure coding: a
+data item ``I`` of length ``|I|`` is split into ``L`` pieces of length
+``|I| / K`` each such that *any* ``K`` pieces suffice to reconstruct ``I``;
+the space blow-up is ``L / K``.  The committee stores one piece per member
+(L = h log n) and the handover leader reconstructs and re-disperses the item
+every refresh.
+
+This module implements the coder itself:
+
+* arithmetic in the finite field GF(256) via log/antilog tables (the standard
+  Rijndael polynomial x^8 + x^4 + x^3 + x + 1), vectorised with NumPy;
+* a **systematic Cauchy-style encoding matrix**: the first ``K`` rows are the
+  identity (so the first ``K`` pieces are literal chunks of the data, which
+  makes the common no-loss path free), the remaining ``L - K`` rows are rows
+  of a Vandermonde matrix chosen so that every ``K x K`` submatrix of the
+  full matrix is invertible;
+* :func:`encode` / :func:`decode` operating on ``bytes``.
+
+The implementation is self-contained (no external erasure-coding library)
+and intentionally favours clarity over raw throughput: items in the
+simulator are small and coding happens only at stores and committee
+handovers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+__all__ = ["Piece", "InformationDispersal", "gf_mul", "gf_inv", "gf_matmul"]
+
+_PRIMITIVE_POLY = 0x11B  # x^8 + x^4 + x^3 + x + 1 (AES field)
+
+# ---------------------------------------------------------------------------- GF(256)
+_EXP = np.zeros(512, dtype=np.uint8)
+_LOG = np.zeros(256, dtype=np.int32)
+
+
+def _slow_mul(a: int, b: int) -> int:
+    """Bitwise ("Russian peasant") multiplication in GF(256); used only to build tables."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a <<= 1
+        if a & 0x100:
+            a ^= _PRIMITIVE_POLY
+    return result
+
+
+def _build_tables() -> None:
+    # 0x03 is a primitive element of GF(256) with the AES polynomial
+    # (0x02 is not -- it generates a subgroup of order 51).
+    x = 1
+    for i in range(255):
+        _EXP[i] = x
+        _LOG[x] = i
+        x = _slow_mul(x, 0x03)
+    # Duplicate so summed logs (up to 508) need no modulo reduction.
+    for i in range(255, 512):
+        _EXP[i] = _EXP[i - 255]
+
+
+_build_tables()
+
+
+def gf_mul(a: np.ndarray | int, b: np.ndarray | int) -> np.ndarray:
+    """Element-wise multiplication in GF(256) (vectorised, broadcasting)."""
+    a_arr = np.asarray(a, dtype=np.uint8)
+    b_arr = np.asarray(b, dtype=np.uint8)
+    shape = np.broadcast(a_arr, b_arr).shape
+    a_b = np.broadcast_to(a_arr, shape)
+    b_b = np.broadcast_to(b_arr, shape)
+    result = np.zeros(shape, dtype=np.uint8)
+    mask = (a_b != 0) & (b_b != 0)
+    if np.any(mask):
+        result[mask] = _EXP[_LOG[a_b[mask]] + _LOG[b_b[mask]]]
+    return result
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse in GF(256); raises on zero."""
+    if a == 0:
+        raise ZeroDivisionError("0 has no inverse in GF(256)")
+    return int(_EXP[255 - _LOG[a]])
+
+
+def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(256) of uint8 matrices ``a (m,k)`` and ``b (k,n)``."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ValueError("inner dimensions do not match")
+    out = np.zeros((m, n), dtype=np.uint8)
+    for i in range(k):
+        col = a[:, i][:, None]  # (m, 1)
+        row = b[i, :][None, :]  # (1, n)
+        out ^= gf_mul(col, row)
+    return out
+
+
+def _gf_solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``matrix @ x = rhs`` over GF(256) by Gaussian elimination.
+
+    ``matrix`` is (k, k) uint8, ``rhs`` is (k, n) uint8; returns x of shape (k, n).
+    Raises :class:`np.linalg.LinAlgError` if the matrix is singular.
+    """
+    k = matrix.shape[0]
+    aug = np.concatenate([matrix.astype(np.uint8).copy(), rhs.astype(np.uint8).copy()], axis=1)
+    for col in range(k):
+        pivot = None
+        for row in range(col, k):
+            if aug[row, col] != 0:
+                pivot = row
+                break
+        if pivot is None:
+            raise np.linalg.LinAlgError("singular matrix over GF(256)")
+        if pivot != col:
+            aug[[col, pivot]] = aug[[pivot, col]]
+        inv = gf_inv(int(aug[col, col]))
+        aug[col] = gf_mul(aug[col], inv)
+        for row in range(k):
+            if row != col and aug[row, col] != 0:
+                factor = int(aug[row, col])
+                aug[row] ^= gf_mul(aug[col], factor)
+    return aug[:, k:]
+
+
+# ---------------------------------------------------------------------------- IDA
+@dataclass(frozen=True)
+class Piece:
+    """One dispersed piece of an item.
+
+    Attributes
+    ----------
+    index:
+        Row index of the encoding matrix that produced this piece (0-based;
+        indices < K are systematic chunks of the original data).
+    data:
+        Piece payload.
+    original_length:
+        Byte length of the original item (needed to strip padding).
+    total_pieces, required_pieces:
+        The (L, K) parameters the piece was encoded with.
+    """
+
+    index: int
+    data: bytes
+    original_length: int
+    total_pieces: int
+    required_pieces: int
+
+    @property
+    def size_bytes(self) -> int:
+        """Length of this piece's payload."""
+        return len(self.data)
+
+
+class InformationDispersal:
+    """Rabin IDA encoder/decoder with parameters ``(total_pieces L, required_pieces K)``.
+
+    Any ``K`` of the ``L`` produced pieces reconstruct the item exactly.
+    ``L`` must not exceed 255 + K (row identifiers live in GF(256)).
+
+    Examples
+    --------
+    >>> ida = InformationDispersal(total_pieces=7, required_pieces=3)
+    >>> pieces = ida.encode(b"the quick brown fox jumps over the lazy dog")
+    >>> ida.decode(pieces[2:5]) == b"the quick brown fox jumps over the lazy dog"
+    True
+    """
+
+    def __init__(self, total_pieces: int, required_pieces: int) -> None:
+        self.total_pieces = check_positive_int(total_pieces, "total_pieces")
+        self.required_pieces = check_positive_int(required_pieces, "required_pieces")
+        if required_pieces > total_pieces:
+            raise ValueError("required_pieces cannot exceed total_pieces")
+        if total_pieces > 256:
+            raise ValueError("at most 256 total pieces are supported (GF(256) row labels)")
+        self._matrix = self._build_matrix(total_pieces, required_pieces)
+
+    @staticmethod
+    def _build_matrix(total: int, required: int) -> np.ndarray:
+        """Systematic encoding matrix: identity on top, Cauchy rows below.
+
+        A Cauchy matrix C[i, j] = 1 / (x_i + y_j) with all x_i, y_j distinct
+        has every square submatrix invertible, and stacking it under the
+        identity preserves the any-K-rows-invertible property needed by IDA.
+        """
+        matrix = np.zeros((total, required), dtype=np.uint8)
+        matrix[:required, :required] = np.eye(required, dtype=np.uint8)
+        parity_rows = total - required
+        if parity_rows > 0:
+            xs = np.arange(required, required + parity_rows, dtype=np.int32)
+            ys = np.arange(0, required, dtype=np.int32)
+            for i in range(parity_rows):
+                for j in range(required):
+                    denom = int(xs[i]) ^ int(ys[j])
+                    matrix[required + i, j] = gf_inv(denom)
+        return matrix
+
+    @property
+    def blowup(self) -> float:
+        """Space overhead L / K (the paper keeps this close to 1)."""
+        return self.total_pieces / self.required_pieces
+
+    def piece_length(self, item_length: int) -> int:
+        """Byte length of each piece for an item of ``item_length`` bytes."""
+        return math.ceil(max(item_length, 1) / self.required_pieces)
+
+    # ------------------------------------------------------------------ encode / decode
+    def encode(self, data: bytes) -> List[Piece]:
+        """Split ``data`` into ``total_pieces`` pieces, any ``required_pieces`` of which reconstruct it."""
+        if not isinstance(data, (bytes, bytearray)):
+            raise TypeError("data must be bytes")
+        original_length = len(data)
+        k = self.required_pieces
+        piece_len = self.piece_length(original_length)
+        padded = np.frombuffer(bytes(data).ljust(piece_len * k, b"\0"), dtype=np.uint8)
+        chunks = padded.reshape(k, piece_len)  # (K, piece_len)
+        encoded = gf_matmul(self._matrix, chunks)  # (L, piece_len)
+        return [
+            Piece(
+                index=i,
+                data=encoded[i].tobytes(),
+                original_length=original_length,
+                total_pieces=self.total_pieces,
+                required_pieces=k,
+            )
+            for i in range(self.total_pieces)
+        ]
+
+    def decode(self, pieces: Sequence[Piece]) -> bytes:
+        """Reconstruct the original item from any ``required_pieces`` distinct pieces."""
+        unique: Dict[int, Piece] = {}
+        for piece in pieces:
+            if piece.required_pieces != self.required_pieces or piece.total_pieces != self.total_pieces:
+                raise ValueError("piece was encoded with different (L, K) parameters")
+            unique.setdefault(piece.index, piece)
+        if len(unique) < self.required_pieces:
+            raise ValueError(
+                f"need at least {self.required_pieces} distinct pieces, got {len(unique)}"
+            )
+        chosen = sorted(unique.values(), key=lambda p: p.index)[: self.required_pieces]
+        original_length = chosen[0].original_length
+        piece_len = len(chosen[0].data)
+        for piece in chosen:
+            if len(piece.data) != piece_len or piece.original_length != original_length:
+                raise ValueError("inconsistent piece metadata")
+        sub_matrix = self._matrix[[p.index for p in chosen], :]
+        rhs = np.stack([np.frombuffer(p.data, dtype=np.uint8) for p in chosen], axis=0)
+        chunks = _gf_solve(sub_matrix, rhs)  # (K, piece_len)
+        return chunks.reshape(-1).tobytes()[:original_length]
+
+    # ------------------------------------------------------------------ accounting
+    def total_stored_bytes(self, item_length: int) -> int:
+        """Bytes stored network-wide for one item under IDA."""
+        return self.piece_length(item_length) * self.total_pieces
+
+    @staticmethod
+    def replication_stored_bytes(item_length: int, copies: int) -> int:
+        """Bytes stored network-wide under plain replication (for comparison)."""
+        return item_length * copies

@@ -1,0 +1,239 @@
+"""Landmark-set construction (Algorithm 2).
+
+A committee of Theta(log n) nodes has too small a "surface" to be found by a
+random probe, so the paper extends its reach with **landmarks**: a set of
+Omega(sqrt(n)) essentially random nodes that know the roster of the committee
+(and hence, for a storage committee, the ids of the nodes holding the item).
+Landmarks are recruited by growing fanout-2 trees from each committee member:
+every tree node picks two *unused* nodes among the walk samples it recently
+received and recruits them as children, passing the committee roster along,
+until the configured depth is reached.  Each recruited landmark keeps its
+role for ``2 tau`` rounds and the committee rebuilds the whole set every
+``tau`` rounds, so the landmark population is continuously refreshed with
+fresh near-uniform samples (Lemma 8).
+
+Two landmark flavours exist (Section 4.3):
+
+* **storage landmarks** -- know which nodes store item ``I``; they answer
+  probes about ``I``;
+* **search landmarks** -- work on behalf of a retrieval operation; every
+  round they check the samples they receive and probe those nodes for ``I``.
+
+Both flavours are produced by the same :class:`LandmarkSet` machinery; the
+``role`` attribute distinguishes them for accounting and experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.core.committee import Committee
+from repro.core.context import ProtocolContext
+from repro.util.datastructures import RoundTimer
+
+__all__ = ["LandmarkRecord", "LandmarkBuildReport", "LandmarkSet"]
+
+
+@dataclass(frozen=True)
+class LandmarkRecord:
+    """One recruited landmark."""
+
+    uid: int
+    depth: int
+    recruited_round: int
+    expires_round: int
+    recruiter: int
+
+    def active(self, round_index: int, alive: bool) -> bool:
+        """Whether this record is still in force."""
+        return alive and round_index < self.expires_round
+
+
+@dataclass(frozen=True)
+class LandmarkBuildReport:
+    """Statistics of one tree-building pass."""
+
+    round_index: int
+    requested_depth: int
+    recruited: int
+    active_after_build: int
+    roots: int
+    short_draws: int
+
+
+class LandmarkSet:
+    """The set of landmarks attached to one committee for one item / operation.
+
+    Parameters
+    ----------
+    ctx:
+        Shared protocol context.
+    committee:
+        The committee whose roster the landmarks advertise.
+    item_id:
+        The item (or search operation id) the landmarks answer for.
+    role:
+        ``"storage"`` or ``"search"``.
+    created_round:
+        Round of the first build.
+    """
+
+    def __init__(
+        self,
+        ctx: ProtocolContext,
+        committee: Committee,
+        item_id: int,
+        role: str,
+        created_round: int,
+    ) -> None:
+        self.ctx = ctx
+        self.committee = committee
+        self.item_id = item_id
+        self.role = role
+        self.created_round = created_round
+        self._timer = RoundTimer(start=created_round, period=ctx.params.landmark_refresh_period)
+        #: uid -> most recent LandmarkRecord for that uid
+        self._records: Dict[int, LandmarkRecord] = {}
+        self.build_reports: List[LandmarkBuildReport] = []
+        self.total_recruited = 0
+
+    # ------------------------------------------------------------------ queries
+    def active_landmarks(self, round_index: Optional[int] = None) -> List[int]:
+        """uids of landmarks that are alive and not yet expired."""
+        r = self.ctx.round_index if round_index is None else round_index
+        return [
+            uid
+            for uid, rec in self._records.items()
+            if rec.active(r, self.ctx.is_alive(uid))
+        ]
+
+    def active_count(self, round_index: Optional[int] = None) -> int:
+        """Number of currently active landmarks."""
+        return len(self.active_landmarks(round_index))
+
+    def is_landmark(self, uid: int, round_index: Optional[int] = None) -> bool:
+        """Whether ``uid`` is an active landmark of this set."""
+        rec = self._records.get(int(uid))
+        if rec is None:
+            return False
+        r = self.ctx.round_index if round_index is None else round_index
+        return rec.active(r, self.ctx.is_alive(uid))
+
+    def holder_ids(self) -> List[int]:
+        """The node ids a landmark would hand to a querier: alive committee members."""
+        return self.committee.alive_members()
+
+    # ------------------------------------------------------------------ per-round driver
+    def step(self, round_index: int) -> Optional[LandmarkBuildReport]:
+        """Rebuild the landmark trees if this is a refresh round."""
+        if self.committee.dissolved:
+            return None
+        if not self._timer.fires_at(round_index):
+            return None
+        return self.build(round_index)
+
+    # ------------------------------------------------------------------ tree construction
+    def build(self, round_index: int) -> LandmarkBuildReport:
+        """Run one tree-building pass from the current committee members (Algorithm 2)."""
+        ctx = self.ctx
+        params = ctx.params
+        roster = self.committee.alive_members()
+        expires = round_index + params.landmark_lifetime
+        used: Set[int] = set(roster)
+        # Existing still-active landmarks also count as "already in the tree"
+        # so rebuilding does not concentrate the role on the same nodes.
+        for uid in self.active_landmarks(round_index):
+            used.add(uid)
+
+        recruited = 0
+        short_draws = 0
+        current_level: List[int] = list(roster)
+        # Committee members themselves are trivially landmarks (they know the roster).
+        for member in roster:
+            self._records[member] = LandmarkRecord(
+                uid=member,
+                depth=0,
+                recruited_round=round_index,
+                expires_round=expires,
+                recruiter=member,
+            )
+
+        depth_target = params.tree_depth
+        roster_size = len(roster)
+        cap = params.landmark_cap
+        for depth in range(1, depth_target + 1):
+            next_level: List[int] = []
+            for parent in current_level:
+                if not ctx.is_alive(parent):
+                    continue
+                if len(self._records) >= cap:
+                    break
+                children = ctx.sampler.draw_distinct_sources(
+                    parent,
+                    params.landmark_fanout,
+                    ctx.rng.generator,
+                    exclude=used,
+                    max_age=params.landmark_refresh_period,
+                )
+                if len(children) < params.landmark_fanout:
+                    short_draws += 1
+                for child in children:
+                    used.add(child)
+                    next_level.append(child)
+                    recruited += 1
+                    self._records[child] = LandmarkRecord(
+                        uid=child,
+                        depth=depth,
+                        recruited_round=round_index,
+                        expires_round=expires,
+                        recruiter=parent,
+                    )
+                    # The recruit message carries the committee roster.
+                    ctx.charge(parent, ids=3 + roster_size)
+            current_level = next_level
+            if not current_level:
+                break
+
+        self.total_recruited += recruited
+        self._expire_stale(round_index)
+        report = LandmarkBuildReport(
+            round_index=round_index,
+            requested_depth=depth_target,
+            recruited=recruited,
+            active_after_build=self.active_count(round_index),
+            roots=roster_size,
+            short_draws=short_draws,
+        )
+        self.build_reports.append(report)
+        ctx.record(
+            "landmarks",
+            "built",
+            item_id=self.item_id,
+            role=self.role,
+            recruited=recruited,
+            active=report.active_after_build,
+        )
+        return report
+
+    def _expire_stale(self, round_index: int) -> None:
+        """Drop records of expired or dead landmarks to bound memory."""
+        stale = [
+            uid
+            for uid, rec in self._records.items()
+            if not rec.active(round_index, self.ctx.is_alive(uid))
+        ]
+        for uid in stale:
+            del self._records[uid]
+
+    # ------------------------------------------------------------------ analysis helpers
+    def records(self) -> List[LandmarkRecord]:
+        """Snapshot of all current landmark records (active or not yet expired)."""
+        return list(self._records.values())
+
+    def depth_histogram(self) -> Dict[int, int]:
+        """Number of landmarks per tree depth (0 = committee members)."""
+        hist: Dict[int, int] = {}
+        for rec in self._records.values():
+            hist[rec.depth] = hist.get(rec.depth, 0) + 1
+        return hist

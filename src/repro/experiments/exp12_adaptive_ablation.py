@@ -1,0 +1,119 @@
+"""E12 -- Ablation: the oblivious-adversary assumption is load-bearing (Section 2.1).
+
+The paper's guarantees assume the adversary commits to the churn sequence
+before the protocol's coin flips.  This ablation runs the identical protocol
+at the identical churn *rate* against (a) the oblivious uniform adversary and
+(b) an adaptive adversary that watches which nodes currently hold items or
+serve on storage committees and churns exactly those.  Availability should
+collapse under (b) -- demonstrating that the assumption is not a technical
+convenience but a real boundary of the result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analysis.stats import mean_ci
+from repro.analysis.tables import ResultTable
+from repro.experiments.common import store_items
+from repro.sim.experiment import ExperimentConfig, build_system, run_trials
+from repro.sim.results import ExperimentResult, timed_experiment
+
+EXPERIMENT_ID = "E12"
+TITLE = "Ablation: adaptive (non-oblivious) churn destroys availability at the same rate"
+CLAIM = (
+    "The storage/search guarantees hold against an oblivious adversary; the model explicitly excludes "
+    "adversaries that can see the protocol's random choices (Section 2.1)."
+)
+
+CHURN_FRACTIONS = (0.02, 0.05)
+
+
+def quick_config() -> ExperimentConfig:
+    """Small configuration for benchmarks/CI."""
+    return ExperimentConfig(name=EXPERIMENT_ID, n=256, seeds=(0, 1), measure_rounds=40, items=3)
+
+
+def full_config() -> ExperimentConfig:
+    """Larger configuration for EXPERIMENTS.md numbers."""
+    return ExperimentConfig(name=EXPERIMENT_ID, n=1024, seeds=(0, 1, 2), measure_rounds=100, items=4)
+
+
+def _trial(config: ExperimentConfig, seed: int) -> Dict[str, float]:
+    system = build_system(config, seed)
+    system.warm_up(config.warmup_rounds)
+    rng = np.random.default_rng(seed + 40_000)
+    item_ids = store_items(system, config, rng)
+    rounds_to_first_loss = None
+    for _ in range(config.measure_rounds):
+        system.run_round()
+        if rounds_to_first_loss is None and system.storage.loss_events:
+            rounds_to_first_loss = system.round_index
+    ops = [system.retrieve(i) for i in item_ids if system.storage.is_available(i)]
+    system.run_until_finished(ops)
+    return {
+        "availability": float(np.mean([system.storage.is_available(i) for i in item_ids])),
+        "loss_events": float(len(system.storage.loss_events)),
+        "rounds_to_first_loss": float(rounds_to_first_loss) if rounds_to_first_loss is not None else float("nan"),
+        "retrieval_success": float(np.mean([op.succeeded for op in ops])) if ops else 0.0,
+    }
+
+
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    """Run E12 and return its result tables."""
+    config = quick_config() if config is None else config
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        config_summary={
+            "n": config.n,
+            "horizon_rounds": config.measure_rounds,
+            "seeds": list(config.seeds),
+        },
+    )
+    table = ResultTable(
+        title=f"{EXPERIMENT_ID}: oblivious vs adaptive adversary at equal churn rate (n={config.n})",
+        columns=[
+            "churn_fraction",
+            "adversary",
+            "availability",
+            "items_lost",
+            "rounds_to_first_loss",
+            "retrieval_success",
+        ],
+    )
+    with timed_experiment(result):
+        for fraction in CHURN_FRACTIONS:
+            for adversary in ("uniform", "adaptive"):
+                cfg = config.with_overrides(churn_fraction=fraction, adversary=adversary)
+                trials = run_trials(cfg, _trial)
+                losses = [t.payload["rounds_to_first_loss"] for t in trials]
+                losses = [l for l in losses if not np.isnan(l)]
+                table.add_row(
+                    churn_fraction=fraction,
+                    adversary="oblivious-uniform" if adversary == "uniform" else "ADAPTIVE (excluded by model)",
+                    availability=mean_ci([t.payload["availability"] for t in trials]).mean,
+                    items_lost=mean_ci([t.payload["loss_events"] for t in trials]).mean,
+                    rounds_to_first_loss=float(np.mean(losses)) if losses else float("nan"),
+                    retrieval_success=mean_ci([t.payload["retrieval_success"] for t in trials]).mean,
+                )
+        table.add_note(
+            "The adaptive adversary inspects the live protocol state (storage committee membership and holders) "
+            "every round, which the paper's model forbids; it is included only to show the assumption matters."
+        )
+        result.add_table(table)
+        oblivious = [r for r in table.rows if r["adversary"].startswith("oblivious")]
+        adaptive = [r for r in table.rows if r["adversary"].startswith("ADAPTIVE")]
+        result.add_finding(
+            f"At the same churn rate, availability is {np.mean([r['availability'] for r in oblivious]):.2f} "
+            f"against the oblivious adversary but only {np.mean([r['availability'] for r in adaptive]):.2f} "
+            "against the adaptive one -- obliviousness is a real requirement, not a proof convenience."
+        )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

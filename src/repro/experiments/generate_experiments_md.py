@@ -1,0 +1,80 @@
+"""Regenerate EXPERIMENTS.md from live experiment runs.
+
+Usage::
+
+    python -m repro.experiments.generate_experiments_md [--full] [--output PATH]
+
+Runs every experiment (quick configuration by default, ``--full`` for the
+larger ones), collects their Markdown reports, and writes the claims-vs-
+measured document.  The file checked into the repository was produced by the
+quick configuration so it can be regenerated in a couple of minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments.registry import EXPERIMENTS, all_experiments
+
+__all__ = ["generate", "main"]
+
+HEADER = """# EXPERIMENTS — paper claims vs. measured results
+
+The paper (*Storage and Search in Dynamic Peer-to-Peer Networks*, SPAA 2013)
+is a theory paper: it contains **no empirical tables or figures**.  Its
+"evaluation" is the set of theorems and lemmas in Sections 3-4.  This file
+therefore records, for every provable claim, the experiment that exercises it
+on our simulator and the measured result.  Regenerate it with
+``python -m repro.experiments.generate_experiments_md`` (add ``--full`` for
+the larger configurations) or rerun individual experiments with
+``repro-experiment E<k> [--full]``.
+
+**How to read the numbers.**  The theorems are asymptotic ("with high
+probability", constants such as ``4 n / ln^{1+d} n``) and several are vacuous
+at laptop-scale *n* (documented per experiment).  The reproduction therefore
+checks the *shape* of each claim -- who wins, how the quantity scales with n
+or churn, where degradation sets in -- rather than the literal constants.
+All logarithms are natural, matching the paper.
+
+Finite-size caveats (apply throughout): the paper's literal churn constant
+``4n/ln^{1+d} n`` is ~25% of the network per round at n~500, a regime where
+the asymptotic bounds are vacuous; experiments therefore sweep churn as a
+fraction of that bound and report absolute rates.  Similarly Equation (4)'s
+tree depth degenerates at small n, so the landmark trees target the
+functional Theta(sqrt(n)) size directly (see DESIGN.md, "Substitutions").
+
+---
+"""
+
+
+def generate(full: bool = False, experiment_ids: Optional[List[str]] = None) -> str:
+    """Run the experiments and return the Markdown document."""
+    parts = [HEADER]
+    for eid in experiment_ids or all_experiments():
+        module = EXPERIMENTS[eid]
+        config = module.full_config() if full else module.quick_config()
+        start = time.time()
+        result = module.run(config)
+        parts.append(result.to_markdown())
+        parts.append("")
+        print(f"{eid} finished in {time.time() - start:.1f}s", flush=True)
+    return "\n".join(parts) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="use the full experiment configurations")
+    parser.add_argument("--output", default="EXPERIMENTS.md", help="output path")
+    args = parser.parse_args(argv)
+    document = generate(full=args.full)
+    Path(args.output).write_text(document)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

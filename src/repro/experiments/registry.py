@@ -1,0 +1,102 @@
+"""Experiment registry and command-line entry point.
+
+Maps experiment ids (``E1`` .. ``E12``) to their modules and provides:
+
+* :func:`get_experiment` / :func:`all_experiments` for programmatic access;
+* :func:`run_experiment` which runs one experiment in quick or full mode;
+* :func:`main`, installed as the ``repro-experiment`` console script::
+
+      repro-experiment E5            # quick configuration
+      repro-experiment E5 --full     # EXPERIMENTS.md configuration
+      repro-experiment all           # every experiment, quick mode
+      repro-experiment list          # what exists
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from types import ModuleType
+from typing import Dict, List, Optional
+
+from repro.experiments import (
+    exp01_soup_mixing,
+    exp02_walk_survival,
+    exp03_committee,
+    exp04_landmarks,
+    exp05_storage_availability,
+    exp06_retrieval,
+    exp07_churn_sweep,
+    exp08_message_complexity,
+    exp09_baselines,
+    exp10_erasure,
+    exp11_reversibility,
+    exp12_adaptive_ablation,
+)
+from repro.sim.results import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "get_experiment", "all_experiments", "run_experiment", "main"]
+
+EXPERIMENTS: Dict[str, ModuleType] = {
+    "E1": exp01_soup_mixing,
+    "E2": exp02_walk_survival,
+    "E3": exp03_committee,
+    "E4": exp04_landmarks,
+    "E5": exp05_storage_availability,
+    "E6": exp06_retrieval,
+    "E7": exp07_churn_sweep,
+    "E8": exp08_message_complexity,
+    "E9": exp09_baselines,
+    "E10": exp10_erasure,
+    "E11": exp11_reversibility,
+    "E12": exp12_adaptive_ablation,
+}
+
+
+def get_experiment(experiment_id: str) -> ModuleType:
+    """Return the module implementing ``experiment_id`` (case-insensitive)."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[key]
+
+
+def all_experiments() -> List[str]:
+    """All experiment ids in numeric order."""
+    return sorted(EXPERIMENTS, key=lambda e: int(e[1:]))
+
+
+def run_experiment(experiment_id: str, full: bool = False) -> ExperimentResult:
+    """Run one experiment in quick (default) or full mode."""
+    module = get_experiment(experiment_id)
+    config = module.full_config() if full else module.quick_config()
+    return module.run(config)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Console entry point (``repro-experiment``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Run the reproduction experiments for 'Storage and Search in Dynamic P2P Networks'.",
+    )
+    parser.add_argument("experiment", help="experiment id (E1..E12), 'all', or 'list'")
+    parser.add_argument("--full", action="store_true", help="use the full (slow) configuration")
+    parser.add_argument("--markdown", action="store_true", help="emit Markdown instead of plain text")
+    args = parser.parse_args(argv)
+
+    if args.experiment.lower() == "list":
+        for experiment_id in all_experiments():
+            module = EXPERIMENTS[experiment_id]
+            print(f"{experiment_id}: {module.TITLE}")
+        return 0
+
+    targets = all_experiments() if args.experiment.lower() == "all" else [args.experiment]
+    for experiment_id in targets:
+        result = run_experiment(experiment_id, full=args.full)
+        print(result.to_markdown() if args.markdown else result.to_text())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

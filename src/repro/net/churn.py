@@ -1,0 +1,254 @@
+"""Churn adversaries.
+
+Section 2.1 of the paper: in each round, up to ``O(n / log^{1+delta} n)``
+nodes may be replaced by new nodes, and the replacement schedule is chosen by
+an **oblivious** adversary -- one that commits to the entire sequence of
+graphs (and hence of churn events) before round 0 and cannot observe the
+algorithm's random choices.
+
+We model an adversary as an object that, given a round index, returns the
+set of *slots* whose occupant is churned out (and immediately replaced by a
+fresh node, keeping |V^r| = n).  Oblivious adversaries derive their choices
+exclusively from their own committed RNG stream and the round index.  The
+:class:`AdaptiveAdversary` deliberately breaks this rule (it may inspect
+protocol state through a caller-provided probe) and exists only for the
+ablation experiment E12 demonstrating that obliviousness is a necessary
+assumption.
+
+The paper's churn bound ``4 n / log^k n`` with ``k = 1 + delta`` (natural
+logarithm) is exposed as :func:`paper_churn_limit`.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.util.validation import check_nonnegative_int, check_positive_int
+
+__all__ = [
+    "paper_churn_limit",
+    "ChurnAdversary",
+    "NoChurn",
+    "UniformRandomChurn",
+    "SequentialSweepChurn",
+    "BurstChurn",
+    "ScheduledChurn",
+    "AdaptiveAdversary",
+]
+
+
+def paper_churn_limit(n: int, delta: float = 0.5, constant: float = 4.0) -> int:
+    """The paper's per-round churn bound ``constant * n / (ln n)^{1+delta}``.
+
+    Natural logarithm, matching the paper's convention ("we use log to
+    represent natural logarithm").  The result is floored to an integer and
+    never exceeds ``n // 2`` (replacing more than half the network each round
+    is outside any regime the analysis covers).
+    """
+    n = check_positive_int(n, "n")
+    if n < 3:
+        return 0
+    k = 1.0 + float(delta)
+    raw = constant * n / (math.log(n) ** k)
+    return int(min(max(raw, 0.0), n // 2))
+
+
+class ChurnAdversary(ABC):
+    """Base class for churn schedules.
+
+    Subclasses implement :meth:`slots_for_round`, returning the slot indices
+    replaced at the *start* of the given round.  The returned array must not
+    contain duplicates.
+    """
+
+    #: True for adversaries that respect the oblivious-adversary assumption.
+    oblivious: bool = True
+
+    @abstractmethod
+    def slots_for_round(self, round_index: int) -> np.ndarray:
+        """Slot indices (int64 array, no duplicates) churned at round start."""
+
+    def describe(self) -> str:
+        """Human-readable one-line description used in experiment tables."""
+        return type(self).__name__
+
+
+@dataclass
+class NoChurn(ChurnAdversary):
+    """An adversary that never churns anyone (static-membership baseline)."""
+
+    def slots_for_round(self, round_index: int) -> np.ndarray:  # noqa: ARG002
+        return np.empty(0, dtype=np.int64)
+
+    def describe(self) -> str:
+        return "no churn"
+
+
+class UniformRandomChurn(ChurnAdversary):
+    """Replace ``rate`` uniformly random slots every round.
+
+    This is the canonical oblivious adversary used by most experiments:
+    the schedule is a pure function of the committed seed.
+    """
+
+    def __init__(self, n_slots: int, rate: int, rng: np.random.Generator) -> None:
+        self.n_slots = check_positive_int(n_slots, "n_slots")
+        self.rate = check_nonnegative_int(rate, "rate")
+        if self.rate > self.n_slots:
+            raise ValueError("churn rate cannot exceed the number of slots")
+        self._rng = rng
+
+    def slots_for_round(self, round_index: int) -> np.ndarray:  # noqa: ARG002
+        if self.rate == 0:
+            return np.empty(0, dtype=np.int64)
+        return self._rng.choice(self.n_slots, size=self.rate, replace=False).astype(np.int64)
+
+    def describe(self) -> str:
+        return f"uniform random churn, {self.rate}/round"
+
+
+class SequentialSweepChurn(ChurnAdversary):
+    """Replace slots in a fixed (committed) order, ``rate`` per round.
+
+    After ``n / rate`` rounds every original node has been replaced --
+    this mimics the measurement-study observation that ~50% of peers turn
+    over within an hour while the population size stays stable, and it is a
+    harsher test of data persistence than uniform churn because no slot is
+    spared for long.
+    """
+
+    def __init__(
+        self,
+        n_slots: int,
+        rate: int,
+        rng: np.random.Generator,
+        shuffle: bool = True,
+    ) -> None:
+        self.n_slots = check_positive_int(n_slots, "n_slots")
+        self.rate = check_nonnegative_int(rate, "rate")
+        order = np.arange(self.n_slots, dtype=np.int64)
+        if shuffle:
+            rng.shuffle(order)
+        self._order = order
+
+    def slots_for_round(self, round_index: int) -> np.ndarray:
+        if self.rate == 0:
+            return np.empty(0, dtype=np.int64)
+        start = (round_index * self.rate) % self.n_slots
+        idx = (start + np.arange(self.rate)) % self.n_slots
+        return np.unique(self._order[idx])
+
+    def describe(self) -> str:
+        return f"sequential sweep churn, {self.rate}/round"
+
+
+class BurstChurn(ChurnAdversary):
+    """Quiet most rounds, then a large burst every ``period`` rounds.
+
+    The per-round *average* matches ``rate``, but the churn arrives in bursts
+    of ``rate * period`` replacements (capped at half the network), which
+    stresses the committee re-formation and landmark refresh logic.
+    """
+
+    def __init__(
+        self,
+        n_slots: int,
+        rate: int,
+        period: int,
+        rng: np.random.Generator,
+    ) -> None:
+        self.n_slots = check_positive_int(n_slots, "n_slots")
+        self.rate = check_nonnegative_int(rate, "rate")
+        self.period = check_positive_int(period, "period")
+        self._rng = rng
+
+    def slots_for_round(self, round_index: int) -> np.ndarray:
+        if self.rate == 0 or round_index % self.period != 0:
+            return np.empty(0, dtype=np.int64)
+        burst = min(self.rate * self.period, self.n_slots // 2)
+        if burst == 0:
+            return np.empty(0, dtype=np.int64)
+        return self._rng.choice(self.n_slots, size=burst, replace=False).astype(np.int64)
+
+    def describe(self) -> str:
+        return f"burst churn, {self.rate}/round avg every {self.period} rounds"
+
+
+class ScheduledChurn(ChurnAdversary):
+    """An explicit, caller-provided schedule: round -> slot indices.
+
+    Used by tests to construct pathological but oblivious schedules (e.g.
+    "churn exactly slots 0..9 in round 5").
+    """
+
+    def __init__(self, schedule: dict[int, Sequence[int]], n_slots: int) -> None:
+        self.n_slots = check_positive_int(n_slots, "n_slots")
+        self._schedule = {
+            int(r): np.unique(np.asarray(list(slots), dtype=np.int64)) for r, slots in schedule.items()
+        }
+        for r, slots in self._schedule.items():
+            if slots.size and (slots.min() < 0 or slots.max() >= n_slots):
+                raise ValueError(f"schedule for round {r} references invalid slots")
+
+    def slots_for_round(self, round_index: int) -> np.ndarray:
+        return self._schedule.get(round_index, np.empty(0, dtype=np.int64)).copy()
+
+    def describe(self) -> str:
+        return f"scheduled churn over {len(self._schedule)} rounds"
+
+
+class AdaptiveAdversary(ChurnAdversary):
+    """A *non-oblivious* adversary used only for the ablation experiment E12.
+
+    It receives a ``target_probe`` callback that returns the slots currently
+    occupied by protocol-critical nodes (e.g. committee members or storage
+    landmarks) and preferentially churns those, topping up with uniformly
+    random slots until ``rate`` replacements are reached.
+
+    The paper's guarantees explicitly do *not* cover such an adversary; the
+    experiment demonstrates that availability collapses under it, which is
+    evidence that the obliviousness assumption is load-bearing rather than
+    cosmetic.
+    """
+
+    oblivious = False
+
+    def __init__(
+        self,
+        n_slots: int,
+        rate: int,
+        rng: np.random.Generator,
+        target_probe: Optional[Callable[[], Sequence[int]]] = None,
+    ) -> None:
+        self.n_slots = check_positive_int(n_slots, "n_slots")
+        self.rate = check_nonnegative_int(rate, "rate")
+        self._rng = rng
+        self._target_probe = target_probe
+
+    def set_target_probe(self, probe: Callable[[], Sequence[int]]) -> None:
+        """Install the callback exposing protocol-critical slots."""
+        self._target_probe = probe
+
+    def slots_for_round(self, round_index: int) -> np.ndarray:  # noqa: ARG002
+        if self.rate == 0:
+            return np.empty(0, dtype=np.int64)
+        targets: list[int] = []
+        if self._target_probe is not None:
+            targets = [int(s) for s in self._target_probe() if 0 <= int(s) < self.n_slots]
+        chosen = list(dict.fromkeys(targets))[: self.rate]
+        if len(chosen) < self.rate:
+            remaining = self.rate - len(chosen)
+            pool = np.setdiff1d(
+                np.arange(self.n_slots, dtype=np.int64), np.asarray(chosen, dtype=np.int64)
+            )
+            extra = self._rng.choice(pool, size=min(remaining, pool.size), replace=False)
+            chosen.extend(int(s) for s in extra)
+        return np.asarray(chosen, dtype=np.int64)
+
+    def describe(self) -> str:
+        return f"ADAPTIVE (non-oblivious) targeted churn, {self.rate}/round"

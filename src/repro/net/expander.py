@@ -1,0 +1,185 @@
+"""Expander-property verification for round topologies.
+
+The paper's model requires every per-round graph to be a d-regular,
+non-bipartite expander with second-largest eigenvalue (in absolute value)
+bounded by a fixed lambda < 1 (Section 2.1).  The union-of-random-matchings
+construction in :mod:`repro.net.topology` gives this with high probability;
+this module provides the tools to *check* it:
+
+* :func:`spectral_gap` -- exact (dense) or Lanczos (sparse) computation of
+  the second-largest absolute eigenvalue of the normalised adjacency matrix.
+* :func:`estimate_conductance` -- a cheap sampled edge-expansion estimate
+  used when eigen-decomposition is too expensive.
+* :func:`is_connected` / :func:`is_bipartite_like` -- structural checks via
+  breadth-first search over the neighbour table.
+
+These checks are used in tests and in the optional ``verify_expansion``
+mode of the dynamic network; production experiment runs skip them (they are
+O(n^2) or O(n d) per round).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.linalg import eigsh
+
+from repro.net.topology import RegularTopology
+
+__all__ = [
+    "ExpansionReport",
+    "spectral_gap",
+    "normalized_adjacency",
+    "estimate_conductance",
+    "is_connected",
+    "verify_topology",
+]
+
+
+def normalized_adjacency(topology: RegularTopology, sparse: bool = True):
+    """The transition matrix P = A / d of the round graph.
+
+    With ``sparse=True`` (default) a :class:`scipy.sparse.csr_matrix` is
+    returned, otherwise a dense ndarray.  Because the graph is exactly
+    d-regular (multigraph), P is symmetric and doubly stochastic.
+    """
+    n = topology.n_slots
+    d = topology.degree
+    rows = np.repeat(np.arange(n, dtype=np.int64), d)
+    cols = topology.neighbors.reshape(-1).astype(np.int64)
+    data = np.full(rows.shape, 1.0 / d)
+    mat = csr_matrix((data, (rows, cols)), shape=(n, n))
+    if sparse:
+        return mat
+    return mat.toarray()
+
+
+def spectral_gap(topology: RegularTopology, method: str = "auto") -> float:
+    """Return lambda = max(|mu_2|, |mu_n|) of the normalised adjacency.
+
+    ``1 - lambda`` is the spectral gap.  A graph is a good expander when
+    lambda is bounded away from 1; it is connected iff mu_2 < 1 and
+    non-bipartite iff mu_n > -1.
+
+    Parameters
+    ----------
+    topology:
+        The round graph.
+    method:
+        ``"dense"`` uses a full symmetric eigen-decomposition (exact, O(n^3));
+        ``"sparse"`` uses Lanczos for the extreme eigenvalues;
+        ``"auto"`` picks dense below 600 slots and sparse above.
+    """
+    n = topology.n_slots
+    if method == "auto":
+        method = "dense" if n <= 600 else "sparse"
+    if method == "dense":
+        mat = normalized_adjacency(topology, sparse=False)
+        eigenvalues = np.linalg.eigvalsh(mat)
+        eigenvalues = np.sort(eigenvalues)
+        # Largest is 1 (doubly stochastic, connected whp); lambda is the
+        # largest absolute value among the rest.
+        second = eigenvalues[-2]
+        smallest = eigenvalues[0]
+        return float(max(abs(second), abs(smallest)))
+    if method == "sparse":
+        mat = normalized_adjacency(topology, sparse=True)
+        # Three largest algebraic and one smallest algebraic eigenvalue.
+        top = eigsh(mat, k=min(3, n - 1), which="LA", return_eigenvectors=False)
+        bottom = eigsh(mat, k=1, which="SA", return_eigenvectors=False)
+        top = np.sort(top)
+        second = top[-2] if len(top) >= 2 else top[-1]
+        return float(max(abs(second), abs(bottom[0])))
+    raise ValueError(f"unknown method {method!r}")
+
+
+def is_connected(topology: RegularTopology) -> bool:
+    """Breadth-first-search connectivity check over the neighbour table."""
+    n = topology.n_slots
+    seen = np.zeros(n, dtype=bool)
+    frontier = np.array([0], dtype=np.int64)
+    seen[0] = True
+    while frontier.size:
+        nxt = topology.neighbors[frontier].reshape(-1).astype(np.int64)
+        nxt = np.unique(nxt)
+        nxt = nxt[~seen[nxt]]
+        seen[nxt] = True
+        frontier = nxt
+    return bool(seen.all())
+
+
+def estimate_conductance(
+    topology: RegularTopology,
+    rng: np.random.Generator,
+    trials: int = 32,
+    subset_fraction: float = 0.5,
+) -> float:
+    """Estimate edge conductance by sampling random vertex subsets.
+
+    For each trial a random subset S of roughly ``subset_fraction * n`` slots
+    is drawn and the fraction of S's edge endpoints leaving S is computed;
+    the minimum over trials is returned.  This is only an upper bound on the
+    true conductance but is a useful, cheap sanity check that the matching
+    union is not accidentally clustered.
+    """
+    n = topology.n_slots
+    d = topology.degree
+    best = 1.0
+    for _ in range(trials):
+        size = max(1, min(n - 1, int(round(subset_fraction * n))))
+        subset = rng.choice(n, size=size, replace=False)
+        mask = np.zeros(n, dtype=bool)
+        mask[subset] = True
+        # Edges from subset slots to outside.
+        neighbor_blocks = topology.neighbors[subset].astype(np.int64)
+        crossing = np.count_nonzero(~mask[neighbor_blocks])
+        volume = size * d
+        best = min(best, crossing / volume)
+    return float(best)
+
+
+@dataclass(frozen=True)
+class ExpansionReport:
+    """Result of :func:`verify_topology`."""
+
+    n_slots: int
+    degree: int
+    connected: bool
+    lambda_second: Optional[float]
+    conductance_estimate: Optional[float]
+
+    @property
+    def is_expander(self) -> bool:
+        """True when connected and (if computed) lambda is bounded away from 1."""
+        if not self.connected:
+            return False
+        if self.lambda_second is not None:
+            return self.lambda_second < 0.999
+        return True
+
+
+def verify_topology(
+    topology: RegularTopology,
+    rng: Optional[np.random.Generator] = None,
+    compute_spectrum: bool = True,
+    compute_conductance: bool = False,
+) -> ExpansionReport:
+    """Run the structural and (optionally) spectral checks on one topology."""
+    connected = is_connected(topology)
+    lam: Optional[float] = None
+    cond: Optional[float] = None
+    if compute_spectrum:
+        lam = spectral_gap(topology)
+    if compute_conductance:
+        local_rng = rng if rng is not None else np.random.default_rng(0)
+        cond = estimate_conductance(topology, local_rng)
+    return ExpansionReport(
+        n_slots=topology.n_slots,
+        degree=topology.degree,
+        connected=connected,
+        lambda_second=lam,
+        conductance_estimate=cond,
+    )

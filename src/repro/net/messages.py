@@ -1,0 +1,281 @@
+"""Protocol message types.
+
+All inter-node communication in the protocols is expressed as small,
+immutable message dataclasses.  Messages are addressed by node *uid* (the
+paper: a node can contact any node whose id it knows, but the recipient may
+have been churned out, in which case the message is silently lost).
+
+The walk-soup tokens themselves are NOT represented as individual message
+objects -- they live in vectorised NumPy arrays inside
+:class:`repro.walks.soup.WalkSoup` for performance -- but their bandwidth is
+still charged to the ledger.  Every other protocol interaction (committee
+invitations, landmark tree construction, store / lookup requests and
+replies) uses these classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "MessageKind",
+    "Message",
+    "CommitteeInvite",
+    "CommitteeRoster",
+    "WalkCountReport",
+    "LandmarkRecruit",
+    "StoreRequest",
+    "StoreAck",
+    "LookupProbe",
+    "LookupHit",
+    "ItemTransfer",
+    "PieceTransfer",
+]
+
+
+class MessageKind(Enum):
+    """Tag identifying each protocol message type (used for dispatch and accounting)."""
+
+    COMMITTEE_INVITE = auto()
+    COMMITTEE_ROSTER = auto()
+    WALK_COUNT_REPORT = auto()
+    LANDMARK_RECRUIT = auto()
+    STORE_REQUEST = auto()
+    STORE_ACK = auto()
+    LOOKUP_PROBE = auto()
+    LOOKUP_HIT = auto()
+    ITEM_TRANSFER = auto()
+    PIECE_TRANSFER = auto()
+    GENERIC = auto()
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base message: sender, recipient, kind and an arbitrary payload dict.
+
+    ``id_count`` and ``payload_bytes`` describe the message's size for the
+    bandwidth ledger; subclasses set sensible defaults.
+    """
+
+    sender: int
+    recipient: int
+    kind: MessageKind = MessageKind.GENERIC
+    payload: Dict[str, Any] = field(default_factory=dict)
+    id_count: int = 2
+    payload_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class CommitteeInvite(Message):
+    """Invitation to join a committee (Algorithm 1).
+
+    Carries the full roster of invited member uids so the new members can
+    form a clique, plus the item id the committee is responsible for (if
+    any) and which generation of the committee this is.
+    """
+
+    kind: MessageKind = MessageKind.COMMITTEE_INVITE
+
+    @classmethod
+    def create(
+        cls,
+        sender: int,
+        recipient: int,
+        roster: Tuple[int, ...],
+        committee_id: int,
+        generation: int,
+        task: str,
+        item_id: Optional[int] = None,
+    ) -> "CommitteeInvite":
+        payload = {
+            "roster": tuple(roster),
+            "committee_id": committee_id,
+            "generation": generation,
+            "task": task,
+            "item_id": item_id,
+        }
+        return cls(
+            sender=sender,
+            recipient=recipient,
+            payload=payload,
+            id_count=2 + len(roster),
+        )
+
+
+@dataclass(frozen=True)
+class CommitteeRoster(Message):
+    """Roster broadcast inside a committee clique (membership common knowledge)."""
+
+    kind: MessageKind = MessageKind.COMMITTEE_ROSTER
+
+    @classmethod
+    def create(cls, sender: int, recipient: int, roster: Tuple[int, ...], committee_id: int) -> "CommitteeRoster":
+        return cls(
+            sender=sender,
+            recipient=recipient,
+            payload={"roster": tuple(roster), "committee_id": committee_id},
+            id_count=2 + len(roster),
+        )
+
+
+@dataclass(frozen=True)
+class WalkCountReport(Message):
+    """Exchange of received-walk counts among committee members (leader election step)."""
+
+    kind: MessageKind = MessageKind.WALK_COUNT_REPORT
+
+    @classmethod
+    def create(cls, sender: int, recipient: int, walk_count: int, committee_id: int) -> "WalkCountReport":
+        return cls(
+            sender=sender,
+            recipient=recipient,
+            payload={"walk_count": int(walk_count), "committee_id": committee_id},
+            id_count=2,
+        )
+
+
+@dataclass(frozen=True)
+class LandmarkRecruit(Message):
+    """Recruit a sampled node as a landmark-tree child (Algorithm 2).
+
+    Carries the committee roster (so the landmark can answer queries with the
+    storage nodes' ids), the item id, the tree depth of the new child, and
+    the round at which the landmark role expires.
+    """
+
+    kind: MessageKind = MessageKind.LANDMARK_RECRUIT
+
+    @classmethod
+    def create(
+        cls,
+        sender: int,
+        recipient: int,
+        committee_roster: Tuple[int, ...],
+        item_id: int,
+        depth: int,
+        expires_round: int,
+        role: str,
+    ) -> "LandmarkRecruit":
+        return cls(
+            sender=sender,
+            recipient=recipient,
+            payload={
+                "committee_roster": tuple(committee_roster),
+                "item_id": item_id,
+                "depth": int(depth),
+                "expires_round": int(expires_round),
+                "role": role,
+            },
+            id_count=3 + len(committee_roster),
+        )
+
+
+@dataclass(frozen=True)
+class StoreRequest(Message):
+    """Ask a committee member to store (a copy or an IDA piece of) an item."""
+
+    kind: MessageKind = MessageKind.STORE_REQUEST
+
+    @classmethod
+    def create(
+        cls,
+        sender: int,
+        recipient: int,
+        item_id: int,
+        payload_bytes: int,
+        piece_index: Optional[int] = None,
+    ) -> "StoreRequest":
+        return cls(
+            sender=sender,
+            recipient=recipient,
+            payload={"item_id": item_id, "piece_index": piece_index},
+            id_count=3,
+            payload_bytes=payload_bytes,
+        )
+
+
+@dataclass(frozen=True)
+class StoreAck(Message):
+    """Acknowledgement that a committee member stored its copy / piece."""
+
+    kind: MessageKind = MessageKind.STORE_ACK
+
+    @classmethod
+    def create(cls, sender: int, recipient: int, item_id: int) -> "StoreAck":
+        return cls(sender=sender, recipient=recipient, payload={"item_id": item_id}, id_count=3)
+
+
+@dataclass(frozen=True)
+class LookupProbe(Message):
+    """A search landmark asking a sampled node whether it is a storage landmark for an item."""
+
+    kind: MessageKind = MessageKind.LOOKUP_PROBE
+
+    @classmethod
+    def create(cls, sender: int, recipient: int, item_id: int, origin: int) -> "LookupProbe":
+        return cls(
+            sender=sender,
+            recipient=recipient,
+            payload={"item_id": item_id, "origin": origin},
+            id_count=4,
+        )
+
+
+@dataclass(frozen=True)
+class LookupHit(Message):
+    """Report back to the querying node that a storage landmark / holder was found."""
+
+    kind: MessageKind = MessageKind.LOOKUP_HIT
+
+    @classmethod
+    def create(
+        cls,
+        sender: int,
+        recipient: int,
+        item_id: int,
+        holder_ids: Tuple[int, ...],
+    ) -> "LookupHit":
+        return cls(
+            sender=sender,
+            recipient=recipient,
+            payload={"item_id": item_id, "holder_ids": tuple(holder_ids)},
+            id_count=3 + len(holder_ids),
+        )
+
+
+@dataclass(frozen=True)
+class ItemTransfer(Message):
+    """Transfer of the full item bytes (replication mode) to a new holder."""
+
+    kind: MessageKind = MessageKind.ITEM_TRANSFER
+
+    @classmethod
+    def create(cls, sender: int, recipient: int, item_id: int, size_bytes: int) -> "ItemTransfer":
+        return cls(
+            sender=sender,
+            recipient=recipient,
+            payload={"item_id": item_id},
+            id_count=3,
+            payload_bytes=size_bytes,
+        )
+
+
+@dataclass(frozen=True)
+class PieceTransfer(Message):
+    """Transfer of a single IDA piece (erasure-coded mode) to a new holder."""
+
+    kind: MessageKind = MessageKind.PIECE_TRANSFER
+
+    @classmethod
+    def create(
+        cls, sender: int, recipient: int, item_id: int, piece_index: int, size_bytes: int
+    ) -> "PieceTransfer":
+        return cls(
+            sender=sender,
+            recipient=recipient,
+            payload={"item_id": item_id, "piece_index": piece_index},
+            id_count=4,
+            payload_bytes=size_bytes,
+        )

@@ -1,0 +1,269 @@
+"""The synchronous dynamic network with churn.
+
+This module implements the substrate of Section 2.1:
+
+* a stable population of ``n`` **slots** (|V^r| = n in every round);
+* per-round d-regular expander topologies over the slots
+  (:class:`repro.net.topology.TopologySequence`);
+* an **oblivious churn adversary** that replaces the node occupying a slot
+  with a brand-new node (fresh uid, no state) at the start of a round;
+* synchronous message passing: a message sent in round r is delivered at the
+  end of round r iff the recipient is still in the network, and is processed
+  by the recipient in round r+1;
+* bandwidth accounting through a :class:`repro.util.bitbudget.BitBudgetLedger`.
+
+The round structure mirrors the paper: *first* the adversary applies churn
+and presents the round's graph, *then* nodes exchange messages and compute.
+Drive it as::
+
+    report = net.begin_round()        # adversary moves, topology fixed
+    ...protocols call net.send(...)   # compute + send
+    net.end_round()                   # messages delivered to survivors
+    ...next round: recipients read net.inbox(uid)
+
+Node identity: a **uid** is a permanent, globally unique identifier of one
+node incarnation.  When a slot is churned the old uid disappears forever and
+a new uid takes over the slot.  Protocol state is keyed by uid, so churned
+nodes genuinely lose everything -- exactly the failure model of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.net.churn import ChurnAdversary, NoChurn
+from repro.net.messages import Message
+from repro.net.topology import RegularTopology, TopologySequence
+from repro.util.bitbudget import BitBudgetLedger
+from repro.util.rng import RngStream
+from repro.util.validation import check_even, check_positive_int
+
+__all__ = ["ChurnReport", "DynamicNetwork"]
+
+
+@dataclass(frozen=True)
+class ChurnReport:
+    """What the adversary did at the start of one round."""
+
+    round_index: int
+    churned_slots: np.ndarray
+    churned_out_uids: np.ndarray
+    churned_in_uids: np.ndarray
+
+    @property
+    def count(self) -> int:
+        """Number of replaced nodes."""
+        return int(self.churned_slots.size)
+
+
+class DynamicNetwork:
+    """A synchronous dynamic P2P network with adversarial churn.
+
+    Parameters
+    ----------
+    n_slots:
+        Stable network size ``n`` (must be even for the matching topology).
+    degree:
+        Regular degree ``d`` of every round's graph.
+    adversary:
+        Churn adversary; defaults to :class:`repro.net.churn.NoChurn`.
+    adversary_rng:
+        RNG stream used for the committed topology sequence.  Must be the
+        adversary-side stream so that topologies are independent of the
+        protocol's randomness.
+    ledger:
+        Optional bandwidth ledger; one is created automatically if omitted.
+    regenerate_topology_every:
+        How often the edge set is redrawn (1 = every round, the hardest case).
+    """
+
+    def __init__(
+        self,
+        n_slots: int,
+        degree: int = 8,
+        adversary: Optional[ChurnAdversary] = None,
+        adversary_rng: Optional[RngStream] = None,
+        ledger: Optional[BitBudgetLedger] = None,
+        regenerate_topology_every: int = 1,
+    ) -> None:
+        self.n_slots = check_even(n_slots, "n_slots")
+        self.degree = check_positive_int(degree, "degree")
+        self.adversary = adversary if adversary is not None else NoChurn()
+        rng_stream = adversary_rng if adversary_rng is not None else RngStream(0, name="adversary")
+        self._topology_sequence = TopologySequence(
+            self.n_slots, self.degree, rng_stream.generator, regenerate_every=regenerate_topology_every
+        )
+        self.ledger = ledger if ledger is not None else BitBudgetLedger(self.n_slots)
+
+        # Slot s is occupied by uid slot_uid[s]; initial population is uids 0..n-1.
+        self._slot_uid = np.arange(self.n_slots, dtype=np.int64)
+        self._uid_slot: Dict[int, int] = {int(u): int(u) for u in range(self.n_slots)}
+        self._uid_birth_round: Dict[int, int] = {int(u): 0 for u in range(self.n_slots)}
+        self._next_uid = self.n_slots
+
+        self.round_index = -1
+        self._topology: Optional[RegularTopology] = None
+        self._pending: List[Message] = []
+        self._mailboxes: Dict[int, List[Message]] = {}
+        self._in_round = False
+        self._total_churned = 0
+
+    # ------------------------------------------------------------------ lifecycle
+    def begin_round(self) -> ChurnReport:
+        """Advance to the next round: apply churn, fix the round's topology."""
+        if self._in_round:
+            raise RuntimeError("begin_round called twice without end_round")
+        self.round_index += 1
+        self._in_round = True
+
+        slots = np.asarray(self.adversary.slots_for_round(self.round_index), dtype=np.int64)
+        if slots.size and (slots.min() < 0 or slots.max() >= self.n_slots):
+            raise ValueError("adversary returned out-of-range slots")
+        if slots.size != np.unique(slots).size:
+            raise ValueError("adversary returned duplicate slots")
+
+        churned_out = self._slot_uid[slots].copy()
+        churned_in = np.arange(self._next_uid, self._next_uid + slots.size, dtype=np.int64)
+        self._next_uid += slots.size
+        self._total_churned += int(slots.size)
+
+        for old_uid in churned_out:
+            self._uid_slot.pop(int(old_uid), None)
+            self._mailboxes.pop(int(old_uid), None)
+        self._slot_uid[slots] = churned_in
+        for slot, new_uid in zip(slots, churned_in):
+            self._uid_slot[int(new_uid)] = int(slot)
+            self._uid_birth_round[int(new_uid)] = self.round_index
+
+        self._topology = self._topology_sequence.topology_for_round(self.round_index)
+        return ChurnReport(
+            round_index=self.round_index,
+            churned_slots=slots,
+            churned_out_uids=churned_out,
+            churned_in_uids=churned_in,
+        )
+
+    def end_round(self) -> int:
+        """Deliver this round's messages to recipients that are still alive.
+
+        Returns the number of delivered messages (lost ones are dropped
+        silently, as in the paper's unreliable-communication model).
+        """
+        if not self._in_round:
+            raise RuntimeError("end_round called outside a round")
+        delivered = 0
+        for message in self._pending:
+            if message.recipient in self._uid_slot:
+                self._mailboxes.setdefault(message.recipient, []).append(message)
+                delivered += 1
+        self._pending.clear()
+        self._in_round = False
+        return delivered
+
+    # ------------------------------------------------------------------ messaging
+    def send(self, message: Message) -> bool:
+        """Queue ``message`` for delivery at the end of the current round.
+
+        The sender must currently be in the network; sending from a churned
+        uid raises (protocol bug), while sending *to* a dead uid is allowed
+        and simply results in the message being lost.
+        Bandwidth is charged to the sender regardless of delivery.
+        """
+        if not self._in_round:
+            raise RuntimeError("send called outside a round")
+        if message.sender not in self._uid_slot:
+            raise ValueError(f"sender uid {message.sender} is not in the network")
+        self.ledger.charge(
+            self.round_index,
+            message.sender,
+            ids=message.id_count,
+            payload_bytes=message.payload_bytes,
+        )
+        self._pending.append(message)
+        return message.recipient in self._uid_slot
+
+    def inbox(self, uid: int) -> List[Message]:
+        """Pop and return all messages delivered to ``uid`` in previous rounds."""
+        return self._mailboxes.pop(int(uid), [])
+
+    def peek_inbox(self, uid: int) -> List[Message]:
+        """Return (without consuming) the pending inbox of ``uid``."""
+        return list(self._mailboxes.get(int(uid), []))
+
+    # ------------------------------------------------------------------ membership
+    def is_alive(self, uid: int) -> bool:
+        """True iff ``uid`` currently occupies a slot."""
+        return int(uid) in self._uid_slot
+
+    def alive_count(self, uids: Iterable[int]) -> int:
+        """How many of ``uids`` are currently in the network."""
+        return sum(1 for u in uids if int(u) in self._uid_slot)
+
+    def slot_of(self, uid: int) -> int:
+        """The slot currently occupied by ``uid`` (raises KeyError if churned out)."""
+        return self._uid_slot[int(uid)]
+
+    def slot_of_or_none(self, uid: int) -> Optional[int]:
+        """The slot of ``uid`` or None if it has been churned out."""
+        return self._uid_slot.get(int(uid))
+
+    def uid_at(self, slot: int) -> int:
+        """The uid currently occupying ``slot``."""
+        return int(self._slot_uid[int(slot)])
+
+    def uids_at(self, slots: np.ndarray) -> np.ndarray:
+        """Vectorised lookup of the uids occupying an array of slots."""
+        return self._slot_uid[np.asarray(slots, dtype=np.int64)]
+
+    def slots_of(self, uids: Sequence[int]) -> List[int]:
+        """Slots of the uids that are still alive (dead uids are skipped)."""
+        out: List[int] = []
+        for uid in uids:
+            slot = self._uid_slot.get(int(uid))
+            if slot is not None:
+                out.append(slot)
+        return out
+
+    def alive_uids(self) -> np.ndarray:
+        """All uids currently in the network, in slot order."""
+        return self._slot_uid.copy()
+
+    def birth_round(self, uid: int) -> Optional[int]:
+        """Round in which ``uid`` joined (None if unknown)."""
+        return self._uid_birth_round.get(int(uid))
+
+    def age(self, uid: int) -> Optional[int]:
+        """Number of rounds ``uid`` has been in the network (None if churned out)."""
+        if int(uid) not in self._uid_slot:
+            return None
+        return self.round_index - self._uid_birth_round[int(uid)]
+
+    @property
+    def total_churned(self) -> int:
+        """Total number of node replacements applied so far."""
+        return self._total_churned
+
+    # ------------------------------------------------------------------ topology access
+    @property
+    def topology(self) -> RegularTopology:
+        """The current round's topology (valid after :meth:`begin_round`)."""
+        if self._topology is None:
+            raise RuntimeError("no topology yet; call begin_round() first")
+        return self._topology
+
+    def neighbors_of_uid(self, uid: int) -> List[int]:
+        """The uids adjacent to ``uid`` in the current round's graph."""
+        slot = self._uid_slot.get(int(uid))
+        if slot is None:
+            return []
+        neighbor_slots = self.topology.neighbors_of(slot)
+        return [int(self._slot_uid[int(s)]) for s in neighbor_slots]
+
+    def slot_uid_view(self) -> np.ndarray:
+        """Read-only view of the slot -> uid mapping (used by the walk soup)."""
+        view = self._slot_uid.view()
+        view.flags.writeable = False
+        return view

@@ -1,0 +1,237 @@
+"""Per-round d-regular expander topologies.
+
+The paper assumes that in every round the communication graph is a d-regular,
+non-bipartite expander over the current n nodes, with edges allowed to change
+arbitrarily between rounds (Section 2.1).  We realise that assumption with
+the classical *union-of-random-matchings* model: the round-r graph is the
+union of ``d`` independent uniformly random perfect matchings on the n slots.
+For d >= 3 such unions are expanders with high probability (and we verify the
+spectral gap empirically in :mod:`repro.net.expander`); they are exactly
+d-regular by construction, and adding a single fixed odd cycle's worth of
+randomness makes bipartite structure vanishingly unlikely -- the spectral
+check in the tests guards against the rare bad draw.
+
+The topology is stored as a dense ``(n, d)`` int32 neighbour table:
+``neighbors[slot, j]`` is the slot reached through port ``j``.  This layout
+is what makes the random-walk soup a single vectorised gather per step
+(HPC guide: vectorise the bottleneck, avoid Python loops over millions of
+tokens).
+
+Slots vs. nodes: the table is defined over *slots* (topology positions).
+Churn replaces the node uid occupying a slot; see
+:class:`repro.net.network.DynamicNetwork`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.util.validation import check_even, check_positive_int
+
+__all__ = [
+    "RegularTopology",
+    "TopologySequence",
+    "random_matching",
+    "union_of_matchings",
+]
+
+
+def random_matching(n_slots: int, rng: np.random.Generator) -> np.ndarray:
+    """Return a uniformly random perfect matching on ``n_slots`` slots.
+
+    The result is an int32 array ``partner`` of length ``n_slots`` with
+    ``partner[partner[i]] == i`` and ``partner[i] != i`` for all i.
+    ``n_slots`` must be even.
+    """
+    n_slots = check_even(n_slots, "n_slots")
+    perm = rng.permutation(n_slots).astype(np.int32)
+    partner = np.empty(n_slots, dtype=np.int32)
+    evens = perm[0::2]
+    odds = perm[1::2]
+    partner[evens] = odds
+    partner[odds] = evens
+    return partner
+
+
+def union_of_matchings(n_slots: int, degree: int, rng: np.random.Generator) -> np.ndarray:
+    """Return an ``(n_slots, degree)`` neighbour table: union of ``degree`` matchings.
+
+    Port ``j`` of every slot is its partner in the j-th matching, so the
+    multigraph is exactly ``degree``-regular.  Self-loops are impossible;
+    parallel edges are possible but rare and harmless for random walks
+    (they only affect transition probabilities by construction of the
+    matching model, which remains doubly stochastic).
+    """
+    n_slots = check_even(n_slots, "n_slots")
+    degree = check_positive_int(degree, "degree")
+    table = np.empty((n_slots, degree), dtype=np.int32)
+    for j in range(degree):
+        table[:, j] = random_matching(n_slots, rng)
+    return table
+
+
+@dataclass
+class RegularTopology:
+    """A single round's d-regular graph over ``n_slots`` slots.
+
+    Attributes
+    ----------
+    neighbors:
+        ``(n_slots, degree)`` int32 array; ``neighbors[s, j]`` is the slot on
+        the other side of port ``j`` of slot ``s``.
+    round_index:
+        The round this topology belongs to (informational).
+    """
+
+    neighbors: np.ndarray
+    round_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.neighbors.ndim != 2:
+            raise ValueError("neighbors must be a 2-D (n_slots, degree) array")
+
+    @property
+    def n_slots(self) -> int:
+        """Number of slots (stable network size)."""
+        return int(self.neighbors.shape[0])
+
+    @property
+    def degree(self) -> int:
+        """Regular degree d."""
+        return int(self.neighbors.shape[1])
+
+    @classmethod
+    def random(
+        cls, n_slots: int, degree: int, rng: np.random.Generator, round_index: int = 0
+    ) -> "RegularTopology":
+        """Draw a fresh union-of-matchings topology."""
+        return cls(neighbors=union_of_matchings(n_slots, degree, rng), round_index=round_index)
+
+    def neighbors_of(self, slot: int) -> np.ndarray:
+        """The (multi-)set of neighbouring slots of ``slot`` as an int32 array."""
+        return self.neighbors[slot]
+
+    def step_walks(self, positions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Advance an array of walk positions by one uniform step.
+
+        ``positions`` is an int array of current slots; the return value is a
+        new array of the same shape with each walk moved to a uniformly
+        random neighbour.  This is the vectorised hot path used by the soup.
+        """
+        if positions.size == 0:
+            return positions.copy()
+        ports = rng.integers(0, self.degree, size=positions.shape)
+        return self.neighbors[positions, ports]
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense symmetric adjacency matrix (with parallel-edge multiplicities).
+
+        Only intended for analysis/tests at small n; O(n^2) memory.
+        """
+        n = self.n_slots
+        adj = np.zeros((n, n), dtype=np.float64)
+        rows = np.repeat(np.arange(n, dtype=np.int64), self.degree)
+        cols = self.neighbors.reshape(-1).astype(np.int64)
+        np.add.at(adj, (rows, cols), 1.0)
+        # The table double-counts: each matching edge appears once from each
+        # endpoint, which is exactly the symmetric adjacency we want, so no
+        # further symmetrisation is needed.  Verify symmetry cheaply.
+        return adj
+
+    def degree_sequence(self) -> np.ndarray:
+        """Degrees implied by the neighbour table (should be constant = d)."""
+        return np.full(self.n_slots, self.degree, dtype=np.int64)
+
+    def is_regular(self) -> bool:
+        """True if every slot's row lists valid slots and the table is involutive per port."""
+        n = self.n_slots
+        if np.any(self.neighbors < 0) or np.any(self.neighbors >= n):
+            return False
+        for j in range(self.degree):
+            partner = self.neighbors[:, j]
+            if not np.array_equal(partner[partner], np.arange(n, dtype=partner.dtype)):
+                return False
+            if np.any(partner == np.arange(n, dtype=partner.dtype)):
+                return False
+        return True
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate undirected edges (u <= v) with multiplicity."""
+        for j in range(self.degree):
+            partner = self.neighbors[:, j]
+            for u in range(self.n_slots):
+                v = int(partner[u])
+                if u < v:
+                    yield (u, v)
+
+
+class TopologySequence:
+    """Generates the committed sequence of per-round topologies.
+
+    The oblivious adversary commits to the whole graph sequence before round
+    0 (Section 2.1).  We realise this by seeding the topology generator from
+    the adversary RNG stream: the sequence is then a pure function of the
+    adversary seed and the round index, independent of the protocol's coins.
+
+    Parameters
+    ----------
+    n_slots, degree:
+        Network size and regular degree.
+    rng:
+        Adversary-side RNG stream (committed before the protocol runs).
+    regenerate_every:
+        Draw a completely fresh topology every this-many rounds.  ``1``
+        (the default) gives a fully dynamic edge set every round, the
+        hardest case the paper allows.  Larger values model slower edge
+        dynamics; ``0`` means a static topology.
+    """
+
+    def __init__(
+        self,
+        n_slots: int,
+        degree: int,
+        rng: np.random.Generator,
+        regenerate_every: int = 1,
+    ) -> None:
+        self.n_slots = check_even(n_slots, "n_slots")
+        self.degree = check_positive_int(degree, "degree")
+        if regenerate_every < 0:
+            raise ValueError("regenerate_every must be >= 0")
+        self.regenerate_every = regenerate_every
+        self._rng = rng
+        self._current: Optional[RegularTopology] = None
+        self._history: List[int] = []
+
+    def topology_for_round(self, round_index: int) -> RegularTopology:
+        """Return the topology of ``round_index`` (generating it if needed).
+
+        Rounds must be requested in non-decreasing order; re-requesting the
+        current round returns the cached topology unchanged.
+        """
+        if self._current is not None and self._current.round_index == round_index:
+            return self._current
+        need_fresh = (
+            self._current is None
+            or self.regenerate_every == 0 and self._current is None
+            or (
+                self.regenerate_every > 0
+                and (round_index % max(self.regenerate_every, 1) == 0 or self._current is None)
+            )
+        )
+        if self.regenerate_every == 0 and self._current is not None:
+            need_fresh = False
+        if need_fresh:
+            topo = RegularTopology.random(self.n_slots, self.degree, self._rng, round_index)
+        else:
+            topo = RegularTopology(self._current.neighbors, round_index=round_index)
+        self._current = topo
+        self._history.append(round_index)
+        return topo
+
+    @property
+    def rounds_generated(self) -> List[int]:
+        """Rounds for which a topology has been produced."""
+        return list(self._history)

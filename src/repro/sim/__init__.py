@@ -1,0 +1,27 @@
+"""Simulation harness: experiment configs, Monte-Carlo runner, metrics, results."""
+
+from repro.sim.experiment import (
+    ExperimentConfig,
+    TrialResult,
+    build_adversary,
+    build_system,
+    default_warmup,
+    resolve_churn_rate,
+    run_trials,
+)
+from repro.sim.metrics import MetricsCollector, RoundMetrics
+from repro.sim.results import ExperimentResult, timed_experiment
+
+__all__ = [
+    "ExperimentConfig",
+    "TrialResult",
+    "build_adversary",
+    "build_system",
+    "default_warmup",
+    "resolve_churn_rate",
+    "run_trials",
+    "MetricsCollector",
+    "RoundMetrics",
+    "ExperimentResult",
+    "timed_experiment",
+]

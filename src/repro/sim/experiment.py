@@ -1,0 +1,207 @@
+"""Experiment configuration and Monte-Carlo runner.
+
+All twelve experiments (E1-E12, see DESIGN.md) share the same scaffolding:
+
+* an :class:`ExperimentConfig` describing the network (n, delta, degree),
+  the adversary (kind and rate, usually expressed as a *fraction* of the
+  paper's churn limit so it scales meaningfully with n), the storage mode,
+  and the trial structure (seeds, warm-up rounds, measurement rounds);
+* :func:`build_system` which turns a config + seed into a ready
+  :class:`~repro.core.protocol.P2PStorageSystem`;
+* :func:`run_trials` which maps a per-trial callable over the seeds and
+  gathers the per-trial results.
+
+Experiments keep their own logic (what to measure, which table to print) in
+``repro.experiments.expNN_*``; this module only owns the shared plumbing.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.params import ProtocolParameters
+from repro.core.protocol import P2PStorageSystem
+from repro.net.churn import (
+    AdaptiveAdversary,
+    BurstChurn,
+    ChurnAdversary,
+    NoChurn,
+    SequentialSweepChurn,
+    UniformRandomChurn,
+    paper_churn_limit,
+)
+from repro.util.rng import SplitRng
+from repro.util.validation import check_choice
+
+__all__ = ["ExperimentConfig", "TrialResult", "build_adversary", "build_system", "run_trials", "resolve_churn_rate"]
+
+ADVERSARY_KINDS = ("none", "uniform", "sweep", "burst", "adaptive")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Configuration of one experiment run.
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier (``"E5"`` etc.), used in tables and logs.
+    n:
+        Network size.
+    delta:
+        The paper's delta (churn exponent ``1 + delta``).
+    degree:
+        Topology degree.
+    churn_fraction:
+        Churn per round as a fraction of the paper's limit
+        ``4 n / (ln n)^{1+delta}``.  Ignored when ``churn_rate`` is set.
+    churn_rate:
+        Absolute per-round churn (overrides ``churn_fraction`` when not None).
+    adversary:
+        One of ``"none"``, ``"uniform"``, ``"sweep"``, ``"burst"``, ``"adaptive"``.
+    storage_mode:
+        ``"replicate"`` or ``"erasure"``.
+    seeds:
+        Seeds for the independent Monte-Carlo trials.
+    warmup_rounds:
+        Rounds run before measurement starts (None = one walk length + 2).
+    measure_rounds:
+        Rounds of measurement after warm-up.
+    items:
+        Number of items stored in storage-centric experiments.
+    item_size:
+        Item payload size in bytes.
+    param_overrides:
+        Extra keyword overrides for :class:`ProtocolParameters`.
+    """
+
+    name: str
+    n: int = 512
+    delta: float = 0.5
+    degree: int = 8
+    churn_fraction: float = 0.05
+    churn_rate: Optional[int] = None
+    adversary: str = "uniform"
+    storage_mode: str = "replicate"
+    seeds: Sequence[int] = (0, 1, 2)
+    warmup_rounds: Optional[int] = None
+    measure_rounds: int = 40
+    items: int = 4
+    item_size: int = 256
+    param_overrides: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_choice(self.adversary, "adversary", ADVERSARY_KINDS)
+        check_choice(self.storage_mode, "storage_mode", ("replicate", "erasure"))
+        if self.n < 16 or self.n % 2:
+            raise ValueError("n must be an even integer >= 16")
+        if self.churn_fraction < 0:
+            raise ValueError("churn_fraction must be non-negative")
+
+    def resolved_churn_rate(self) -> int:
+        """The absolute per-round churn this config implies."""
+        return resolve_churn_rate(self)
+
+    def with_overrides(self, **kwargs: Any) -> "ExperimentConfig":
+        """Copy with fields replaced (used by sweeps)."""
+        return replace(self, **kwargs)
+
+
+def resolve_churn_rate(config: ExperimentConfig) -> int:
+    """Absolute churn per round: explicit rate, or fraction of the paper's limit."""
+    if config.churn_rate is not None:
+        return max(0, int(config.churn_rate))
+    if config.adversary == "none" or config.churn_fraction == 0:
+        return 0
+    limit = paper_churn_limit(config.n, config.delta)
+    return max(1, int(round(config.churn_fraction * limit)))
+
+
+def build_adversary(config: ExperimentConfig, split: SplitRng) -> ChurnAdversary:
+    """Construct the adversary described by ``config`` from the adversary RNG stream."""
+    rate = resolve_churn_rate(config)
+    rng = split.adversary.spawn("churn").generator
+    if config.adversary == "none" or rate == 0:
+        return NoChurn()
+    if config.adversary == "uniform":
+        return UniformRandomChurn(config.n, rate, rng)
+    if config.adversary == "sweep":
+        return SequentialSweepChurn(config.n, rate, rng)
+    if config.adversary == "burst":
+        return BurstChurn(config.n, rate, period=8, rng=rng)
+    if config.adversary == "adaptive":
+        return AdaptiveAdversary(config.n, rate, rng)
+    raise ValueError(f"unknown adversary kind {config.adversary!r}")
+
+
+def build_system(config: ExperimentConfig, seed: int) -> P2PStorageSystem:
+    """Build a ready-to-run system for one trial of ``config``."""
+    split = SplitRng(seed)
+    adversary = build_adversary(config, split)
+    overrides = dict(config.param_overrides)
+    overrides.setdefault("degree", config.degree)
+    overrides.setdefault("delta", config.delta)
+    params = ProtocolParameters.for_network(config.n, **overrides)
+    system = P2PStorageSystem(
+        n=config.n,
+        seed=seed,
+        params=params,
+        adversary=adversary,
+        storage_mode=config.storage_mode,
+        degree=config.degree,
+    )
+    if isinstance(adversary, AdaptiveAdversary):
+        # The (non-oblivious) ablation adversary targets the slots of the
+        # nodes currently holding items or serving on storage committees.
+        def probe() -> List[int]:
+            slots: List[int] = []
+            for item_id in system.storage.item_ids:
+                item = system.storage.items[item_id]
+                for uid in item.committee.alive_members():
+                    slot = system.network.slot_of_or_none(uid)
+                    if slot is not None:
+                        slots.append(slot)
+                for uid in system.storage.holders_of(item_id):
+                    slot = system.network.slot_of_or_none(uid)
+                    if slot is not None:
+                        slots.append(slot)
+            return slots
+
+        adversary.set_target_probe(probe)
+    return system
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Result of one seeded trial: arbitrary payload plus timing."""
+
+    seed: int
+    payload: Dict[str, Any]
+    elapsed_seconds: float
+
+
+def run_trials(
+    config: ExperimentConfig,
+    trial: Callable[[ExperimentConfig, int], Dict[str, Any]],
+    seeds: Optional[Sequence[int]] = None,
+) -> List[TrialResult]:
+    """Run ``trial(config, seed)`` for every seed and collect the results."""
+    results: List[TrialResult] = []
+    for seed in (config.seeds if seeds is None else seeds):
+        start = time.perf_counter()
+        payload = trial(config, int(seed))
+        results.append(
+            TrialResult(seed=int(seed), payload=payload, elapsed_seconds=time.perf_counter() - start)
+        )
+    return results
+
+
+def default_warmup(config: ExperimentConfig) -> int:
+    """Warm-up rounds: one walk length plus two unless overridden."""
+    if config.warmup_rounds is not None:
+        return config.warmup_rounds
+    params = ProtocolParameters.for_network(config.n, delta=config.delta, **config.param_overrides)
+    return params.walk_length + 2

@@ -1,0 +1,121 @@
+"""Per-round metric collection for simulations.
+
+The :class:`MetricsCollector` observes a :class:`repro.core.protocol.P2PStorageSystem`
+after every round and accumulates the time series the experiments and tests
+need: item availability/findability, replica and landmark counts, committee
+goodness, walk-soup survival, and bandwidth.  Collection is cheap (a handful
+of dict/list operations per item per round) and entirely optional -- the
+protocol itself never reads these numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.protocol import P2PStorageSystem
+
+__all__ = ["RoundMetrics", "MetricsCollector"]
+
+
+@dataclass(frozen=True)
+class RoundMetrics:
+    """Snapshot of system health at the end of one round."""
+
+    round_index: int
+    churned: int
+    availability: float
+    findability: float
+    mean_replicas: float
+    mean_landmarks: float
+    committees_good: int
+    committees_total: int
+    walks_in_flight: int
+    walks_delivered: int
+    retrieval_success_rate: float
+
+
+class MetricsCollector:
+    """Accumulates :class:`RoundMetrics` for one system over time."""
+
+    def __init__(self, system: P2PStorageSystem) -> None:
+        self.system = system
+        self.history: List[RoundMetrics] = []
+        #: item_id -> list of (round, replica_count)
+        self.replica_series: Dict[int, List[tuple[int, int]]] = {}
+        #: item_id -> list of (round, landmark_count)
+        self.landmark_series: Dict[int, List[tuple[int, int]]] = {}
+
+    # ------------------------------------------------------------------ collection
+    def observe(self) -> RoundMetrics:
+        """Record the current round's metrics and return them."""
+        system = self.system
+        storage = system.storage
+        round_index = system.round_index
+        item_ids = storage.item_ids
+
+        replicas = [storage.replica_count(i) for i in item_ids]
+        landmarks = [storage.landmark_count(i) for i in item_ids]
+        for item_id, count in zip(item_ids, replicas):
+            self.replica_series.setdefault(item_id, []).append((round_index, count))
+        for item_id, count in zip(item_ids, landmarks):
+            self.landmark_series.setdefault(item_id, []).append((round_index, count))
+
+        committees = [storage.items[i].committee for i in item_ids]
+        good = sum(1 for c in committees if not c.dissolved and c.is_good())
+
+        last = system.round_summaries[-1] if system.round_summaries else None
+        metrics = RoundMetrics(
+            round_index=round_index,
+            churned=last.churned if last else 0,
+            availability=system.availability(),
+            findability=system.findability(),
+            mean_replicas=float(np.mean(replicas)) if replicas else 0.0,
+            mean_landmarks=float(np.mean(landmarks)) if landmarks else 0.0,
+            committees_good=good,
+            committees_total=len(committees),
+            walks_in_flight=last.walks_in_flight if last else system.soup.in_flight,
+            walks_delivered=last.walks_delivered if last else 0,
+            retrieval_success_rate=system.retrieval.success_rate(),
+        )
+        self.history.append(metrics)
+        return metrics
+
+    def run_and_observe(self, rounds: int) -> List[RoundMetrics]:
+        """Run ``rounds`` rounds on the system, observing after each one."""
+        out: List[RoundMetrics] = []
+        for _ in range(rounds):
+            self.system.run_round()
+            out.append(self.observe())
+        return out
+
+    # ------------------------------------------------------------------ summaries
+    def availability_series(self) -> List[float]:
+        """Availability after every observed round."""
+        return [m.availability for m in self.history]
+
+    def min_availability(self) -> float:
+        """Worst availability observed."""
+        series = self.availability_series()
+        return min(series) if series else 1.0
+
+    def final(self) -> Optional[RoundMetrics]:
+        """Most recent observation."""
+        return self.history[-1] if self.history else None
+
+    def mean_landmark_count(self) -> float:
+        """Mean landmark count over all items and observed rounds."""
+        values = [m.mean_landmarks for m in self.history if m.committees_total > 0]
+        return float(np.mean(values)) if values else 0.0
+
+    def committee_goodness_fraction(self) -> float:
+        """Fraction of (item, round) observations in which the committee was good."""
+        good = sum(m.committees_good for m in self.history)
+        total = sum(m.committees_total for m in self.history)
+        return good / total if total else 1.0
+
+    def rounds_observed(self) -> int:
+        """Number of recorded observations."""
+        return len(self.history)

@@ -1,0 +1,101 @@
+"""Experiment result containers.
+
+An :class:`ExperimentResult` bundles everything one experiment run produced:
+the configuration(s) it was run with, its result tables, free-text findings,
+and wall-clock timing.  The experiment registry uses it to print a uniform
+report and EXPERIMENTS.md is generated from the same objects, so the numbers
+in the documentation always come from code that can be re-run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.tables import ResultTable
+
+__all__ = ["ExperimentResult", "timed_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything produced by one experiment run."""
+
+    experiment_id: str
+    title: str
+    claim: str
+    tables: List[ResultTable] = field(default_factory=list)
+    findings: List[str] = field(default_factory=list)
+    config_summary: Dict[str, Any] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    def add_table(self, table: ResultTable) -> None:
+        """Attach a result table."""
+        self.tables.append(table)
+
+    def add_finding(self, finding: str) -> None:
+        """Attach a one-sentence measured finding."""
+        self.findings.append(finding)
+
+    # ------------------------------------------------------------------ rendering
+    def to_text(self) -> str:
+        """Terminal-friendly report."""
+        lines = [
+            f"{self.experiment_id}: {self.title}",
+            f"claim: {self.claim}",
+            f"config: {self.config_summary}",
+            f"elapsed: {self.elapsed_seconds:.2f}s",
+            "",
+        ]
+        for table in self.tables:
+            lines.append(table.to_text())
+            lines.append("")
+        if self.findings:
+            lines.append("findings:")
+            lines.extend(f"  - {finding}" for finding in self.findings)
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Markdown report (used to assemble EXPERIMENTS.md)."""
+        lines = [
+            f"## {self.experiment_id}: {self.title}",
+            "",
+            f"**Paper claim.** {self.claim}",
+            "",
+            f"*Configuration:* `{self.config_summary}`  \n*Elapsed:* {self.elapsed_seconds:.2f}s",
+            "",
+        ]
+        for table in self.tables:
+            lines.append(table.to_markdown())
+            lines.append("")
+        if self.findings:
+            lines.append("**Measured findings.**")
+            lines.extend(f"- {finding}" for finding in self.findings)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_text()
+
+
+class timed_experiment:
+    """Context manager that stamps ``elapsed_seconds`` onto a result object.
+
+    Usage::
+
+        result = ExperimentResult(...)
+        with timed_experiment(result):
+            ... run trials, fill tables ...
+    """
+
+    def __init__(self, result: ExperimentResult) -> None:
+        self.result = result
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> ExperimentResult:
+        self._start = time.perf_counter()
+        return self.result
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._start is not None:
+            self.result.elapsed_seconds = time.perf_counter() - self._start

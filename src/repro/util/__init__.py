@@ -1,0 +1,40 @@
+"""Shared utilities: RNG management, validation, data structures, accounting."""
+
+from repro.util.bitbudget import BitBudgetLedger, MessageCost
+from repro.util.datastructures import BoundedCounter, IndexedSet, RoundTimer, SlidingWindow
+from repro.util.rng import RngStream, SplitRng, derive_seed, make_rng
+from repro.util.simlog import SimEvent, SimulationLog, get_logger
+from repro.util.validation import (
+    check_choice,
+    check_even,
+    check_in_range,
+    check_nonnegative_int,
+    check_positive_float,
+    check_positive_int,
+    check_probability,
+    require,
+)
+
+__all__ = [
+    "BitBudgetLedger",
+    "MessageCost",
+    "BoundedCounter",
+    "IndexedSet",
+    "RoundTimer",
+    "SlidingWindow",
+    "RngStream",
+    "SplitRng",
+    "derive_seed",
+    "make_rng",
+    "SimEvent",
+    "SimulationLog",
+    "get_logger",
+    "check_choice",
+    "check_even",
+    "check_in_range",
+    "check_nonnegative_int",
+    "check_positive_float",
+    "check_positive_int",
+    "check_probability",
+    "require",
+]

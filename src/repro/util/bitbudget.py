@@ -1,0 +1,198 @@
+"""Per-node bandwidth accounting.
+
+The paper's scalability requirement is that every node processes and sends
+only **polylogarithmic in n** bits per round (Section 2.1).  The flooding
+baseline, by contrast, sends Theta(n) messages network-wide.  To make this
+difference measurable (experiment E8) every protocol charges its messages to
+a :class:`BitBudgetLedger`, which records per-node per-round bit counts and
+can report maxima, means, and violations of a configured polylog cap.
+
+Message sizes are approximated from their logical content: node identifiers
+cost ``ceil(log2(id_space))`` bits, item identifiers likewise, payload bytes
+cost 8 bits each, and a small constant header is added per message.  The
+absolute constants do not matter for the paper's claims; the *growth with n*
+does, and that is what the experiments check.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "MessageCost",
+    "BitBudgetLedger",
+]
+
+#: Fixed per-message header cost in bits (round number, message type tag).
+HEADER_BITS = 64
+
+
+@dataclass(frozen=True)
+class MessageCost:
+    """Breakdown of the bit cost of one logical message.
+
+    Attributes
+    ----------
+    ids:
+        Number of node/item identifiers carried by the message.
+    payload_bytes:
+        Raw payload bytes (e.g. a stored data-item fragment).
+    id_bits:
+        Bits charged per identifier (``ceil(log2(id_space))``).
+    """
+
+    ids: int = 0
+    payload_bytes: int = 0
+    id_bits: int = 64
+
+    @property
+    def bits(self) -> int:
+        """Total bit cost including the fixed header."""
+        return HEADER_BITS + self.ids * self.id_bits + 8 * self.payload_bytes
+
+
+class BitBudgetLedger:
+    """Records the bits sent by every node in every round.
+
+    Parameters
+    ----------
+    n:
+        Stable network size; used both for identifier sizing and for the
+        default polylog cap.
+    polylog_exponent:
+        The cap checked by :meth:`violations` is
+        ``cap_constant * log2(n) ** polylog_exponent`` bits per node per
+        round.  The paper allows any polylog; the default exponent of 3 is
+        generous but still distinguishes the protocols from flooding.
+    cap_constant:
+        Multiplicative constant of the cap.
+    enabled:
+        When False, charging is a no-op (used by performance-sensitive
+        benchmark runs that do not need accounting).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        polylog_exponent: float = 3.0,
+        cap_constant: float = 64.0,
+        enabled: bool = True,
+    ) -> None:
+        if n <= 1:
+            raise ValueError(f"n must be > 1, got {n}")
+        self.n = n
+        self.id_bits = max(1, math.ceil(math.log2(n))) + 32  # uid space is larger than n
+        self.polylog_exponent = float(polylog_exponent)
+        self.cap_constant = float(cap_constant)
+        self.enabled = enabled
+        #: round -> node uid -> bits sent
+        self._per_round: Dict[int, Dict[int, int]] = defaultdict(lambda: defaultdict(int))
+        self._total_bits = 0
+        self._total_messages = 0
+
+    # -- charging ------------------------------------------------------------------
+    def charge(
+        self,
+        round_index: int,
+        sender: int,
+        ids: int = 0,
+        payload_bytes: int = 0,
+    ) -> int:
+        """Charge one message sent by ``sender`` in ``round_index``.
+
+        Returns the number of bits charged.
+        """
+        if not self.enabled:
+            return 0
+        cost = MessageCost(ids=ids, payload_bytes=payload_bytes, id_bits=self.id_bits)
+        bits = cost.bits
+        self._per_round[round_index][sender] += bits
+        self._total_bits += bits
+        self._total_messages += 1
+        return bits
+
+    def charge_many(
+        self,
+        round_index: int,
+        sender: int,
+        count: int,
+        ids_each: int = 0,
+        payload_bytes_each: int = 0,
+    ) -> int:
+        """Charge ``count`` identical messages at once (bulk path for the walk soup)."""
+        if not self.enabled or count <= 0:
+            return 0
+        cost = MessageCost(ids=ids_each, payload_bytes=payload_bytes_each, id_bits=self.id_bits)
+        bits = cost.bits * count
+        self._per_round[round_index][sender] += bits
+        self._total_bits += bits
+        self._total_messages += count
+        return bits
+
+    # -- reporting -----------------------------------------------------------------
+    @property
+    def total_bits(self) -> int:
+        """Total bits charged across all nodes and rounds."""
+        return self._total_bits
+
+    @property
+    def total_messages(self) -> int:
+        """Total messages charged across all nodes and rounds."""
+        return self._total_messages
+
+    def cap_bits(self) -> float:
+        """The per-node per-round polylog cap in bits."""
+        return self.cap_constant * math.log2(self.n) ** self.polylog_exponent
+
+    def per_node_bits(self, round_index: int) -> Dict[int, int]:
+        """Bits sent by each node in ``round_index`` (missing nodes sent zero)."""
+        return dict(self._per_round.get(round_index, {}))
+
+    def max_bits_per_node_round(self) -> int:
+        """The largest number of bits any single node sent in any single round."""
+        best = 0
+        for per_node in self._per_round.values():
+            if per_node:
+                best = max(best, max(per_node.values()))
+        return best
+
+    def mean_bits_per_node_round(self) -> float:
+        """Mean bits per node per round, averaged over rounds with any traffic."""
+        if not self._per_round:
+            return 0.0
+        totals = [sum(per_node.values()) / self.n for per_node in self._per_round.values()]
+        return sum(totals) / len(totals)
+
+    def violations(self, cap_bits: Optional[float] = None) -> List[Tuple[int, int, int]]:
+        """Return (round, node, bits) triples exceeding the polylog cap."""
+        cap = self.cap_bits() if cap_bits is None else cap_bits
+        out: List[Tuple[int, int, int]] = []
+        for round_index, per_node in self._per_round.items():
+            for node, bits in per_node.items():
+                if bits > cap:
+                    out.append((round_index, node, bits))
+        return out
+
+    def rounds(self) -> Iterable[int]:
+        """Rounds that saw any charged traffic."""
+        return sorted(self._per_round.keys())
+
+    def summary(self) -> Dict[str, float]:
+        """A small dict summary used by the experiment tables."""
+        return {
+            "total_bits": float(self._total_bits),
+            "total_messages": float(self._total_messages),
+            "max_bits_per_node_round": float(self.max_bits_per_node_round()),
+            "mean_bits_per_node_round": float(self.mean_bits_per_node_round()),
+            "cap_bits": float(self.cap_bits()),
+            "violation_count": float(len(self.violations())),
+        }
+
+    def reset(self) -> None:
+        """Forget all charges."""
+        self._per_round.clear()
+        self._total_bits = 0
+        self._total_messages = 0

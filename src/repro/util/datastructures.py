@@ -1,0 +1,217 @@
+"""Small data structures used throughout the simulator.
+
+The simulator repeatedly needs (i) uniform random sampling from a mutable set
+of node identifiers in O(1), (ii) bounded per-round counters, and (iii) a
+sliding-window history of recent samples.  These are deliberately simple,
+pure-Python structures: they sit outside the vectorised hot loop (the random
+walk soup) and their per-round work is polylog(n) per node.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Generic, Hashable, Iterable, Iterator, List, Optional, TypeVar
+
+import numpy as np
+
+__all__ = [
+    "IndexedSet",
+    "SlidingWindow",
+    "BoundedCounter",
+    "RoundTimer",
+]
+
+T = TypeVar("T", bound=Hashable)
+
+
+class IndexedSet(Generic[T]):
+    """A set supporting O(1) add, discard, membership test and uniform sampling.
+
+    Implemented as the classic list + position-map combination: elements live
+    in a dense list, a dict maps each element to its index, and removal swaps
+    the removed element with the last one.
+
+    Examples
+    --------
+    >>> s = IndexedSet([1, 2, 3])
+    >>> s.add(4)
+    >>> 4 in s
+    True
+    >>> s.discard(2)
+    >>> sorted(s)
+    [1, 3, 4]
+    """
+
+    __slots__ = ("_items", "_pos")
+
+    def __init__(self, items: Optional[Iterable[T]] = None) -> None:
+        self._items: List[T] = []
+        self._pos: Dict[T, int] = {}
+        if items is not None:
+            for item in items:
+                self.add(item)
+
+    def add(self, item: T) -> None:
+        """Insert ``item``; no-op if already present."""
+        if item in self._pos:
+            return
+        self._pos[item] = len(self._items)
+        self._items.append(item)
+
+    def discard(self, item: T) -> bool:
+        """Remove ``item`` if present.  Returns True if it was removed."""
+        idx = self._pos.pop(item, None)
+        if idx is None:
+            return False
+        last = self._items.pop()
+        if idx < len(self._items):
+            self._items[idx] = last
+            self._pos[last] = idx
+        return True
+
+    def sample(self, rng: np.random.Generator, k: int = 1, replace: bool = False) -> List[T]:
+        """Draw ``k`` elements uniformly at random.
+
+        With ``replace=False`` and ``k`` larger than the set size, every
+        element is returned (a full sample) rather than raising.
+        """
+        if not self._items:
+            return []
+        if replace:
+            idx = rng.integers(0, len(self._items), size=k)
+            return [self._items[int(i)] for i in idx]
+        k_eff = min(k, len(self._items))
+        idx = rng.choice(len(self._items), size=k_eff, replace=False)
+        return [self._items[int(i)] for i in idx]
+
+    def sample_one(self, rng: np.random.Generator) -> Optional[T]:
+        """Draw a single uniform element, or ``None`` if empty."""
+        if not self._items:
+            return None
+        return self._items[int(rng.integers(0, len(self._items)))]
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._pos
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IndexedSet({self._items!r})"
+
+
+class SlidingWindow(Generic[T]):
+    """Keep the most recent ``maxlen`` items, discarding the oldest.
+
+    Used by nodes to remember the samples (walk tokens) received over the
+    last few rounds -- the paper's protocols only ever use samples from the
+    current or previous round, so a small window suffices.
+    """
+
+    __slots__ = ("_window", "maxlen")
+
+    def __init__(self, maxlen: int) -> None:
+        if maxlen <= 0:
+            raise ValueError(f"maxlen must be positive, got {maxlen}")
+        self.maxlen = maxlen
+        self._window: deque[T] = deque(maxlen=maxlen)
+
+    def push(self, item: T) -> None:
+        """Append an item, evicting the oldest if the window is full."""
+        self._window.append(item)
+
+    def extend(self, items: Iterable[T]) -> None:
+        """Append many items in order."""
+        self._window.extend(items)
+
+    def items(self) -> List[T]:
+        """Return a snapshot list (most recent last)."""
+        return list(self._window)
+
+    def clear(self) -> None:
+        """Drop all items."""
+        self._window.clear()
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._window)
+
+
+@dataclass
+class BoundedCounter:
+    """A counter with an upper bound, used for per-round forwarding caps.
+
+    The paper caps the number of random-walk tokens a node forwards per round
+    at ``2 h log n``; the walk soup uses this class to account for (and test)
+    that cap.
+    """
+
+    limit: int
+    count: int = 0
+
+    def try_increment(self, amount: int = 1) -> bool:
+        """Increment by ``amount`` if that stays within the limit.
+
+        Returns True on success, False (and leaves the count unchanged) if
+        the increment would exceed the limit.
+        """
+        if self.count + amount > self.limit:
+            return False
+        self.count += amount
+        return True
+
+    @property
+    def remaining(self) -> int:
+        """How many more increments fit under the limit."""
+        return max(0, self.limit - self.count)
+
+    def reset(self) -> None:
+        """Reset the count to zero (start of a new round)."""
+        self.count = 0
+
+
+@dataclass
+class RoundTimer:
+    """Tracks events scheduled to fire every ``period`` rounds after ``start``.
+
+    Algorithm 1 re-forms the committee every ``2 tau`` rounds; Algorithm 2
+    rebuilds the landmark set every ``tau`` rounds.  This helper answers "is
+    round r a firing round?" and "how many periods have elapsed?".
+    """
+
+    start: int
+    period: int
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"period must be positive, got {self.period}")
+
+    def fires_at(self, round_index: int) -> bool:
+        """True if the timer fires in ``round_index``."""
+        delta = round_index - self.start - self.offset
+        return delta >= 0 and delta % self.period == 0
+
+    def periods_elapsed(self, round_index: int) -> int:
+        """Number of complete periods elapsed by ``round_index`` (0 if before start)."""
+        delta = round_index - self.start - self.offset
+        if delta < 0:
+            return 0
+        return delta // self.period
+
+    def next_fire(self, round_index: int) -> int:
+        """The first round >= ``round_index`` at which the timer fires."""
+        base = self.start + self.offset
+        if round_index <= base:
+            return base
+        delta = round_index - base
+        remainder = delta % self.period
+        if remainder == 0:
+            return round_index
+        return round_index + (self.period - remainder)

@@ -1,0 +1,114 @@
+"""Lightweight structured logging for simulations.
+
+Standard-library logging is perfectly adequate for the library code, but
+experiments additionally want a cheap, structured, in-memory event trace so
+that tests and analysis can assert on *what happened* (e.g. "the committee
+re-formed in round 40") without parsing log text.  :class:`SimulationLog`
+provides both: events are appended to a ring buffer and optionally echoed to
+a :mod:`logging` logger.
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterable, List, Optional
+
+__all__ = ["SimEvent", "SimulationLog", "get_logger"]
+
+_LOGGER_NAME = "repro"
+
+
+def get_logger(child: str | None = None) -> logging.Logger:
+    """Return the library logger (optionally a named child)."""
+    name = _LOGGER_NAME if child is None else f"{_LOGGER_NAME}.{child}"
+    return logging.getLogger(name)
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """A single structured event emitted during a simulation.
+
+    Attributes
+    ----------
+    round_index:
+        Simulation round in which the event occurred.
+    category:
+        Short machine-readable category (``"committee"``, ``"storage"``, ...).
+    message:
+        Human-readable description.
+    data:
+        Arbitrary structured payload for analysis.
+    """
+
+    round_index: int
+    category: str
+    message: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class SimulationLog:
+    """In-memory event trace with bounded size.
+
+    Parameters
+    ----------
+    maxlen:
+        Maximum number of retained events (oldest dropped first).
+    echo:
+        When True, events are also emitted at DEBUG level on the library logger.
+    """
+
+    def __init__(self, maxlen: int = 100_000, echo: bool = False) -> None:
+        self._events: Deque[SimEvent] = deque(maxlen=maxlen)
+        self._echo = echo
+        self._logger = get_logger("sim")
+
+    def record(
+        self,
+        round_index: int,
+        category: str,
+        message: str,
+        **data: Any,
+    ) -> SimEvent:
+        """Append an event and return it."""
+        event = SimEvent(round_index=round_index, category=category, message=message, data=dict(data))
+        self._events.append(event)
+        if self._echo:
+            self._logger.debug("[r=%d] %s: %s %s", round_index, category, message, data)
+        return event
+
+    def events(self, category: Optional[str] = None) -> List[SimEvent]:
+        """All retained events, optionally filtered by category."""
+        if category is None:
+            return list(self._events)
+        return [e for e in self._events if e.category == category]
+
+    def categories(self) -> List[str]:
+        """Distinct categories seen so far."""
+        return sorted({e.category for e in self._events})
+
+    def count(self, category: Optional[str] = None) -> int:
+        """Number of retained events (optionally of one category)."""
+        if category is None:
+            return len(self._events)
+        return sum(1 for e in self._events if e.category == category)
+
+    def last(self, category: Optional[str] = None) -> Optional[SimEvent]:
+        """Most recent event (optionally of one category)."""
+        if category is None:
+            return self._events[-1] if self._events else None
+        for event in reversed(self._events):
+            if event.category == category:
+                return event
+        return None
+
+    def clear(self) -> None:
+        """Drop all retained events."""
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterable[SimEvent]:
+        return iter(self._events)

@@ -1,0 +1,91 @@
+"""Parameter-validation helpers shared across the library.
+
+Every public constructor validates its inputs eagerly with these helpers so
+that configuration errors surface as :class:`ValueError`/:class:`TypeError`
+at construction time rather than as silent mis-simulation many rounds later.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = [
+    "require",
+    "check_positive_int",
+    "check_nonnegative_int",
+    "check_positive_float",
+    "check_probability",
+    "check_even",
+    "check_in_range",
+    "check_choice",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer strictly greater than zero."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_nonnegative_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer greater than or equal to zero."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return int(value)
+
+
+def check_positive_float(value: Any, name: str) -> float:
+    """Validate that ``value`` is a finite number strictly greater than zero."""
+    try:
+        fvalue = float(value)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}") from exc
+    if not (fvalue > 0):
+        raise ValueError(f"{name} must be positive, got {value}")
+    return fvalue
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    try:
+        fvalue = float(value)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}") from exc
+    if not (0.0 <= fvalue <= 1.0):
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return fvalue
+
+
+def check_even(value: int, name: str) -> int:
+    """Validate that ``value`` is an even integer (needed for perfect matchings)."""
+    ivalue = check_positive_int(value, name)
+    if ivalue % 2 != 0:
+        raise ValueError(f"{name} must be even, got {value}")
+    return ivalue
+
+
+def check_in_range(value: Any, name: str, low: float, high: float) -> float:
+    """Validate that ``value`` lies in the closed interval [low, high]."""
+    fvalue = float(value)
+    if not (low <= fvalue <= high):
+        raise ValueError(f"{name} must lie in [{low}, {high}], got {value}")
+    return fvalue
+
+
+def check_choice(value: Any, name: str, choices: Sequence[Any] | Iterable[Any]) -> Any:
+    """Validate that ``value`` is one of ``choices``."""
+    allowed = list(choices)
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed!r}, got {value!r}")
+    return value

@@ -1,0 +1,32 @@
+"""Random-walk soup: vectorised token walks, mixing analysis, node sampling."""
+
+from repro.walks.mixing import (
+    SurvivalReport,
+    UniformityReport,
+    core_estimate,
+    destination_distribution,
+    hit_probability_bounds,
+    origin_distribution,
+    survival_by_source,
+    tally_deliveries,
+    total_variation_from_uniform,
+)
+from repro.walks.sampler import NodeSampler, ReceivedSample
+from repro.walks.soup import SampleDelivery, WalkSoup, WalkSoupStats
+
+__all__ = [
+    "SurvivalReport",
+    "UniformityReport",
+    "core_estimate",
+    "destination_distribution",
+    "hit_probability_bounds",
+    "origin_distribution",
+    "survival_by_source",
+    "tally_deliveries",
+    "total_variation_from_uniform",
+    "NodeSampler",
+    "ReceivedSample",
+    "SampleDelivery",
+    "WalkSoup",
+    "WalkSoupStats",
+]

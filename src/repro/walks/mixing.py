@@ -1,0 +1,223 @@
+"""Mixing and survival analysis of the walk soup.
+
+These functions turn raw :class:`repro.walks.soup.SampleDelivery` batches into
+the quantities the paper's Section 3 reasons about:
+
+* per-source **survival probability** (Lemma 2): the fraction of a source's
+  injected walks that are eventually delivered;
+* the **destination distribution** and its total-variation distance to the
+  uniform distribution (Lemma 3 / the Soup Theorem);
+* the **origin distribution** of walks arriving at a destination, used for the
+  reversibility statement (Lemma 4);
+* an empirical **Core estimate**: the set of sources whose walks both survive
+  with good probability and land near-uniformly.
+
+The theorems are "with high probability over n -> infinity" statements; at
+finite n we report the measured fractions and distances and compare their
+*shape* against the predicted bounds (EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.walks.soup import SampleDelivery
+
+__all__ = [
+    "SurvivalReport",
+    "UniformityReport",
+    "tally_deliveries",
+    "survival_by_source",
+    "destination_distribution",
+    "origin_distribution",
+    "total_variation_from_uniform",
+    "core_estimate",
+    "hit_probability_bounds",
+]
+
+
+@dataclass(frozen=True)
+class SurvivalReport:
+    """Per-source survival statistics of a batch of walks."""
+
+    injected_per_source: Dict[int, int]
+    delivered_per_source: Dict[int, int]
+
+    @property
+    def overall_survival(self) -> float:
+        """Delivered / injected over all sources."""
+        injected = sum(self.injected_per_source.values())
+        if injected == 0:
+            return 0.0
+        return sum(self.delivered_per_source.values()) / injected
+
+    def survival_of(self, source: int) -> float:
+        """Survival fraction of a single source (0 if it injected nothing)."""
+        injected = self.injected_per_source.get(source, 0)
+        if injected == 0:
+            return 0.0
+        return self.delivered_per_source.get(source, 0) / injected
+
+    def sources_above(self, threshold: float) -> List[int]:
+        """Sources whose survival fraction is at least ``threshold``."""
+        return [s for s in self.injected_per_source if self.survival_of(s) >= threshold]
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of sources whose survival is at least ``threshold``."""
+        if not self.injected_per_source:
+            return 0.0
+        return len(self.sources_above(threshold)) / len(self.injected_per_source)
+
+
+@dataclass(frozen=True)
+class UniformityReport:
+    """How close an empirical node distribution is to uniform."""
+
+    tv_distance: float
+    max_probability: float
+    min_probability: float
+    support_size: int
+    population_size: int
+    sample_count: int
+
+    @property
+    def max_over_uniform(self) -> float:
+        """max empirical probability / (1/population)."""
+        if self.population_size == 0:
+            return math.inf
+        return self.max_probability * self.population_size
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the population that received at least one sample."""
+        if self.population_size == 0:
+            return 0.0
+        return self.support_size / self.population_size
+
+
+def tally_deliveries(deliveries: Iterable[SampleDelivery]) -> SampleDelivery:
+    """Concatenate several delivery batches into one (round index of the last batch)."""
+    batches = list(deliveries)
+    if not batches:
+        return SampleDelivery(
+            round_index=-1,
+            destination_uids=np.empty(0, dtype=np.int64),
+            source_uids=np.empty(0, dtype=np.int64),
+            birth_rounds=np.empty(0, dtype=np.int32),
+        )
+    return SampleDelivery(
+        round_index=batches[-1].round_index,
+        destination_uids=np.concatenate([b.destination_uids for b in batches]),
+        source_uids=np.concatenate([b.source_uids for b in batches]),
+        birth_rounds=np.concatenate([b.birth_rounds for b in batches]),
+    )
+
+
+def survival_by_source(
+    injected_sources: np.ndarray,
+    delivery: SampleDelivery,
+) -> SurvivalReport:
+    """Build a :class:`SurvivalReport` from injected sources and a delivery batch.
+
+    ``injected_sources`` lists the source uid of every injected walk (with
+    multiplicity); the delivery's ``source_uids`` lists the survivors.
+    """
+    injected_uid, injected_count = np.unique(
+        np.asarray(injected_sources, dtype=np.int64), return_counts=True
+    )
+    delivered_uid, delivered_count = np.unique(delivery.source_uids, return_counts=True)
+    return SurvivalReport(
+        injected_per_source={int(u): int(c) for u, c in zip(injected_uid, injected_count)},
+        delivered_per_source={int(u): int(c) for u, c in zip(delivered_uid, delivered_count)},
+    )
+
+
+def destination_distribution(delivery: SampleDelivery) -> Dict[int, int]:
+    """Counts of delivered walks per destination uid."""
+    uids, counts = np.unique(delivery.destination_uids, return_counts=True)
+    return {int(u): int(c) for u, c in zip(uids, counts)}
+
+
+def origin_distribution(delivery: SampleDelivery, destination: Optional[int] = None) -> Dict[int, int]:
+    """Counts of delivered walks per source uid (optionally restricted to one destination)."""
+    if destination is None:
+        sources = delivery.source_uids
+    else:
+        sources = delivery.source_uids[delivery.destination_uids == destination]
+    uids, counts = np.unique(sources, return_counts=True)
+    return {int(u): int(c) for u, c in zip(uids, counts)}
+
+
+def total_variation_from_uniform(
+    counts: Dict[int, int] | np.ndarray,
+    population: Sequence[int] | np.ndarray,
+) -> UniformityReport:
+    """Total-variation distance between an empirical node distribution and uniform.
+
+    Parameters
+    ----------
+    counts:
+        Either a dict uid -> count or an array of counts aligned with
+        ``population``.
+    population:
+        The uids over which the uniform reference distribution is defined
+        (typically the currently alive nodes, or the Core estimate).
+    """
+    pop = np.asarray(list(population), dtype=np.int64)
+    n = int(pop.size)
+    if isinstance(counts, dict):
+        count_arr = np.array([counts.get(int(u), 0) for u in pop], dtype=np.float64)
+        extra = sum(v for k, v in counts.items() if int(k) not in set(pop.tolist()))
+    else:
+        count_arr = np.asarray(counts, dtype=np.float64)
+        extra = 0
+        if count_arr.size != n:
+            raise ValueError("counts array must align with population")
+    total = float(count_arr.sum() + extra)
+    if total == 0 or n == 0:
+        return UniformityReport(
+            tv_distance=1.0,
+            max_probability=0.0,
+            min_probability=0.0,
+            support_size=0,
+            population_size=n,
+            sample_count=0,
+        )
+    probs = count_arr / total
+    uniform = 1.0 / n
+    tv = 0.5 * (np.abs(probs - uniform).sum() + extra / total)
+    return UniformityReport(
+        tv_distance=float(tv),
+        max_probability=float(probs.max()),
+        min_probability=float(probs.min()),
+        support_size=int(np.count_nonzero(count_arr)),
+        population_size=n,
+        sample_count=int(total),
+    )
+
+
+def core_estimate(
+    survival: SurvivalReport,
+    destination_counts: Dict[int, int],
+    survival_threshold: float = 0.5,
+    min_received: int = 1,
+) -> List[int]:
+    """Empirical analogue of the paper's ``Core`` set.
+
+    A node is counted as Core if (i) its own walks survive with fraction at
+    least ``survival_threshold`` and (ii) it received at least
+    ``min_received`` delivered samples itself (so it can act as both a
+    source and a destination of near-uniform sampling).
+    """
+    good_sources = set(survival.sources_above(survival_threshold))
+    good_destinations = {u for u, c in destination_counts.items() if c >= min_received}
+    return sorted(good_sources & good_destinations)
+
+
+def hit_probability_bounds(n: int) -> tuple[float, float]:
+    """The Soup Theorem's per-pair hit-probability window ``[1/17n, 3/2n]``."""
+    return (1.0 / (17.0 * n), 1.5 / n)

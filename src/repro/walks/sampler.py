@@ -1,0 +1,199 @@
+"""The node-sampling service built on top of the walk soup.
+
+Protocols never touch raw token arrays; instead every node exposes a small
+window of the most recent samples it received (source uids of walks that were
+delivered to it).  The :class:`NodeSampler` maintains those windows for all
+alive nodes, is fed a :class:`repro.walks.soup.SampleDelivery` each round by
+the simulation engine, and answers the two questions the paper's protocols
+ask:
+
+* "give me the samples node u received in round r" (committee election and
+  leader choice in Algorithm 1, child selection in Algorithm 2), and
+* "how many samples did node u receive in round r" (the walk-count exchange
+  used to pick the committee leader ``c_r``).
+
+Samples expire after ``retention`` rounds (the protocols only ever use the
+current or immediately preceding round's samples) and all state of a churned
+node is dropped, so memory stays O(n * retention * samples-per-round).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.net.network import DynamicNetwork
+from repro.walks.soup import SampleDelivery
+
+__all__ = ["ReceivedSample", "NodeSampler"]
+
+
+@dataclass(frozen=True)
+class ReceivedSample:
+    """One delivered walk as seen by its destination node."""
+
+    source_uid: int
+    birth_round: int
+    delivered_round: int
+
+    def age(self, current_round: int) -> int:
+        """Rounds since delivery."""
+        return current_round - self.delivered_round
+
+
+class NodeSampler:
+    """Per-node windows of recently delivered walk samples.
+
+    Parameters
+    ----------
+    network:
+        The dynamic network (used to drop state of churned nodes).
+    retention:
+        Number of rounds a delivered sample stays available.
+    """
+
+    def __init__(self, network: DynamicNetwork, retention: int = 4) -> None:
+        if retention <= 0:
+            raise ValueError("retention must be positive")
+        self.network = network
+        self.retention = retention
+        # uid -> delivered_round -> list of ReceivedSample
+        self._samples: Dict[int, Dict[int, List[ReceivedSample]]] = defaultdict(dict)
+        self._last_round_ingested = -1
+
+    # ------------------------------------------------------------------ ingestion
+    def ingest(self, delivery: SampleDelivery) -> int:
+        """Record a round's delivered walks; returns the number recorded.
+
+        Deliveries addressed to uids that are no longer alive (possible when
+        the engine batches operations) are dropped, mirroring message loss.
+        """
+        round_index = delivery.round_index
+        self._last_round_ingested = max(self._last_round_ingested, round_index)
+        recorded = 0
+        for dest, src, birth in zip(
+            delivery.destination_uids.tolist(),
+            delivery.source_uids.tolist(),
+            delivery.birth_rounds.tolist(),
+        ):
+            if not self.network.is_alive(int(dest)):
+                continue
+            bucket = self._samples[int(dest)].setdefault(round_index, [])
+            bucket.append(
+                ReceivedSample(source_uid=int(src), birth_round=int(birth), delivered_round=round_index)
+            )
+            recorded += 1
+        return recorded
+
+    def expire(self, current_round: int) -> None:
+        """Drop samples older than ``retention`` rounds and state of dead nodes."""
+        cutoff = current_round - self.retention
+        dead: List[int] = []
+        for uid, rounds in self._samples.items():
+            if not self.network.is_alive(uid):
+                dead.append(uid)
+                continue
+            stale = [r for r in rounds if r < cutoff]
+            for r in stale:
+                del rounds[r]
+        for uid in dead:
+            del self._samples[uid]
+
+    # ------------------------------------------------------------------ queries
+    def samples_of(
+        self,
+        uid: int,
+        round_index: Optional[int] = None,
+        max_age: Optional[int] = None,
+    ) -> List[ReceivedSample]:
+        """Samples received by ``uid``.
+
+        With ``round_index`` set, only that round's deliveries are returned;
+        with ``max_age`` set, all samples delivered within the last
+        ``max_age`` rounds (relative to the most recent ingested round).
+        """
+        rounds = self._samples.get(int(uid))
+        if not rounds:
+            return []
+        if round_index is not None:
+            return list(rounds.get(round_index, []))
+        if max_age is None:
+            out: List[ReceivedSample] = []
+            for bucket in rounds.values():
+                out.extend(bucket)
+            return out
+        cutoff = self._last_round_ingested - max_age
+        out = []
+        for r, bucket in rounds.items():
+            if r >= cutoff:
+                out.extend(bucket)
+        return out
+
+    def sample_count(self, uid: int, round_index: Optional[int] = None) -> int:
+        """Number of samples ``uid`` received (optionally in one round)."""
+        return len(self.samples_of(uid, round_index=round_index))
+
+    def sample_sources(
+        self,
+        uid: int,
+        round_index: Optional[int] = None,
+        alive_only: bool = True,
+        max_age: Optional[int] = None,
+    ) -> List[int]:
+        """Source uids of the samples ``uid`` received, optionally filtered to alive sources."""
+        sources = [
+            s.source_uid for s in self.samples_of(uid, round_index=round_index, max_age=max_age)
+        ]
+        if alive_only:
+            sources = [s for s in sources if self.network.is_alive(s)]
+        return sources
+
+    def draw_distinct_sources(
+        self,
+        uid: int,
+        k: int,
+        rng: np.random.Generator,
+        exclude: Optional[Sequence[int]] = None,
+        round_index: Optional[int] = None,
+        max_age: Optional[int] = None,
+    ) -> List[int]:
+        """Draw up to ``k`` distinct, alive, non-excluded sample sources of ``uid``.
+
+        Used by committee creation ("choose h log n sample ids") and by the
+        landmark tree ("select 2 unused nodes among their own samples").
+        Returns fewer than ``k`` if the node has not received enough distinct
+        usable samples -- callers must handle short draws.
+        """
+        excluded = set(int(e) for e in exclude) if exclude else set()
+        pool: List[int] = []
+        seen: set[int] = set()
+        for source in self.sample_sources(
+            uid, round_index=round_index, alive_only=True, max_age=max_age
+        ):
+            if source in seen or source in excluded or source == uid:
+                continue
+            seen.add(source)
+            pool.append(source)
+        if len(pool) <= k:
+            return pool
+        idx = rng.choice(len(pool), size=k, replace=False)
+        return [pool[int(i)] for i in idx]
+
+    # ------------------------------------------------------------------ stats
+    def nodes_with_samples(self, round_index: Optional[int] = None) -> int:
+        """How many alive nodes hold at least one sample (optionally from one round)."""
+        count = 0
+        for uid in self._samples:
+            if not self.network.is_alive(uid):
+                continue
+            if self.sample_count(uid, round_index=round_index) > 0:
+                count += 1
+        return count
+
+    @property
+    def last_round_ingested(self) -> int:
+        """Most recent round whose deliveries were ingested."""
+        return self._last_round_ingested

@@ -1,0 +1,349 @@
+"""The "soup" of random walks (Section 3).
+
+Every node continuously injects random-walk tokens carrying its own uid; each
+token takes one step per round along the current round's edges; tokens held
+by a node that is churned out are lost; tokens that complete ``walk_length``
+steps are *delivered* to whoever holds them at that point and become a
+near-uniform sample of the network (the Soup Theorem, Theorem 1).
+
+This is the performance-critical part of the simulator, so walks live in flat
+NumPy arrays -- one int32 array of current slot positions, one int64 array of
+source uids, one int16 array of steps taken -- and every per-round operation
+(churn kill, stepping, delivery extraction) is a vectorised masked operation.
+No Python-level loop ever touches an individual token (HPC guide: vectorise
+the bottleneck, prefer in-place/boolean-mask operations to per-element work).
+
+The optional per-node forwarding cap of Lemma 1 (at most ``2 h log n`` tokens
+forwarded per node per round; excess tokens wait) is implemented but disabled
+by default: the lemma shows the cap is essentially never binding, and leaving
+it off keeps the hot loop to a single gather.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.net.network import ChurnReport, DynamicNetwork
+from repro.util.rng import RngStream
+from repro.util.validation import check_positive_int
+
+__all__ = ["SampleDelivery", "WalkSoupStats", "WalkSoup"]
+
+
+@dataclass(frozen=True)
+class SampleDelivery:
+    """Walks that completed their ``walk_length`` steps in one round.
+
+    Attributes
+    ----------
+    round_index:
+        Round in which the walks were delivered.
+    destination_uids:
+        uid of the node holding each completed walk.
+    source_uids:
+        uid of the node that originated each walk (the "sample" the
+        destination obtains).
+    birth_rounds:
+        Round in which each walk was injected.
+    """
+
+    round_index: int
+    destination_uids: np.ndarray
+    source_uids: np.ndarray
+    birth_rounds: np.ndarray
+
+    @property
+    def count(self) -> int:
+        """Number of delivered walks."""
+        return int(self.destination_uids.size)
+
+    def by_destination(self) -> Dict[int, List[int]]:
+        """Group delivered source uids by destination uid (dict of lists)."""
+        out: Dict[int, List[int]] = {}
+        for dest, src in zip(self.destination_uids.tolist(), self.source_uids.tolist()):
+            out.setdefault(int(dest), []).append(int(src))
+        return out
+
+
+@dataclass
+class WalkSoupStats:
+    """Cumulative statistics maintained by the soup (cheap, vectorised)."""
+
+    generated: int = 0
+    delivered: int = 0
+    killed_by_churn: int = 0
+    steps_taken: int = 0
+    held_by_cap: int = 0
+    max_tokens_per_node_round: int = 0
+    rounds: int = 0
+    tokens_per_node_round_sum: float = 0.0
+
+    @property
+    def survival_rate(self) -> float:
+        """Fraction of generated walks that were eventually delivered (so far)."""
+        if self.generated == 0:
+            return 0.0
+        return self.delivered / self.generated
+
+    @property
+    def mean_tokens_per_node_round(self) -> float:
+        """Mean number of tokens resident per node per round."""
+        if self.rounds == 0:
+            return 0.0
+        return self.tokens_per_node_round_sum / self.rounds
+
+
+class WalkSoup:
+    """Vectorised manager for all in-flight random-walk tokens.
+
+    Parameters
+    ----------
+    network:
+        The dynamic network whose topology the walks traverse.
+    walk_length:
+        Number of steps each token takes before delivery (the paper's
+        ``2*tau``; see :class:`repro.core.params.ProtocolParameters`).
+    walks_per_node:
+        Tokens injected by every alive node per round (the paper's
+        ``alpha * log n``; configurable so laptop-scale runs stay tractable).
+    rng:
+        Protocol-side RNG stream (walk steps are the algorithm's coins).
+    enforce_forwarding_cap:
+        When True, a node forwards at most ``forwarding_cap`` tokens per
+        round; surplus tokens wait at the node (Lemma 1's cap).
+    forwarding_cap:
+        The cap value; defaults to ``2 * walks_per_node * walk_length`` which
+        mirrors the ``2 h log n`` of the paper when the defaults are used.
+    track_bandwidth:
+        When True, the soup records per-node token counts each round (via a
+        single ``bincount``) for experiment E8.
+    """
+
+    def __init__(
+        self,
+        network: DynamicNetwork,
+        walk_length: int,
+        walks_per_node: int,
+        rng: RngStream,
+        enforce_forwarding_cap: bool = False,
+        forwarding_cap: Optional[int] = None,
+        track_bandwidth: bool = True,
+    ) -> None:
+        self.network = network
+        self.walk_length = check_positive_int(walk_length, "walk_length")
+        self.walks_per_node = check_positive_int(walks_per_node, "walks_per_node")
+        self._rng = rng
+        self.enforce_forwarding_cap = enforce_forwarding_cap
+        if forwarding_cap is None:
+            forwarding_cap = 2 * self.walks_per_node * self.walk_length
+        self.forwarding_cap = check_positive_int(forwarding_cap, "forwarding_cap")
+        self.track_bandwidth = track_bandwidth
+
+        self._positions = np.empty(0, dtype=np.int32)
+        self._sources = np.empty(0, dtype=np.int64)
+        self._births = np.empty(0, dtype=np.int32)
+        self._steps = np.empty(0, dtype=np.int16)
+        self.stats = WalkSoupStats()
+
+    # ------------------------------------------------------------------ injection
+    def inject(self, source_slots: np.ndarray, source_uids: np.ndarray, round_index: int) -> int:
+        """Inject one token per (slot, uid) pair given; returns the number injected."""
+        count = int(source_slots.size)
+        if count == 0:
+            return 0
+        self._positions = np.concatenate([self._positions, source_slots.astype(np.int32)])
+        self._sources = np.concatenate([self._sources, source_uids.astype(np.int64)])
+        self._births = np.concatenate(
+            [self._births, np.full(count, round_index, dtype=np.int32)]
+        )
+        self._steps = np.concatenate([self._steps, np.zeros(count, dtype=np.int16)])
+        self.stats.generated += count
+        return count
+
+    def inject_from_all(self, round_index: int, per_node: Optional[int] = None) -> int:
+        """Every alive node injects ``per_node`` fresh tokens (default: ``walks_per_node``)."""
+        per_node = self.walks_per_node if per_node is None else per_node
+        if per_node <= 0:
+            return 0
+        n = self.network.n_slots
+        slots = np.repeat(np.arange(n, dtype=np.int32), per_node)
+        uids = np.repeat(self.network.slot_uid_view(), per_node)
+        return self.inject(slots, uids, round_index)
+
+    def inject_from_uids(self, uids: np.ndarray, round_index: int, per_node: int = 1) -> int:
+        """Inject ``per_node`` tokens from each (alive) uid in ``uids``."""
+        slots: List[int] = []
+        srcs: List[int] = []
+        for uid in np.asarray(uids).tolist():
+            slot = self.network.slot_of_or_none(int(uid))
+            if slot is not None:
+                slots.extend([slot] * per_node)
+                srcs.extend([int(uid)] * per_node)
+        if not slots:
+            return 0
+        return self.inject(
+            np.asarray(slots, dtype=np.int32), np.asarray(srcs, dtype=np.int64), round_index
+        )
+
+    # ------------------------------------------------------------------ round step
+    def apply_churn(self, report: ChurnReport) -> int:
+        """Kill tokens held at churned slots; returns the number killed.
+
+        A token resides *at a node*; when that node is churned out at the
+        start of a round, the token leaves with it (the paper's walk-loss
+        mechanism).  Note the new occupant of the slot does not inherit it.
+        """
+        if report.count == 0 or self._positions.size == 0:
+            return 0
+        churned_mask = np.zeros(self.network.n_slots, dtype=bool)
+        churned_mask[report.churned_slots] = True
+        dead = churned_mask[self._positions]
+        killed = int(dead.sum())
+        if killed:
+            keep = ~dead
+            self._positions = self._positions[keep]
+            self._sources = self._sources[keep]
+            self._births = self._births[keep]
+            self._steps = self._steps[keep]
+            self.stats.killed_by_churn += killed
+        return killed
+
+    def step_and_collect(self, round_index: int) -> SampleDelivery:
+        """Advance every token one step and extract the completed ones.
+
+        The step uses the *current* round's topology (the network must be in
+        a round).  Tokens reaching ``walk_length`` steps are removed from the
+        soup and returned as a :class:`SampleDelivery` addressed to the uids
+        occupying their final slots.
+        """
+        topology = self.network.topology
+        n_tokens = self._positions.size
+        self.stats.rounds += 1
+        if n_tokens == 0:
+            return SampleDelivery(
+                round_index=round_index,
+                destination_uids=np.empty(0, dtype=np.int64),
+                source_uids=np.empty(0, dtype=np.int64),
+                birth_rounds=np.empty(0, dtype=np.int32),
+            )
+
+        move_mask = np.ones(n_tokens, dtype=bool)
+        if self.enforce_forwarding_cap:
+            move_mask = self._forwarding_mask()
+            self.stats.held_by_cap += int(n_tokens - move_mask.sum())
+
+        if self.track_bandwidth:
+            counts = np.bincount(self._positions, minlength=self.network.n_slots)
+            self.stats.max_tokens_per_node_round = max(
+                self.stats.max_tokens_per_node_round, int(counts.max())
+            )
+            self.stats.tokens_per_node_round_sum += float(counts.mean())
+
+        new_positions = self._positions.copy()
+        moving = np.nonzero(move_mask)[0]
+        stepped = topology.step_walks(self._positions[moving], self._rng.generator)
+        new_positions[moving] = stepped
+        self._positions = new_positions
+        self._steps[moving] += 1
+        self.stats.steps_taken += int(moving.size)
+
+        done = self._steps >= self.walk_length
+        n_done = int(done.sum())
+        if n_done == 0:
+            return SampleDelivery(
+                round_index=round_index,
+                destination_uids=np.empty(0, dtype=np.int64),
+                source_uids=np.empty(0, dtype=np.int64),
+                birth_rounds=np.empty(0, dtype=np.int32),
+            )
+
+        dest_slots = self._positions[done]
+        delivery = SampleDelivery(
+            round_index=round_index,
+            destination_uids=self.network.uids_at(dest_slots),
+            source_uids=self._sources[done].copy(),
+            birth_rounds=self._births[done].copy(),
+        )
+        keep = ~done
+        self._positions = self._positions[keep]
+        self._sources = self._sources[keep]
+        self._births = self._births[keep]
+        self._steps = self._steps[keep]
+        self.stats.delivered += n_done
+        return delivery
+
+    def advance_round(
+        self,
+        report: ChurnReport,
+        inject: bool = True,
+        per_node: Optional[int] = None,
+    ) -> SampleDelivery:
+        """Convenience wrapper: churn-kill, inject fresh tokens, step, collect."""
+        self.apply_churn(report)
+        if inject:
+            self.inject_from_all(report.round_index, per_node=per_node)
+        return self.step_and_collect(report.round_index)
+
+    # ------------------------------------------------------------------ internals
+    def _forwarding_mask(self) -> np.ndarray:
+        """Boolean mask of tokens allowed to move under the per-node cap.
+
+        For each slot holding more than ``forwarding_cap`` tokens, a uniformly
+        random subset of exactly ``forwarding_cap`` tokens moves; the rest
+        wait for a later round (they neither step nor count progress).
+        """
+        n_tokens = self._positions.size
+        counts = np.bincount(self._positions, minlength=self.network.n_slots)
+        over = np.nonzero(counts > self.forwarding_cap)[0]
+        if over.size == 0:
+            return np.ones(n_tokens, dtype=bool)
+        mask = np.ones(n_tokens, dtype=bool)
+        # Rank tokens within their slot by a random key; those ranked beyond
+        # the cap are held.  Sorting by (slot, random key) gives per-slot
+        # random order in one vectorised pass.
+        keys = self._rng.random(n_tokens)
+        order = np.lexsort((keys, self._positions))
+        sorted_slots = self._positions[order]
+        # Position of each token within its slot group.
+        group_start = np.r_[0, np.nonzero(np.diff(sorted_slots))[0] + 1]
+        group_ids = np.zeros(n_tokens, dtype=np.int64)
+        group_ids[group_start] = 1
+        group_ids = np.cumsum(group_ids) - 1
+        within = np.arange(n_tokens) - group_start[group_ids]
+        held_sorted = within >= self.forwarding_cap
+        mask[order[held_sorted]] = False
+        return mask
+
+    # ------------------------------------------------------------------ introspection
+    @property
+    def in_flight(self) -> int:
+        """Number of tokens currently travelling."""
+        return int(self._positions.size)
+
+    def tokens_at_slot(self, slot: int) -> int:
+        """How many tokens are currently held at ``slot``."""
+        if self._positions.size == 0:
+            return 0
+        return int(np.count_nonzero(self._positions == slot))
+
+    def expected_tokens_per_node(self) -> float:
+        """The steady-state expectation ``walks_per_node * walk_length`` (Lemma 1)."""
+        return float(self.walks_per_node * self.walk_length)
+
+    def estimated_bits_per_node_round(self, id_bits: int = 64) -> float:
+        """Estimated per-node per-round walk traffic in bits.
+
+        Each resident token is forwarded once per round and carries the
+        source uid plus a hop counter.
+        """
+        per_token_bits = id_bits + 16
+        return self.expected_tokens_per_node() * per_token_bits
+
+    @staticmethod
+    def recommended_walk_length(n: int, multiplier: float = 2.0) -> int:
+        """A walk length of ``ceil(multiplier * ln n)`` (the paper's Theta(log n))."""
+        return max(2, int(math.ceil(multiplier * math.log(max(n, 3)))))

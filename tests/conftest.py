@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite.
+
+Fixtures deliberately use small networks (n = 64..128) so the whole suite
+runs in seconds; the larger, statistically meaningful configurations live in
+``benchmarks/`` and the experiment modules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.context import ProtocolContext
+from repro.core.params import ProtocolParameters
+from repro.core.protocol import P2PStorageSystem
+from repro.net.churn import UniformRandomChurn
+from repro.net.network import DynamicNetwork
+from repro.util.rng import RngStream, SplitRng
+from repro.util.simlog import SimulationLog
+from repro.walks.sampler import NodeSampler
+from repro.walks.soup import WalkSoup
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A plain seeded NumPy generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def split_rng() -> SplitRng:
+    """An adversary/protocol RNG split with a fixed seed."""
+    return SplitRng(seed=2023)
+
+
+@pytest.fixture
+def small_network(split_rng: SplitRng) -> DynamicNetwork:
+    """A 64-node dynamic network with 2 churn replacements per round."""
+    adversary = UniformRandomChurn(64, 2, split_rng.adversary.generator)
+    return DynamicNetwork(
+        n_slots=64,
+        degree=6,
+        adversary=adversary,
+        adversary_rng=split_rng.adversary.spawn("topology"),
+    )
+
+
+@pytest.fixture
+def static_network(split_rng: SplitRng) -> DynamicNetwork:
+    """A 64-node network without churn."""
+    return DynamicNetwork(n_slots=64, degree=6, adversary_rng=split_rng.adversary.spawn("topo"))
+
+
+@pytest.fixture
+def warmed_system() -> P2PStorageSystem:
+    """A small, warmed-up end-to-end system with light churn."""
+    system = P2PStorageSystem(n=64, churn_rate=1, seed=7)
+    system.warm_up()
+    return system
+
+
+@pytest.fixture
+def churn_free_system() -> P2PStorageSystem:
+    """A small, warmed-up system with no churn (deterministic liveness)."""
+    system = P2PStorageSystem(n=64, churn_rate=0, seed=11)
+    system.warm_up()
+    return system
+
+
+@pytest.fixture
+def protocol_context(warmed_system: P2PStorageSystem) -> ProtocolContext:
+    """The shared protocol context of the warmed system."""
+    return warmed_system.ctx

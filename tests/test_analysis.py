@@ -1,0 +1,148 @@
+"""Tests for repro.analysis: statistics, the paper's bounds, result tables."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    linear_fit,
+    log_fit_slope,
+    mean_ci,
+    percentile,
+    success_fraction,
+    wilson_interval,
+)
+from repro.analysis.tables import ResultTable, format_value
+from repro.analysis.theory import PaperBounds
+
+
+class TestStats:
+    def test_mean_ci_contains_mean(self):
+        ci = mean_ci([1.0, 2.0, 3.0, 4.0])
+        assert ci.lower <= ci.mean <= ci.upper
+        assert ci.mean == pytest.approx(2.5)
+        assert ci.count == 4
+
+    def test_mean_ci_small_samples(self):
+        assert math.isnan(mean_ci([]).mean)
+        single = mean_ci([5.0])
+        assert single.lower == single.upper == 5.0
+
+    def test_wilson_interval_bounds(self):
+        lo, hi = wilson_interval(5, 10)
+        assert 0 <= lo <= 0.5 <= hi <= 1
+        lo0, hi0 = wilson_interval(0, 10)
+        assert lo0 == 0.0 and hi0 < 0.5
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_success_fraction(self):
+        frac, (lo, hi), trials = success_fraction([True, True, False, True])
+        assert frac == 0.75 and trials == 4
+        assert lo <= frac <= hi
+
+    def test_percentile(self):
+        assert percentile(range(101), 90) == pytest.approx(90.0)
+        assert math.isnan(percentile([], 50))
+
+    def test_linear_fit(self):
+        slope, intercept = linear_fit([1, 2, 3], [2, 4, 6])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(0.0, abs=1e-9)
+
+    def test_log_fit_slope(self):
+        ns = [100, 1000, 10000]
+        ys = [3 * math.log(n) for n in ns]
+        assert log_fit_slope(ns, ys) == pytest.approx(3.0)
+
+
+class TestPaperBounds:
+    def test_basic_quantities(self):
+        bounds = PaperBounds(4096, delta=0.5)
+        assert bounds.k == 1.5
+        assert bounds.churn_limit() == pytest.approx(4 * 4096 / math.log(4096) ** 1.5)
+        assert bounds.mixing_time() == pytest.approx(2 * math.log(4096))
+        lo, hi = bounds.hit_probability_window()
+        assert lo < hi < 1
+
+    def test_core_bound_becomes_meaningful_for_large_delta_and_n(self):
+        small = PaperBounds(1024, delta=0.5)
+        assert small.core_size_lower_bound() < 0  # vacuous at laptop n (documented)
+        # With a larger delta the log exponent grows and the bound turns positive.
+        huge = PaperBounds(10**18, delta=4.0)
+        assert huge.core_size_lower_bound() > 0.5 * 10**18
+        # And the relative slack shrinks monotonically with n.
+        assert (
+            PaperBounds(10**12, delta=4.0).core_size_lower_bound() / 10**12
+            < huge.core_size_lower_bound() / 10**18
+        )
+
+    def test_landmark_bounds_order(self):
+        bounds = PaperBounds(10_000)
+        assert bounds.landmark_lower_bound() < bounds.landmark_upper_bound()
+        assert bounds.landmark_lower_bound() == pytest.approx(100.0)
+
+    def test_committee_lifetime_is_polynomial(self):
+        bounds = PaperBounds(1 << 16)
+        assert bounds.expected_committee_lifetime_refreshes() > 1000
+
+    def test_erasure_blowup(self):
+        assert PaperBounds(1024).erasure_blowup(h=4) == pytest.approx(2.0)
+        assert math.isinf(PaperBounds(1024).erasure_blowup(h=2))
+
+    def test_summary_keys(self):
+        summary = PaperBounds(2048).summary()
+        for key in ("churn_limit", "committee_size", "landmark_lower_bound", "retrieval_rounds"):
+            assert key in summary
+
+    def test_conjectured_ceiling(self):
+        bounds = PaperBounds(1024)
+        assert bounds.conjectured_churn_ceiling() == pytest.approx(1024 / math.log(1024))
+        assert bounds.conjectured_churn_ceiling() > bounds.churn_limit() / 4
+
+
+class TestResultTable:
+    def make_table(self):
+        table = ResultTable(title="demo", columns=["a", "b"])
+        table.add_row(a=1, b=2.5)
+        table.add_row(a=2, b=float("nan"))
+        table.add_note("a note")
+        return table
+
+    def test_add_and_column(self):
+        table = self.make_table()
+        assert table.column("a") == [1, 2]
+        assert not table.is_empty()
+
+    def test_text_rendering(self):
+        text = self.make_table().to_text()
+        assert "demo" in text and "a note" in text and "2.5" in text
+
+    def test_markdown_rendering(self):
+        md = self.make_table().to_markdown()
+        assert md.startswith("### demo")
+        assert "| a | b |" in md
+
+    def test_csv_rendering(self):
+        csv_text = self.make_table().to_csv()
+        assert csv_text.splitlines()[0] == "a,b"
+        assert len(csv_text.splitlines()) == 3
+
+    def test_merge(self):
+        merged = ResultTable.merge("m", [self.make_table(), self.make_table()])
+        assert len(merged.rows) == 4
+        with pytest.raises(ValueError):
+            ResultTable.merge("m", [self.make_table(), ResultTable(title="x", columns=["c"])])
+
+    def test_merge_empty(self):
+        assert ResultTable.merge("m", []).is_empty()
+
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(True) == "yes"
+        assert format_value(float("nan")) == "nan"
+        assert format_value(float("inf")) == "inf"
+        assert format_value(0.000012345) == "1.234e-05" or "e-05" in format_value(0.000012345)
+        assert format_value(3) == "3"

@@ -1,0 +1,122 @@
+"""Tests for repro.core.erasure: GF(256) arithmetic and Rabin IDA round-trips."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.erasure import InformationDispersal, Piece, gf_inv, gf_matmul, gf_mul
+
+
+class TestGF256:
+    def test_known_products(self):
+        assert int(gf_mul(2, 3)) == 6
+        assert int(gf_mul(0x53, 0xCA)) == 1  # known inverse pair in the AES field
+        assert int(gf_mul(0, 77)) == 0
+        assert int(gf_mul(1, 77)) == 77
+
+    def test_inverse(self):
+        for a in (1, 2, 3, 0x53, 255):
+            assert int(gf_mul(a, gf_inv(a))) == 1
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+
+    @given(
+        a=st.integers(0, 255).map(np.uint8),
+        b=st.integers(0, 255).map(np.uint8),
+        c=st.integers(0, 255).map(np.uint8),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_field_axioms(self, a, b, c):
+        # commutativity
+        assert int(gf_mul(a, b)) == int(gf_mul(b, a))
+        # associativity
+        assert int(gf_mul(gf_mul(a, b), c)) == int(gf_mul(a, gf_mul(b, c)))
+        # distributivity over XOR (the field addition)
+        assert int(gf_mul(a, int(b) ^ int(c))) == int(gf_mul(a, b)) ^ int(gf_mul(a, c))
+
+    def test_matmul_identity(self, rng):
+        mat = rng.integers(0, 256, size=(4, 4)).astype(np.uint8)
+        identity = np.eye(4, dtype=np.uint8)
+        assert np.array_equal(gf_matmul(identity, mat), mat)
+        assert np.array_equal(gf_matmul(mat, identity), mat)
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            gf_matmul(np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 3), dtype=np.uint8))
+
+
+class TestInformationDispersal:
+    def test_roundtrip_all_k_subsets(self):
+        ida = InformationDispersal(total_pieces=6, required_pieces=3)
+        data = b"storage and search in dynamic peer-to-peer networks"
+        pieces = ida.encode(data)
+        assert len(pieces) == 6
+        for combo in itertools.combinations(pieces, 3):
+            assert ida.decode(list(combo)) == data
+
+    def test_systematic_prefix(self):
+        ida = InformationDispersal(total_pieces=5, required_pieces=2)
+        data = b"abcdefgh"
+        pieces = ida.encode(data)
+        # First K pieces are literal chunks of the (padded) data.
+        assert pieces[0].data + pieces[1].data == data.ljust(len(pieces[0].data) * 2, b"\0")
+
+    def test_piece_sizes_and_blowup(self):
+        ida = InformationDispersal(total_pieces=8, required_pieces=4)
+        data = bytes(100)
+        pieces = ida.encode(data)
+        assert all(p.size_bytes == ida.piece_length(100) == 25 for p in pieces)
+        assert ida.blowup == 2.0
+        assert ida.total_stored_bytes(100) == 200
+        assert InformationDispersal.replication_stored_bytes(100, 8) == 800
+
+    def test_decode_requires_enough_distinct_pieces(self):
+        ida = InformationDispersal(4, 3)
+        pieces = ida.encode(b"hello world")
+        with pytest.raises(ValueError):
+            ida.decode(pieces[:2])
+        with pytest.raises(ValueError):
+            ida.decode([pieces[0], pieces[0], pieces[0]])
+
+    def test_decode_rejects_foreign_pieces(self):
+        ida_a = InformationDispersal(4, 2)
+        ida_b = InformationDispersal(5, 3)
+        pieces = ida_b.encode(b"hello")
+        with pytest.raises(ValueError):
+            ida_a.decode(pieces[:2])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            InformationDispersal(2, 3)
+        with pytest.raises(ValueError):
+            InformationDispersal(300, 3)
+        with pytest.raises(TypeError):
+            InformationDispersal(4, 2).encode("not-bytes")  # type: ignore[arg-type]
+
+    def test_empty_and_single_byte_items(self):
+        ida = InformationDispersal(5, 2)
+        for data in (b"", b"x"):
+            pieces = ida.encode(data)
+            assert ida.decode(pieces[3:5]) == data
+
+    @given(
+        data=st.binary(min_size=0, max_size=300),
+        k=st.integers(2, 6),
+        extra=st.integers(1, 6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, data, k, extra):
+        ida = InformationDispersal(total_pieces=k + extra, required_pieces=k)
+        pieces = ida.encode(data)
+        rng = np.random.default_rng(len(data) + k + extra)
+        chosen = rng.choice(len(pieces), size=k, replace=False)
+        assert ida.decode([pieces[int(i)] for i in chosen]) == data
+
+    def test_piece_dataclass_fields(self):
+        piece = Piece(index=1, data=b"xy", original_length=2, total_pieces=3, required_pieces=2)
+        assert piece.size_bytes == 2

@@ -1,0 +1,111 @@
+"""Tests for repro.core.landmarks (Algorithm 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.committee import Committee
+from repro.core.landmarks import LandmarkSet
+
+
+@pytest.fixture
+def committee_and_landmarks(churn_free_system):
+    system = churn_free_system
+    committee = Committee.create(system.ctx, creator_uid=system.random_alive_node(), task="storage", item_id=1)
+    landmarks = LandmarkSet(system.ctx, committee=committee, item_id=1, role="storage", created_round=system.round_index)
+    return system, committee, landmarks
+
+
+class TestBuild:
+    def test_build_recruits_beyond_committee(self, committee_and_landmarks):
+        system, committee, landmarks = committee_and_landmarks
+        report = landmarks.build(system.round_index)
+        assert report.recruited >= 0
+        assert landmarks.active_count() >= len(committee.alive_members())
+        assert report.roots == len(committee.alive_members())
+
+    def test_landmark_records_have_depths(self, committee_and_landmarks):
+        system, committee, landmarks = committee_and_landmarks
+        landmarks.build(system.round_index)
+        hist = landmarks.depth_histogram()
+        assert 0 in hist  # committee members at depth 0
+        assert max(hist) <= system.params.tree_depth
+
+    def test_no_duplicate_landmarks(self, committee_and_landmarks):
+        system, _, landmarks = committee_and_landmarks
+        landmarks.build(system.round_index)
+        uids = landmarks.active_landmarks()
+        assert len(uids) == len(set(uids))
+
+    def test_is_landmark_predicate(self, committee_and_landmarks):
+        system, committee, landmarks = committee_and_landmarks
+        landmarks.build(system.round_index)
+        member = committee.alive_members()[0]
+        assert landmarks.is_landmark(member)
+        assert not landmarks.is_landmark(10**9)
+
+    def test_holder_ids_are_committee_members(self, committee_and_landmarks):
+        system, committee, landmarks = committee_and_landmarks
+        assert landmarks.holder_ids() == committee.alive_members()
+
+    def test_build_charges_bandwidth(self, committee_and_landmarks):
+        system, _, landmarks = committee_and_landmarks
+        before = system.ledger.total_messages
+        landmarks.build(system.round_index)
+        after = system.ledger.total_messages
+        if landmarks.build_reports[-1].recruited > 0:
+            assert after > before
+
+    def test_cap_respected(self, committee_and_landmarks):
+        system, _, landmarks = committee_and_landmarks
+        landmarks.build(system.round_index)
+        assert landmarks.active_count() <= system.params.landmark_cap
+
+
+class TestExpiryAndRefresh:
+    def test_landmarks_expire_after_lifetime(self, committee_and_landmarks):
+        system, _, landmarks = committee_and_landmarks
+        landmarks.build(system.round_index)
+        count = landmarks.active_count()
+        future = system.round_index + system.params.landmark_lifetime + 1
+        assert landmarks.active_count(round_index=future) == 0
+        assert count >= 0
+
+    def test_step_only_fires_on_schedule(self, committee_and_landmarks):
+        system, _, landmarks = committee_and_landmarks
+        fired = 0
+        for _ in range(2 * system.params.landmark_refresh_period + 1):
+            system.run_round()
+            if landmarks.step(system.round_index) is not None:
+                fired += 1
+        assert fired >= 2
+
+    def test_step_skips_dissolved_committee(self, committee_and_landmarks):
+        system, committee, landmarks = committee_and_landmarks
+        committee.dissolve(system.round_index)
+        assert landmarks.step(system.round_index) is None
+
+    def test_rebuild_refreshes_expiry(self, committee_and_landmarks):
+        system, _, landmarks = committee_and_landmarks
+        landmarks.build(system.round_index)
+        first_records = {r.uid: r.expires_round for r in landmarks.records()}
+        system.run_rounds(system.params.landmark_refresh_period)
+        landmarks.build(system.round_index)
+        second_records = {r.uid: r.expires_round for r in landmarks.records()}
+        overlapping = set(first_records) & set(second_records)
+        assert all(second_records[u] >= first_records[u] for u in overlapping)
+
+
+class TestScaling:
+    def test_landmark_count_grows_with_n(self):
+        from repro.core.protocol import P2PStorageSystem
+
+        counts = {}
+        for n in (64, 256):
+            system = P2PStorageSystem(n=n, churn_rate=0, seed=5)
+            system.warm_up()
+            committee = Committee.create(system.ctx, creator_uid=system.random_alive_node(), task="storage", item_id=1)
+            landmarks = LandmarkSet(system.ctx, committee, item_id=1, role="storage", created_round=system.round_index)
+            landmarks.build(system.round_index)
+            counts[n] = landmarks.active_count()
+        assert counts[256] > counts[64]

@@ -1,0 +1,101 @@
+"""Tests for repro.core.params: derived quantities and their scaling."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.params import ProtocolParameters
+
+
+class TestDerivedValues:
+    def test_log_n(self):
+        p = ProtocolParameters.for_network(1024)
+        assert p.log_n == pytest.approx(math.log(1024))
+
+    def test_walks_and_length_scale_with_log_n(self):
+        small = ProtocolParameters.for_network(64)
+        large = ProtocolParameters.for_network(65536)
+        assert large.walks_per_node > small.walks_per_node
+        assert large.walk_length > small.walk_length
+        assert large.committee_size > small.committee_size
+
+    def test_committee_at_least_three(self):
+        assert ProtocolParameters.for_network(8).committee_size >= 3
+
+    def test_tau_is_half_walk_length(self):
+        p = ProtocolParameters.for_network(1024)
+        assert p.tau == max(1, p.walk_length // 2)
+
+    def test_refresh_periods(self):
+        p = ProtocolParameters.for_network(1024)
+        assert p.committee_refresh_period >= p.landmark_refresh_period
+        assert p.landmark_lifetime >= 2
+
+    def test_target_landmarks_scales_as_sqrt_n(self):
+        p256 = ProtocolParameters.for_network(256)
+        p4096 = ProtocolParameters.for_network(4096)
+        assert p256.target_landmarks == pytest.approx(math.sqrt(256), abs=1)
+        assert p4096.target_landmarks / p256.target_landmarks == pytest.approx(4.0, rel=0.1)
+
+    def test_landmark_cap_exceeds_target(self):
+        p = ProtocolParameters.for_network(1024)
+        assert p.landmark_cap > p.target_landmarks
+
+    def test_tree_depth_reaches_target(self):
+        p = ProtocolParameters.for_network(4096)
+        f = p.landmark_fanout
+        per_root = (f ** (p.tree_depth + 1) - 1) / (f - 1)
+        assert per_root * p.committee_size >= p.target_landmarks
+
+    def test_tree_depth_paper_is_small_at_laptop_n(self):
+        p = ProtocolParameters.for_network(1024)
+        assert p.tree_depth_paper() <= p.tree_depth
+
+    def test_erasure_parameters(self):
+        p = ProtocolParameters.for_network(1024)
+        assert p.erasure_total_pieces == p.committee_size
+        assert 2 <= p.erasure_required_pieces < p.erasure_total_pieces
+        assert p.erasure_redundancy >= 2
+
+    def test_forwarding_cap_and_timeout(self):
+        p = ProtocolParameters.for_network(1024)
+        assert p.forwarding_cap >= 2 * p.walks_per_node
+        assert p.retrieval_timeout >= p.walk_length // 2
+
+    def test_churn_limit_matches_module_function(self):
+        from repro.net.churn import paper_churn_limit
+
+        p = ProtocolParameters.for_network(2048, delta=0.75)
+        assert p.churn_limit() == paper_churn_limit(2048, 0.75)
+
+
+class TestOverridesAndValidation:
+    def test_with_overrides(self):
+        p = ProtocolParameters.for_network(512)
+        q = p.with_overrides(alpha=2.0)
+        assert q.alpha == 2.0 and q.n == 512
+        assert q.walks_per_node > p.walks_per_node
+
+    def test_summary_contains_all_keys(self):
+        summary = ProtocolParameters.for_network(512).summary()
+        for key in ("walk_length", "committee_size", "target_landmarks", "paper_churn_limit"):
+            assert key in summary
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            ProtocolParameters.for_network(4)
+
+    def test_rejects_bad_constants(self):
+        with pytest.raises(ValueError):
+            ProtocolParameters.for_network(64, alpha=0)
+        with pytest.raises(ValueError):
+            ProtocolParameters.for_network(64, delta=-1)
+        with pytest.raises(ValueError):
+            ProtocolParameters.for_network(64, landmark_fanout=0)
+
+    def test_frozen(self):
+        p = ProtocolParameters.for_network(64)
+        with pytest.raises(AttributeError):
+            p.n = 128  # type: ignore[misc]

@@ -1,0 +1,124 @@
+"""Integration tests for repro.core.protocol.P2PStorageSystem."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import ProtocolParameters
+from repro.core.protocol import P2PStorageSystem
+from repro.net.churn import SequentialSweepChurn, UniformRandomChurn
+from repro.util.rng import SplitRng
+
+
+class TestConstruction:
+    def test_defaults(self):
+        system = P2PStorageSystem(n=64, seed=1)
+        assert system.n == 64
+        assert system.round_index == -1
+        assert system.params.n == 64
+
+    def test_explicit_params_must_match_n(self):
+        params = ProtocolParameters.for_network(128)
+        with pytest.raises(ValueError):
+            P2PStorageSystem(n=64, params=params)
+
+    def test_custom_adversary(self):
+        split = SplitRng(9)
+        adversary = SequentialSweepChurn(64, 4, split.adversary.generator)
+        system = P2PStorageSystem(n=64, adversary=adversary, seed=9)
+        system.run_rounds(3)
+        assert system.network.total_churned == 12
+
+    def test_param_overrides(self):
+        system = P2PStorageSystem(n=64, seed=1, param_overrides={"alpha": 2.0})
+        assert system.params.alpha == 2.0
+
+
+class TestRoundLoop:
+    def test_run_round_summary(self, warmed_system):
+        summary = warmed_system.run_round()
+        assert summary.round_index == warmed_system.round_index
+        assert summary.walks_in_flight > 0
+        assert summary.churned >= 0
+
+    def test_run_rounds_count(self):
+        system = P2PStorageSystem(n=64, seed=2)
+        summaries = system.run_rounds(5)
+        assert len(summaries) == 5
+        assert [s.round_index for s in summaries] == list(range(5))
+
+    def test_warm_up_produces_samples(self):
+        system = P2PStorageSystem(n=64, churn_rate=1, seed=3)
+        system.warm_up()
+        with_samples = system.sampler.nodes_with_samples()
+        assert with_samples > 32  # most nodes should be receiving samples
+
+    def test_determinism_given_seed(self):
+        def signature(seed):
+            system = P2PStorageSystem(n=64, churn_rate=2, seed=seed)
+            system.warm_up()
+            item = system.store(b"deterministic")
+            system.run_rounds(10)
+            op = system.retrieve(item.item_id)
+            system.run_until_finished(op)
+            return (
+                system.network.total_churned,
+                system.soup.stats.delivered,
+                system.storage.replica_count(item.item_id),
+                op.status,
+                op.latency,
+            )
+
+        assert signature(77) == signature(77)
+
+    def test_different_seeds_differ(self):
+        a = P2PStorageSystem(n=64, churn_rate=2, seed=1)
+        b = P2PStorageSystem(n=64, churn_rate=2, seed=2)
+        a.run_rounds(8)
+        b.run_rounds(8)
+        assert a.soup.stats.delivered != b.soup.stats.delivered or a.network.total_churned == b.network.total_churned
+
+
+class TestEndToEnd:
+    def test_store_then_retrieve_under_churn(self):
+        system = P2PStorageSystem(n=128, churn_rate=3, seed=5)
+        system.warm_up()
+        item = system.store(b"end to end payload")
+        system.run_rounds(2 * system.params.committee_refresh_period)
+        op = system.retrieve(item.item_id)
+        system.run_until_finished(op)
+        assert system.availability() in (0.0, 1.0)
+        if system.storage.is_available(item.item_id):
+            assert op.succeeded
+
+    def test_availability_and_findability(self, churn_free_system):
+        system = churn_free_system
+        assert system.availability() == 1.0  # vacuous: no items
+        system.store(b"one")
+        system.store(b"two")
+        assert system.availability() == 1.0
+        assert system.findability() == 1.0
+
+    def test_bandwidth_summary_keys(self, warmed_system):
+        warmed_system.store(b"traffic")
+        warmed_system.run_rounds(3)
+        summary = warmed_system.bandwidth_summary()
+        for key in ("total_bits", "max_bits_per_node_round", "walk_bits_per_node_round_estimate"):
+            assert key in summary
+
+    def test_describe(self, warmed_system):
+        description = warmed_system.describe()
+        assert description["n"] == 64
+        assert "params" in description and "adversary" in description
+
+    def test_random_alive_node_is_alive(self, warmed_system):
+        for _ in range(5):
+            uid = warmed_system.random_alive_node()
+            assert warmed_system.network.is_alive(uid)
+
+    def test_run_until_finished_respects_max_rounds(self, churn_free_system):
+        system = churn_free_system
+        op = system.retrieve(item_id=31337)  # nonexistent
+        executed = system.run_until_finished(op, max_rounds=3)
+        assert executed == 3

@@ -1,0 +1,92 @@
+"""Tests for repro.core.retrieval (Algorithm 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import P2PStorageSystem
+
+
+class TestRetrievalBasics:
+    def test_retrieve_succeeds_without_churn(self, churn_free_system):
+        system = churn_free_system
+        item = system.store(b"find me")
+        system.run_rounds(3)
+        op = system.retrieve(item.item_id)
+        system.run_until_finished(op)
+        assert op.succeeded
+        assert op.latency is not None and op.latency >= 0
+        assert op.holder_ids, "holders must be reported on success"
+        assert all(h in system.storage.holders_of(item.item_id) or not system.network.is_alive(h) for h in op.holder_ids)
+
+    def test_retrieval_reports_latency_within_timeout(self, churn_free_system):
+        system = churn_free_system
+        item = system.store(b"quick find")
+        system.run_rounds(2)
+        op = system.retrieve(item.item_id)
+        system.run_until_finished(op)
+        assert op.latency <= system.params.retrieval_timeout + 4
+
+    def test_retrieve_missing_item_times_out(self, churn_free_system):
+        system = churn_free_system
+        op = system.retrieve(item_id=424242)
+        system.run_until_finished(op)
+        assert op.status == "failed"
+        assert not op.succeeded
+        assert op.latency is not None
+
+    def test_retrieve_requires_alive_requester(self, churn_free_system):
+        with pytest.raises(ValueError):
+            churn_free_system.retrieval.retrieve(10**9, 1)
+
+    def test_search_committee_dissolves_after_completion(self, churn_free_system):
+        system = churn_free_system
+        item = system.store(b"x")
+        op = system.retrieve(item.item_id)
+        system.run_until_finished(op)
+        assert op.committee.dissolved
+
+    def test_probes_are_charged(self, churn_free_system):
+        system = churn_free_system
+        item = system.store(b"charged probes")
+        before = system.ledger.total_messages
+        op = system.retrieve(item.item_id)
+        system.run_until_finished(op)
+        assert system.ledger.total_messages > before
+        assert op.probes_sent > 0
+
+
+class TestRetrievalUnderChurn:
+    def test_retrieval_succeeds_with_light_churn(self):
+        system = P2PStorageSystem(n=128, churn_rate=2, seed=41)
+        system.warm_up()
+        item = system.store(b"churn-resilient item")
+        system.run_rounds(10)
+        ops = [system.retrieve(item.item_id) for _ in range(3)]
+        system.run_until_finished(ops)
+        assert sum(op.succeeded for op in ops) >= 2
+
+    def test_service_statistics(self):
+        system = P2PStorageSystem(n=64, churn_rate=1, seed=42)
+        system.warm_up()
+        item = system.store(b"stats item")
+        system.run_rounds(5)
+        op1 = system.retrieve(item.item_id)
+        op2 = system.retrieve(999_999)
+        system.run_until_finished([op1, op2])
+        service = system.retrieval
+        assert len(service.finished_operations()) == 2
+        assert 0.0 <= service.success_rate() <= 1.0
+        assert service.pending_operations() == []
+        if op1.succeeded:
+            assert service.latencies()
+
+    def test_multiple_concurrent_retrievals(self, churn_free_system):
+        system = churn_free_system
+        items = [system.store(bytes([i]) * 8) for i in range(3)]
+        system.run_rounds(2)
+        ops = [system.retrieve(item.item_id) for item in items]
+        system.run_until_finished(ops)
+        assert all(op.succeeded for op in ops)
+        found = {op.item_id for op in ops if op.succeeded}
+        assert found == {item.item_id for item in items}

@@ -1,0 +1,134 @@
+"""Tests for repro.core.storage (Algorithm 3 and Section 4.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import P2PStorageSystem
+
+
+class TestStoreReplication:
+    def test_store_places_theta_log_n_copies(self, churn_free_system):
+        system = churn_free_system
+        item = system.store(b"payload-bytes")
+        assert system.storage.is_available(item.item_id)
+        replicas = system.storage.replica_count(item.item_id)
+        assert 1 <= replicas <= system.params.committee_size
+        assert system.storage.read(item.item_id) == b"payload-bytes"
+
+    def test_store_builds_landmarks_immediately(self, churn_free_system):
+        system = churn_free_system
+        item = system.store(b"x" * 64)
+        assert system.storage.landmark_count(item.item_id) >= system.storage.replica_count(item.item_id)
+        assert system.storage.is_findable(item.item_id)
+
+    def test_storage_landmark_predicate(self, churn_free_system):
+        system = churn_free_system
+        item = system.store(b"x")
+        holder = system.storage.holders_of(item.item_id)[0]
+        assert system.storage.is_storage_landmark(item.item_id, holder)
+        assert not system.storage.is_storage_landmark(item.item_id, 10**9)
+        assert not system.storage.is_storage_landmark(999_999, holder)
+
+    def test_stored_bytes_accounting(self, churn_free_system):
+        system = churn_free_system
+        item = system.store(b"a" * 100)
+        assert system.storage.stored_bytes(item.item_id) == 100 * system.storage.replica_count(item.item_id)
+
+    def test_store_requires_alive_owner(self, churn_free_system):
+        with pytest.raises(ValueError):
+            churn_free_system.storage.store(10**9, b"x")
+
+    def test_store_requires_bytes(self, churn_free_system):
+        with pytest.raises(TypeError):
+            churn_free_system.storage.store(churn_free_system.random_alive_node(), "not bytes")  # type: ignore[arg-type]
+
+    def test_duplicate_item_id_rejected(self, churn_free_system):
+        system = churn_free_system
+        owner = system.random_alive_node()
+        system.storage.store(owner, b"x", item_id=777)
+        with pytest.raises(ValueError):
+            system.storage.store(owner, b"y", item_id=777)
+
+    def test_invalid_mode_rejected(self, churn_free_system):
+        with pytest.raises(ValueError):
+            churn_free_system.storage.store(churn_free_system.random_alive_node(), b"x", mode="magic")
+
+
+class TestMaintenanceUnderChurn:
+    def test_item_survives_many_refresh_periods(self):
+        system = P2PStorageSystem(n=64, churn_rate=2, seed=21)
+        system.warm_up()
+        item = system.store(b"persistent data")
+        system.run_rounds(4 * system.params.committee_refresh_period)
+        assert system.storage.is_available(item.item_id)
+        assert system.storage.read(item.item_id) == b"persistent data"
+        assert system.storage.items[item.item_id].handover_count >= 3
+
+    def test_replica_count_stays_bounded(self):
+        system = P2PStorageSystem(n=64, churn_rate=2, seed=22)
+        system.warm_up()
+        item = system.store(b"bounded")
+        max_replicas = 0
+        for _ in range(3 * system.params.committee_refresh_period):
+            system.run_round()
+            max_replicas = max(max_replicas, system.storage.replica_count(item.item_id))
+        assert max_replicas <= system.params.committee_size
+
+    def test_loss_detected_under_extreme_churn(self):
+        # Half the network replaced every round: data cannot survive long.
+        system = P2PStorageSystem(n=64, churn_rate=32, seed=23)
+        system.warm_up()
+        item = system.store(b"doomed")
+        system.run_rounds(6 * system.params.committee_refresh_period)
+        assert not system.storage.is_available(item.item_id) or system.storage.items[item.item_id].lost is False
+        # Either the item was (correctly) marked lost, or it survived; if marked
+        # lost the loss event must be recorded consistently.
+        if system.storage.items[item.item_id].lost:
+            assert item.item_id in system.storage.loss_events
+            assert system.storage.read(item.item_id) is None
+
+    def test_snapshot_shape(self, churn_free_system):
+        system = churn_free_system
+        system.store(b"a")
+        system.store(b"b")
+        snapshots = system.storage.snapshot(system.round_index)
+        assert len(snapshots) == 2
+        assert all(s.available for s in snapshots)
+
+
+class TestErasureMode:
+    def test_store_erasure_distributes_pieces(self):
+        system = P2PStorageSystem(n=64, churn_rate=0, seed=31, storage_mode="erasure")
+        system.warm_up()
+        item = system.store(b"erasure coded payload" * 4)
+        record = system.storage.items[item.item_id]
+        assert record.mode == "erasure"
+        assert len(record.pieces) >= record.coder.required_pieces
+        assert system.storage.read(item.item_id) == b"erasure coded payload" * 4
+
+    def test_erasure_uses_fewer_bytes_than_replication(self):
+        data = bytes(1000)
+        replicated = P2PStorageSystem(n=64, churn_rate=0, seed=32, storage_mode="replicate")
+        replicated.warm_up()
+        erasure = P2PStorageSystem(n=64, churn_rate=0, seed=32, storage_mode="erasure")
+        erasure.warm_up()
+        item_r = replicated.store(data)
+        item_e = erasure.store(data)
+        if replicated.storage.replica_count(item_r.item_id) >= 3:
+            assert erasure.storage.stored_bytes(item_e.item_id) < replicated.storage.stored_bytes(item_r.item_id)
+
+    def test_erasure_survives_churn_via_handover(self):
+        system = P2PStorageSystem(n=64, churn_rate=1, seed=33, storage_mode="erasure")
+        system.warm_up()
+        item = system.store(b"survives with pieces" * 3)
+        system.run_rounds(3 * system.params.committee_refresh_period)
+        if system.storage.is_available(item.item_id):
+            assert system.storage.read(item.item_id) == b"survives with pieces" * 3
+
+    def test_invalid_service_mode(self, churn_free_system):
+        from repro.core.storage import StorageService
+
+        with pytest.raises(ValueError):
+            StorageService(churn_free_system.ctx, mode="bogus")

@@ -1,0 +1,101 @@
+"""Tests for the experiment modules and registry (smoke-level: tiny configs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import registry
+from repro.sim.experiment import ExperimentConfig
+from repro.sim.results import ExperimentResult
+
+
+TINY = dict(n=64, seeds=(0,), measure_rounds=10, items=1)
+
+
+class TestRegistry:
+    def test_all_experiments_listed(self):
+        ids = registry.all_experiments()
+        assert ids[0] == "E1" and ids[-1] == "E12" and len(ids) == 12
+
+    def test_get_experiment_case_insensitive(self):
+        assert registry.get_experiment("e5") is registry.EXPERIMENTS["E5"]
+        with pytest.raises(KeyError):
+            registry.get_experiment("E99")
+
+    def test_every_module_has_interface(self):
+        for module in registry.EXPERIMENTS.values():
+            assert hasattr(module, "EXPERIMENT_ID")
+            assert hasattr(module, "TITLE") and hasattr(module, "CLAIM")
+            assert callable(module.quick_config) and callable(module.full_config)
+            assert callable(module.run)
+            quick = module.quick_config()
+            full = module.full_config()
+            assert isinstance(quick, ExperimentConfig) and isinstance(full, ExperimentConfig)
+            assert full.n >= quick.n
+
+    def test_main_list(self, capsys):
+        assert registry.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1:" in out and "E12:" in out
+
+    def test_main_runs_one_experiment(self, capsys):
+        assert registry.main(["E1"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "tv_distance" in out
+
+
+class TestQuickRuns:
+    """Run a representative subset of experiments on tiny configurations."""
+
+    def _check(self, result: ExperimentResult):
+        assert result.tables and not result.tables[0].is_empty()
+        assert result.findings
+        assert result.elapsed_seconds >= 0
+
+    def test_e1_soup(self):
+        from repro.experiments import exp01_soup_mixing as e1
+
+        result = e1.run(ExperimentConfig(name="E1", **TINY))
+        self._check(result)
+        for row in result.tables[0].rows:
+            assert 0 <= row["tv_distance"] <= 1
+
+    def test_e2_survival_monotone(self):
+        from repro.experiments import exp02_walk_survival as e2
+
+        result = e2.run(ExperimentConfig(name="E2", **TINY))
+        self._check(result)
+        survivals = [row["overall_survival"] for row in result.tables[0].rows]
+        assert survivals[0] >= survivals[-1]  # more churn, less survival
+
+    def test_e5_storage(self):
+        from repro.experiments import exp05_storage_availability as e5
+
+        result = e5.run(ExperimentConfig(name="E5", **TINY))
+        self._check(result)
+        for row in result.tables[0].rows:
+            assert 0 <= row["final_availability"] <= 1
+
+    def test_e6_retrieval(self):
+        from repro.experiments import exp06_retrieval as e6
+
+        result = e6.run(ExperimentConfig(name="E6", **TINY), sizes=(64,))
+        self._check(result)
+
+    def test_e10_erasure_overhead_smaller(self):
+        from repro.experiments import exp10_erasure as e10
+
+        result = e10.run(ExperimentConfig(name="E10", **TINY), item_sizes=(512,))
+        self._check(result)
+        rows = {row["mode"]: row for row in result.tables[0].rows}
+        if rows["replicate"]["availability"] > 0 and rows["erasure"]["availability"] > 0:
+            assert rows["erasure"]["stored_bytes_per_item"] <= rows["replicate"]["stored_bytes_per_item"]
+
+    def test_e12_ablation_rows(self):
+        from repro.experiments import exp12_adaptive_ablation as e12
+
+        result = e12.run(ExperimentConfig(name="E12", **TINY))
+        self._check(result)
+        adversaries = {row["adversary"] for row in result.tables[0].rows}
+        assert any("ADAPTIVE" in a for a in adversaries)
+        assert any("oblivious" in a for a in adversaries)

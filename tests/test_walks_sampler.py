@@ -1,0 +1,121 @@
+"""Tests for repro.walks.sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net.churn import NoChurn, ScheduledChurn
+from repro.net.network import DynamicNetwork
+from repro.util.rng import RngStream
+from repro.walks.sampler import NodeSampler, ReceivedSample
+from repro.walks.soup import SampleDelivery
+
+
+def make_net(adversary=None, n=32):
+    return DynamicNetwork(n, degree=4, adversary=adversary, adversary_rng=RngStream(0))
+
+
+def delivery(dests, sources, round_index=0):
+    return SampleDelivery(
+        round_index=round_index,
+        destination_uids=np.asarray(dests, dtype=np.int64),
+        source_uids=np.asarray(sources, dtype=np.int64),
+        birth_rounds=np.zeros(len(dests), dtype=np.int32),
+    )
+
+
+class TestIngest:
+    def test_records_samples_for_alive_destinations(self):
+        net = make_net()
+        sampler = NodeSampler(net)
+        count = sampler.ingest(delivery([1, 1, 2], [10, 11, 12]))
+        assert count == 3
+        assert sampler.sample_count(1) == 2
+        assert sampler.sample_count(2, round_index=0) == 1
+        assert sampler.sample_count(3) == 0
+
+    def test_drops_samples_for_dead_destinations(self):
+        adv = ScheduledChurn({0: [5]}, n_slots=32)
+        net = make_net(adversary=adv)
+        net.begin_round()
+        net.end_round()
+        sampler = NodeSampler(net)
+        count = sampler.ingest(delivery([5], [10]))
+        assert count == 0
+
+    def test_received_sample_age(self):
+        sample = ReceivedSample(source_uid=1, birth_round=0, delivered_round=3)
+        assert sample.age(10) == 7
+
+
+class TestExpiry:
+    def test_old_samples_expire(self):
+        net = make_net()
+        sampler = NodeSampler(net, retention=2)
+        sampler.ingest(delivery([1], [10], round_index=0))
+        sampler.ingest(delivery([1], [11], round_index=5))
+        sampler.expire(current_round=5)
+        assert sampler.sample_count(1, round_index=0) == 0
+        assert sampler.sample_count(1, round_index=5) == 1
+
+    def test_dead_node_state_dropped(self):
+        adv = ScheduledChurn({1: [7]}, n_slots=32)
+        net = make_net(adversary=adv)
+        sampler = NodeSampler(net)
+        sampler.ingest(delivery([7], [10], round_index=0))
+        net.begin_round()
+        net.end_round()
+        net.begin_round()  # churns uid 7
+        net.end_round()
+        sampler.expire(current_round=1)
+        assert sampler.sample_count(7) == 0
+
+
+class TestQueries:
+    def test_sample_sources_alive_filter(self):
+        adv = ScheduledChurn({0: [10]}, n_slots=32)
+        net = make_net(adversary=adv)
+        sampler = NodeSampler(net)
+        sampler.ingest(delivery([1, 1], [10, 11], round_index=0))
+        net.begin_round()  # uid 10 churned out
+        net.end_round()
+        assert sampler.sample_sources(1, alive_only=True) == [11]
+        assert sorted(sampler.sample_sources(1, alive_only=False)) == [10, 11]
+
+    def test_max_age_window(self):
+        net = make_net()
+        sampler = NodeSampler(net, retention=10)
+        sampler.ingest(delivery([1], [10], round_index=0))
+        sampler.ingest(delivery([1], [11], round_index=4))
+        recent = sampler.samples_of(1, max_age=2)
+        assert [s.source_uid for s in recent] == [11]
+
+    def test_draw_distinct_sources(self, rng):
+        net = make_net()
+        sampler = NodeSampler(net)
+        sampler.ingest(delivery([1] * 6, [2, 2, 3, 4, 5, 1], round_index=0))
+        picked = sampler.draw_distinct_sources(1, 10, rng)
+        # distinct, excludes self (uid 1), no duplicates
+        assert sorted(picked) == [2, 3, 4, 5]
+        limited = sampler.draw_distinct_sources(1, 2, rng)
+        assert len(limited) == 2 and len(set(limited)) == 2
+
+    def test_draw_with_exclusions(self, rng):
+        net = make_net()
+        sampler = NodeSampler(net)
+        sampler.ingest(delivery([1, 1, 1], [2, 3, 4], round_index=0))
+        picked = sampler.draw_distinct_sources(1, 5, rng, exclude=[2, 3])
+        assert picked == [4]
+
+    def test_nodes_with_samples(self):
+        net = make_net()
+        sampler = NodeSampler(net)
+        sampler.ingest(delivery([1, 2], [5, 6], round_index=0))
+        assert sampler.nodes_with_samples() == 2
+        assert sampler.nodes_with_samples(round_index=1) == 0
+        assert sampler.last_round_ingested == 0
+
+    def test_invalid_retention(self):
+        with pytest.raises(ValueError):
+            NodeSampler(make_net(), retention=0)

@@ -1,0 +1,190 @@
+"""Tests for repro.walks.soup: token conservation, churn kills, delivery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net.churn import NoChurn, ScheduledChurn, UniformRandomChurn
+from repro.net.network import DynamicNetwork
+from repro.util.rng import RngStream
+from repro.walks.soup import WalkSoup
+
+
+def make_net(n=64, degree=6, adversary=None, seed=1):
+    return DynamicNetwork(n, degree=degree, adversary=adversary, adversary_rng=RngStream(seed))
+
+
+def make_soup(net, walk_length=6, walks_per_node=2, seed=2, **kwargs):
+    return WalkSoup(net, walk_length=walk_length, walks_per_node=walks_per_node, rng=RngStream(seed), **kwargs)
+
+
+class TestInjection:
+    def test_inject_from_all(self):
+        net = make_net()
+        soup = make_soup(net, walks_per_node=3)
+        net.begin_round()
+        injected = soup.inject_from_all(0)
+        assert injected == 64 * 3
+        assert soup.in_flight == injected
+        net.end_round()
+
+    def test_inject_from_uids_skips_dead(self):
+        net = make_net()
+        soup = make_soup(net)
+        net.begin_round()
+        count = soup.inject_from_uids(np.array([0, 1, 9999]), 0, per_node=2)
+        assert count == 4
+        net.end_round()
+
+    def test_inject_empty(self):
+        net = make_net()
+        soup = make_soup(net)
+        assert soup.inject(np.empty(0, dtype=np.int32), np.empty(0, dtype=np.int64), 0) == 0
+
+
+class TestConservationWithoutChurn:
+    def test_every_walk_is_eventually_delivered(self):
+        net = make_net(adversary=NoChurn())
+        soup = make_soup(net, walk_length=5, walks_per_node=2)
+        delivered = 0
+        for r in range(5):
+            report = net.begin_round()
+            soup.apply_churn(report)
+            if r == 0:
+                soup.inject_from_all(0, per_node=2)
+            delivered += soup.step_and_collect(r).count
+            net.end_round()
+        assert delivered == 64 * 2
+        assert soup.in_flight == 0
+        assert soup.stats.survival_rate == 1.0
+
+    def test_walks_deliver_exactly_after_walk_length_rounds(self):
+        net = make_net(adversary=NoChurn())
+        soup = make_soup(net, walk_length=4)
+        for r in range(4):
+            report = net.begin_round()
+            if r == 0:
+                soup.inject_from_all(0, per_node=1)
+            delivery = soup.step_and_collect(r)
+            net.end_round()
+            if r < 3:
+                assert delivery.count == 0
+        assert delivery.count == 64
+
+    def test_delivery_sources_match_injection(self):
+        net = make_net(adversary=NoChurn())
+        soup = make_soup(net, walk_length=3)
+        deliveries = []
+        for r in range(3):
+            report = net.begin_round()
+            if r == 0:
+                soup.inject_from_all(0, per_node=1)
+            deliveries.append(soup.step_and_collect(r))
+            net.end_round()
+        sources = np.sort(np.concatenate([d.source_uids for d in deliveries]))
+        assert np.array_equal(sources, np.arange(64))
+
+
+class TestChurnKills:
+    def test_tokens_at_churned_slots_die(self):
+        adv = ScheduledChurn({1: list(range(32))}, n_slots=64)
+        net = make_net(adversary=adv)
+        soup = make_soup(net, walk_length=10, walks_per_node=1)
+        report = net.begin_round()
+        soup.inject_from_all(0, per_node=1)
+        soup.step_and_collect(0)
+        net.end_round()
+        report = net.begin_round()
+        killed = soup.apply_churn(report)
+        net.end_round()
+        assert killed == soup.stats.killed_by_churn
+        assert killed > 0
+        assert soup.in_flight == 64 - killed
+
+    def test_heavy_churn_reduces_survival(self):
+        adv = UniformRandomChurn(64, 16, np.random.default_rng(0))
+        net = make_net(adversary=adv)
+        soup = make_soup(net, walk_length=8, walks_per_node=2)
+        for r in range(8):
+            report = net.begin_round()
+            soup.apply_churn(report)
+            if r == 0:
+                soup.inject_from_all(0)
+            soup.step_and_collect(r)
+            net.end_round()
+        assert soup.stats.survival_rate < 0.6
+
+
+class TestDelivery:
+    def test_by_destination_grouping(self):
+        net = make_net(adversary=NoChurn())
+        soup = make_soup(net, walk_length=2)
+        for r in range(2):
+            report = net.begin_round()
+            if r == 0:
+                soup.inject_from_all(0, per_node=2)
+            delivery = soup.step_and_collect(r)
+            net.end_round()
+        grouped = delivery.by_destination()
+        assert sum(len(v) for v in grouped.values()) == delivery.count
+        assert all(net.is_alive(d) for d in grouped)
+
+    def test_advance_round_convenience(self):
+        adv = UniformRandomChurn(64, 2, np.random.default_rng(5))
+        net = make_net(adversary=adv)
+        soup = make_soup(net, walk_length=4, walks_per_node=1)
+        for _ in range(10):
+            report = net.begin_round()
+            soup.advance_round(report)
+            net.end_round()
+        assert soup.stats.generated == 64 * 10
+        assert soup.stats.delivered > 0
+
+
+class TestForwardingCap:
+    def test_cap_holds_tokens(self):
+        net = make_net(adversary=NoChurn())
+        soup = make_soup(net, walk_length=6, walks_per_node=4, enforce_forwarding_cap=True, forwarding_cap=2)
+        report = net.begin_round()
+        soup.inject_from_all(0, per_node=4)
+        soup.step_and_collect(0)
+        net.end_round()
+        assert soup.stats.held_by_cap > 0
+
+    def test_without_cap_nothing_held(self):
+        net = make_net(adversary=NoChurn())
+        soup = make_soup(net, walk_length=6, walks_per_node=4)
+        report = net.begin_round()
+        soup.inject_from_all(0, per_node=4)
+        soup.step_and_collect(0)
+        net.end_round()
+        assert soup.stats.held_by_cap == 0
+
+
+class TestStatsAndHelpers:
+    def test_expected_tokens_and_bits(self):
+        net = make_net()
+        soup = make_soup(net, walk_length=5, walks_per_node=3)
+        assert soup.expected_tokens_per_node() == 15
+        assert soup.estimated_bits_per_node_round() > 0
+
+    def test_recommended_walk_length_grows_with_n(self):
+        assert WalkSoup.recommended_walk_length(10_000) > WalkSoup.recommended_walk_length(100)
+        assert WalkSoup.recommended_walk_length(3) >= 2
+
+    def test_tokens_at_slot(self):
+        net = make_net(adversary=NoChurn())
+        soup = make_soup(net)
+        net.begin_round()
+        soup.inject(np.array([5, 5, 7], dtype=np.int32), np.array([5, 5, 7], dtype=np.int64), 0)
+        assert soup.tokens_at_slot(5) == 2
+        assert soup.tokens_at_slot(6) == 0
+        net.end_round()
+
+    def test_invalid_parameters(self):
+        net = make_net()
+        with pytest.raises(ValueError):
+            WalkSoup(net, walk_length=0, walks_per_node=1, rng=RngStream(0))
+        with pytest.raises(ValueError):
+            WalkSoup(net, walk_length=2, walks_per_node=0, rng=RngStream(0))
