@@ -6,24 +6,41 @@ Monte-Carlo aggregates; repeating them inside the timer would only multiply
 runtime without adding information) and attaches the headline measurements as
 benchmark extra_info so `pytest benchmarks/ --benchmark-only` doubles as a
 results printer.
+
+The ``workers`` knob of :class:`repro.sim.runner.TrialRunner` threads through
+here: pass ``workers=k`` from a benchmark, or set the ``REPRO_BENCH_WORKERS``
+environment variable to parallelise every experiment benchmark's Monte-Carlo
+trials.  Results are seed-deterministic, so the knob only changes timing.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 
-def run_experiment_benchmark(benchmark, module, **run_kwargs):
-    """Run ``module.run(module.quick_config())`` once under the benchmark timer."""
+def _default_workers() -> int:
+    """Worker count from $REPRO_BENCH_WORKERS (default 1 = sequential)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+    except ValueError:
+        return 1
+
+
+def run_experiment_benchmark(benchmark, module, workers=None, **run_kwargs):
+    """Run ``module.run(module.quick_config(workers=...))`` once under the benchmark timer."""
+    workers = _default_workers() if workers is None else workers
     result_holder = {}
 
     def target():
-        result_holder["result"] = module.run(module.quick_config(), **run_kwargs)
+        result_holder["result"] = module.run(module.quick_config(workers=workers), **run_kwargs)
         return result_holder["result"]
 
     result = benchmark.pedantic(target, rounds=1, iterations=1)
     benchmark.extra_info["experiment"] = module.EXPERIMENT_ID
     benchmark.extra_info["title"] = module.TITLE
+    benchmark.extra_info["workers"] = workers
     for finding in result.findings[:2]:
         benchmark.extra_info.setdefault("findings", []).append(finding)
     # Surface the first table in the captured output for convenience.

@@ -6,68 +6,97 @@ copies) and once with Rabin IDA pieces (one piece per committee member, any
 K reconstruct), runs both systems against the same churn rate, and compares
 bytes stored, availability, and the reconstruct-and-redisperse handovers.
 
-Run with::
+Both storage modes run as one two-cell sweep through
+:class:`repro.sim.runner.Sweep`; pass ``--workers 2`` to run them on separate
+processes (the results are seed-deterministic either way)::
 
-    python examples/erasure_storage.py
+    python examples/erasure_storage.py --workers 2
 """
 
 from __future__ import annotations
 
+import argparse
+from typing import Dict
+
 import numpy as np
 
-from repro import InformationDispersal, P2PStorageSystem
+from repro import InformationDispersal
 from repro.analysis.tables import ResultTable
+from repro.core.params import ProtocolParameters
+from repro.sim.experiment import ExperimentConfig, build_system
+from repro.sim.runner import GridSpec, Sweep, TrialRunner
+
+ITEM_SIZE = 4096
 
 
-def run_mode(mode: str, payloads: list[bytes], seed: int) -> dict:
-    system = P2PStorageSystem(n=512, churn_rate=5, seed=seed, storage_mode=mode)
-    system.warm_up()
+def erasure_trial(config: ExperimentConfig, seed: int) -> Dict[str, float]:
+    """Store items, churn for the horizon, retrieve; return plain metrics."""
+    system = build_system(config, seed)
+    system.warm_up(config.warmup_rounds)
+    rng = np.random.default_rng(seed + 50_000)
+    payloads = [
+        rng.integers(0, 256, size=config.item_size, dtype=np.uint8).tobytes() for _ in range(config.items)
+    ]
     items = [system.store(p) for p in payloads]
-    system.run_rounds(4 * system.params.committee_refresh_period)
+    system.run_rounds(config.measure_rounds)
     ops = [system.retrieve(i.item_id) for i in items if system.storage.is_available(i.item_id)]
     system.run_until_finished(ops)
     return {
-        "system": system,
-        "items": items,
         "stored_bytes": float(np.mean([system.storage.stored_bytes(i.item_id) for i in items])),
         "availability": float(np.mean([system.storage.is_available(i.item_id) for i in items])),
-        "intact": float(
-            np.mean([system.storage.read(i.item_id) == p for i, p in zip(items, payloads)])
-        ),
+        "intact": float(np.mean([system.storage.read(i.item_id) == p for i, p in zip(items, payloads)])),
         "handovers": float(np.mean([system.storage.items[i.item_id].handover_count for i in items])),
         "retrieved": float(np.mean([op.succeeded for op in ops])) if ops else 0.0,
     }
 
 
 def main() -> None:
-    rng = np.random.default_rng(99)
-    payloads = [rng.integers(0, 256, size=4096, dtype=np.uint8).tobytes() for _ in range(4)]
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=1, help="worker processes for the sweep (default 1)")
+    args = parser.parse_args()
 
     # Show the raw coder first.
+    rng = np.random.default_rng(99)
+    demo_payload = rng.integers(0, 256, size=ITEM_SIZE, dtype=np.uint8).tobytes()
     ida = InformationDispersal(total_pieces=10, required_pieces=7)
-    pieces = ida.encode(payloads[0])
+    pieces = ida.encode(demo_payload)
     print(
-        f"raw IDA demo: {len(payloads[0])} bytes -> {len(pieces)} pieces of {pieces[0].size_bytes} bytes "
+        f"raw IDA demo: {len(demo_payload)} bytes -> {len(pieces)} pieces of {pieces[0].size_bytes} bytes "
         f"(blow-up {ida.blowup:.2f}x); any 7 pieces reconstruct: "
-        f"{ida.decode(pieces[3:10]) == payloads[0]}"
+        f"{ida.decode(pieces[3:10]) == demo_payload}"
     )
 
+    n = 512
+    params = ProtocolParameters.for_network(n)
+    base = ExperimentConfig(
+        name="erasure-demo",
+        n=n,
+        churn_rate=5,
+        seeds=(7,),
+        measure_rounds=4 * params.committee_refresh_period,
+        items=4,
+        item_size=ITEM_SIZE,
+        workers=args.workers,
+    )
+    grid = GridSpec.product({"storage_mode": ("replicate", "erasure")})
+    result = Sweep(base, grid, erasure_trial).run(TrialRunner(workers=args.workers))
+
     table = ResultTable(
-        title="replication vs erasure-coded storage (n=512, churn 5/round, 4 KiB items)",
+        title=f"replication vs erasure-coded storage (n={n}, churn 5/round, 4 KiB items)",
         columns=["mode", "stored_bytes_per_item", "overhead_x", "availability", "intact", "retrieved", "handovers"],
     )
-    for mode in ("replicate", "erasure"):
-        outcome = run_mode(mode, payloads, seed=7)
+    for cell_result in result:
+        mode = cell_result.cell.override_dict()["storage_mode"]
+        outcome = cell_result.trials[0].payload
         table.add_row(
             mode=mode,
             stored_bytes_per_item=outcome["stored_bytes"],
-            overhead_x=outcome["stored_bytes"] / 4096,
+            overhead_x=outcome["stored_bytes"] / ITEM_SIZE,
             availability=outcome["availability"],
             intact=outcome["intact"],
             retrieved=outcome["retrieved"],
             handovers=outcome["handovers"],
         )
-        params = outcome["system"].params
         print(
             f"{mode:9s}: L={params.erasure_total_pieces} K={params.erasure_required_pieces} "
             f"stored {outcome['stored_bytes']:.0f} B/item, availability {outcome['availability']:.2f}"

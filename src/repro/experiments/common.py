@@ -3,11 +3,20 @@
 Every experiment module follows the same shape:
 
 * module constants ``EXPERIMENT_ID``, ``TITLE``, ``CLAIM``;
-* ``quick_config()`` -- a small configuration meant for benchmarks and CI
-  (seconds, not minutes);
-* ``full_config()`` -- a larger configuration for producing the numbers
-  recorded in EXPERIMENTS.md;
-* ``run(config=None) -> ExperimentResult``.
+* ``quick_config(workers=1)`` -- a small configuration meant for benchmarks
+  and CI (seconds, not minutes);
+* ``full_config(workers=1)`` -- a larger configuration for producing the
+  numbers recorded in EXPERIMENTS.md;
+* ``run(config=None) -> ExperimentResult``;
+* a module-level ``_trial(config, seed) -> dict`` returning plain picklable
+  data, so trials can be dispatched to worker processes.
+
+The ``workers`` knob threads through to :class:`repro.sim.runner.TrialRunner`:
+``workers=1`` runs trials sequentially in-process, ``workers=k`` fans every
+(config, seed) cell of the experiment (including its sweep grid, via
+:class:`repro.sim.runner.Sweep`) into a pool of ``k`` processes.  Because each
+trial derives all randomness from its seed, the knob changes wall-clock time
+only -- payloads are byte-identical either way.
 
 This module holds the pieces several experiments share: a soup-only run
 (network + walks, no storage protocol) used by the mixing/survival

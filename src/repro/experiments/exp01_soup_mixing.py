@@ -11,15 +11,17 @@ rates from zero up to the paper's limit.
 
 from __future__ import annotations
 
-from typing import Optional
+from functools import partial
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.analysis.stats import mean_ci
 from repro.analysis.tables import ResultTable
 from repro.analysis.theory import PaperBounds
-from repro.sim.experiment import ExperimentConfig, resolve_churn_rate, run_trials
+from repro.sim.experiment import ExperimentConfig
 from repro.sim.results import ExperimentResult, timed_experiment
+from repro.sim.runner import GridSpec, Sweep
 from repro.experiments.common import run_soup_only
 from repro.walks.mixing import destination_distribution, total_variation_from_uniform
 
@@ -34,14 +36,26 @@ CLAIM = (
 CHURN_FRACTIONS = (0.0, 0.02, 0.05, 0.1)
 
 
-def quick_config() -> ExperimentConfig:
+def quick_config(workers: int = 1) -> ExperimentConfig:
     """Small configuration for benchmarks/CI."""
-    return ExperimentConfig(name=EXPERIMENT_ID, n=256, seeds=(0, 1), measure_rounds=0)
+    return ExperimentConfig(name=EXPERIMENT_ID, n=256, seeds=(0, 1), measure_rounds=0, workers=workers)
 
 
-def full_config() -> ExperimentConfig:
+def full_config(workers: int = 1) -> ExperimentConfig:
     """Larger configuration for EXPERIMENTS.md numbers."""
-    return ExperimentConfig(name=EXPERIMENT_ID, n=2048, seeds=(0, 1, 2, 3), measure_rounds=0)
+    return ExperimentConfig(name=EXPERIMENT_ID, n=2048, seeds=(0, 1, 2, 3), measure_rounds=0, workers=workers)
+
+
+def _trial(config: ExperimentConfig, seed: int, walks_per_source: int = 8) -> Dict[str, float]:
+    run_result = run_soup_only(config, seed, walks_per_source=walks_per_source)
+    counts = destination_distribution(run_result.delivery)
+    report = total_variation_from_uniform(counts, run_result.population)
+    return {
+        "tv": report.tv_distance,
+        "max_over_uniform": report.max_over_uniform,
+        "coverage": report.coverage,
+        "churn": run_result.churn_rate,
+    }
 
 
 def run(config: Optional[ExperimentConfig] = None, walks_per_source: int = 8) -> ExperimentResult:
@@ -66,21 +80,15 @@ def run(config: Optional[ExperimentConfig] = None, walks_per_source: int = 8) ->
         ],
     )
     with timed_experiment(result):
-        for fraction in CHURN_FRACTIONS:
-            cfg = config.with_overrides(churn_fraction=fraction, adversary="none" if fraction == 0 else "uniform")
-
-            def trial(c, seed):
-                run_result = run_soup_only(c, seed, walks_per_source=walks_per_source)
-                counts = destination_distribution(run_result.delivery)
-                report = total_variation_from_uniform(counts, run_result.population)
-                return {
-                    "tv": report.tv_distance,
-                    "max_over_uniform": report.max_over_uniform,
-                    "coverage": report.coverage,
-                    "churn": run_result.churn_rate,
-                }
-
-            trials = run_trials(cfg, trial)
+        grid = GridSpec.from_cells(
+            [
+                {"churn_fraction": fraction, "adversary": "none" if fraction == 0 else "uniform"}
+                for fraction in CHURN_FRACTIONS
+            ]
+        )
+        sweep = Sweep(config, grid, partial(_trial, walks_per_source=walks_per_source)).run()
+        for fraction, cell in zip(CHURN_FRACTIONS, sweep):
+            trials = cell.trials
             tv = mean_ci([t.payload["tv"] for t in trials])
             ratio = mean_ci([t.payload["max_over_uniform"] for t in trials])
             coverage = mean_ci([t.payload["coverage"] for t in trials])

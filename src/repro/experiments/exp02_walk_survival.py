@@ -9,14 +9,16 @@ threshold, sweeping the churn rate.
 
 from __future__ import annotations
 
-from typing import Optional
+from functools import partial
+from typing import Dict, Optional
 
 from repro.analysis.stats import mean_ci
 from repro.analysis.tables import ResultTable
 from repro.analysis.theory import PaperBounds
 from repro.experiments.common import run_soup_only
-from repro.sim.experiment import ExperimentConfig, run_trials
+from repro.sim.experiment import ExperimentConfig
 from repro.sim.results import ExperimentResult, timed_experiment
+from repro.sim.runner import GridSpec, Sweep
 
 EXPERIMENT_ID = "E2"
 TITLE = "Random-walk survival under churn"
@@ -28,14 +30,26 @@ CLAIM = (
 CHURN_FRACTIONS = (0.0, 0.02, 0.05, 0.1, 0.25)
 
 
-def quick_config() -> ExperimentConfig:
+def quick_config(workers: int = 1) -> ExperimentConfig:
     """Small configuration for benchmarks/CI."""
-    return ExperimentConfig(name=EXPERIMENT_ID, n=256, seeds=(0, 1), measure_rounds=0)
+    return ExperimentConfig(name=EXPERIMENT_ID, n=256, seeds=(0, 1), measure_rounds=0, workers=workers)
 
 
-def full_config() -> ExperimentConfig:
+def full_config(workers: int = 1) -> ExperimentConfig:
     """Larger configuration for EXPERIMENTS.md numbers."""
-    return ExperimentConfig(name=EXPERIMENT_ID, n=2048, seeds=(0, 1, 2, 3), measure_rounds=0)
+    return ExperimentConfig(name=EXPERIMENT_ID, n=2048, seeds=(0, 1, 2, 3), measure_rounds=0, workers=workers)
+
+
+def _trial(config: ExperimentConfig, seed: int, walks_per_source: int = 8, threshold: float = 0.0) -> Dict[str, float]:
+    run_result = run_soup_only(config, seed, walks_per_source=walks_per_source)
+    survival = run_result.survival
+    naive = (1.0 - run_result.churn_rate / config.n) ** run_result.walk_length
+    return {
+        "overall": survival.overall_survival,
+        "above": survival.fraction_above(threshold),
+        "churn": run_result.churn_rate,
+        "naive": naive,
+    }
 
 
 def run(config: Optional[ExperimentConfig] = None, walks_per_source: int = 8) -> ExperimentResult:
@@ -61,23 +75,16 @@ def run(config: Optional[ExperimentConfig] = None, walks_per_source: int = 8) ->
         ],
     )
     with timed_experiment(result):
-        for fraction in CHURN_FRACTIONS:
-            cfg = config.with_overrides(
-                churn_fraction=fraction, adversary="none" if fraction == 0 else "uniform"
-            )
-
-            def trial(c, seed):
-                run_result = run_soup_only(c, seed, walks_per_source=walks_per_source)
-                survival = run_result.survival
-                naive = (1.0 - run_result.churn_rate / c.n) ** run_result.walk_length
-                return {
-                    "overall": survival.overall_survival,
-                    "above": survival.fraction_above(threshold),
-                    "churn": run_result.churn_rate,
-                    "naive": naive,
-                }
-
-            trials = run_trials(cfg, trial)
+        grid = GridSpec.from_cells(
+            [
+                {"churn_fraction": fraction, "adversary": "none" if fraction == 0 else "uniform"}
+                for fraction in CHURN_FRACTIONS
+            ]
+        )
+        trial = partial(_trial, walks_per_source=walks_per_source, threshold=threshold)
+        sweep = Sweep(config, grid, trial).run()
+        for fraction, cell in zip(CHURN_FRACTIONS, sweep):
+            trials = cell.trials
             overall = mean_ci([t.payload["overall"] for t in trials])
             above = mean_ci([t.payload["above"] for t in trials])
             table.add_row(

@@ -13,6 +13,7 @@ rounds.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, Optional
 
 import numpy as np
@@ -34,14 +35,14 @@ CLAIM = (
 CHURN_FRACTIONS = (0.02, 0.05, 0.1)
 
 
-def quick_config() -> ExperimentConfig:
+def quick_config(workers: int = 1) -> ExperimentConfig:
     """Small configuration for benchmarks/CI."""
-    return ExperimentConfig(name=EXPERIMENT_ID, n=256, seeds=(0, 1), measure_rounds=60)
+    return ExperimentConfig(name=EXPERIMENT_ID, n=256, seeds=(0, 1), measure_rounds=60, workers=workers)
 
 
-def full_config() -> ExperimentConfig:
+def full_config(workers: int = 1) -> ExperimentConfig:
     """Larger configuration for EXPERIMENTS.md numbers."""
-    return ExperimentConfig(name=EXPERIMENT_ID, n=1024, seeds=(0, 1, 2, 3), measure_rounds=200)
+    return ExperimentConfig(name=EXPERIMENT_ID, n=1024, seeds=(0, 1, 2, 3), measure_rounds=200, workers=workers)
 
 
 def _trial(config: ExperimentConfig, seed: int, maintain: bool) -> Dict[str, float]:
@@ -103,7 +104,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         for fraction in CHURN_FRACTIONS:
             cfg = config.with_overrides(churn_fraction=fraction)
             for maintain in (True, False):
-                trials = run_trials(cfg, lambda c, s, m=maintain: _trial(c, s, m))
+                trials = run_trials(cfg, partial(_trial, maintain=maintain))
                 good = mean_ci([t.payload["good_fraction"] for t in trials])
                 alive = mean_ci([t.payload["mean_alive_fraction"] for t in trials])
                 reform = mean_ci([t.payload["reformations"] for t in trials])

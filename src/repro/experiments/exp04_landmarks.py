@@ -19,8 +19,9 @@ from repro.analysis.stats import mean_ci
 from repro.analysis.tables import ResultTable
 from repro.analysis.theory import PaperBounds
 from repro.experiments.common import run_storage_trial
-from repro.sim.experiment import ExperimentConfig, run_trials
+from repro.sim.experiment import ExperimentConfig
 from repro.sim.results import ExperimentResult, timed_experiment
+from repro.sim.runner import GridSpec, Sweep
 
 EXPERIMENT_ID = "E4"
 TITLE = "Landmark-set size scales as sqrt(n)"
@@ -32,14 +33,14 @@ CLAIM = (
 NETWORK_SIZES = (256, 512, 1024)
 
 
-def quick_config() -> ExperimentConfig:
+def quick_config(workers: int = 1) -> ExperimentConfig:
     """Small configuration for benchmarks/CI."""
-    return ExperimentConfig(name=EXPERIMENT_ID, n=256, seeds=(0, 1), measure_rounds=12, items=2)
+    return ExperimentConfig(name=EXPERIMENT_ID, n=256, seeds=(0, 1), measure_rounds=12, items=2, workers=workers)
 
 
-def full_config() -> ExperimentConfig:
+def full_config(workers: int = 1) -> ExperimentConfig:
     """Larger configuration for EXPERIMENTS.md numbers."""
-    return ExperimentConfig(name=EXPERIMENT_ID, n=1024, seeds=(0, 1, 2), measure_rounds=30, items=3)
+    return ExperimentConfig(name=EXPERIMENT_ID, n=1024, seeds=(0, 1, 2), measure_rounds=30, items=3, workers=workers)
 
 
 def _trial(config: ExperimentConfig, seed: int) -> Dict[str, float]:
@@ -81,10 +82,10 @@ def run(config: Optional[ExperimentConfig] = None, sizes=NETWORK_SIZES) -> Exper
         ],
     )
     with timed_experiment(result):
-        for n in sizes:
-            cfg = base.with_overrides(n=n)
-            bounds = PaperBounds(n, cfg.delta)
-            trials = run_trials(cfg, _trial)
+        sweep = Sweep(base, GridSpec.product({"n": tuple(sizes)}), _trial).run()
+        for n, cell in zip(sizes, sweep):
+            bounds = PaperBounds(n, base.delta)
+            trials = cell.trials
             mean_landmarks = mean_ci([t.payload["mean_landmarks"] for t in trials])
             depth = max(t.payload["max_depth"] for t in trials)
             table.add_row(

@@ -17,9 +17,10 @@ import numpy as np
 from repro.analysis.stats import mean_ci, success_fraction
 from repro.analysis.tables import ResultTable
 from repro.analysis.theory import PaperBounds
-from repro.sim.experiment import ExperimentConfig, build_system, run_trials
+from repro.sim.experiment import ExperimentConfig, build_system
 from repro.sim.metrics import MetricsCollector
 from repro.sim.results import ExperimentResult, timed_experiment
+from repro.sim.runner import GridSpec, Sweep
 from repro.experiments.common import store_items
 
 EXPERIMENT_ID = "E5"
@@ -32,14 +33,16 @@ CLAIM = (
 CHURN_FRACTIONS = (0.02, 0.05, 0.1)
 
 
-def quick_config() -> ExperimentConfig:
+def quick_config(workers: int = 1) -> ExperimentConfig:
     """Small configuration for benchmarks/CI."""
-    return ExperimentConfig(name=EXPERIMENT_ID, n=256, seeds=(0, 1), measure_rounds=60, items=3)
+    return ExperimentConfig(name=EXPERIMENT_ID, n=256, seeds=(0, 1), measure_rounds=60, items=3, workers=workers)
 
 
-def full_config() -> ExperimentConfig:
+def full_config(workers: int = 1) -> ExperimentConfig:
     """Larger configuration for EXPERIMENTS.md numbers."""
-    return ExperimentConfig(name=EXPERIMENT_ID, n=1024, seeds=(0, 1, 2, 3), measure_rounds=250, items=5)
+    return ExperimentConfig(
+        name=EXPERIMENT_ID, n=1024, seeds=(0, 1, 2, 3), measure_rounds=250, items=5, workers=workers
+    )
 
 
 def _trial(config: ExperimentConfig, seed: int) -> Dict[str, float]:
@@ -91,9 +94,10 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         ],
     )
     with timed_experiment(result):
-        for fraction in CHURN_FRACTIONS:
-            cfg = config.with_overrides(churn_fraction=fraction)
-            trials = run_trials(cfg, _trial)
+        sweep = Sweep(config, GridSpec.product({"churn_fraction": CHURN_FRACTIONS}), _trial).run()
+        for fraction, cell in zip(CHURN_FRACTIONS, sweep):
+            cfg = cell.cell.config
+            trials = cell.trials
             table.add_row(
                 churn_fraction=fraction,
                 final_availability=mean_ci([t.payload["final_availability"] for t in trials]).mean,

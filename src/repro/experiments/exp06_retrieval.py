@@ -17,8 +17,9 @@ from repro.analysis.stats import log_fit_slope, mean_ci, percentile, success_fra
 from repro.analysis.tables import ResultTable
 from repro.analysis.theory import PaperBounds
 from repro.experiments.common import run_storage_trial
-from repro.sim.experiment import ExperimentConfig, run_trials
+from repro.sim.experiment import ExperimentConfig
 from repro.sim.results import ExperimentResult, timed_experiment
+from repro.sim.runner import GridSpec, Sweep
 
 EXPERIMENT_ID = "E6"
 TITLE = "Retrieval succeeds in O(log n) rounds"
@@ -31,14 +32,14 @@ NETWORK_SIZES = (256, 512, 1024)
 RETRIEVALS_PER_ITEM = 2
 
 
-def quick_config() -> ExperimentConfig:
+def quick_config(workers: int = 1) -> ExperimentConfig:
     """Small configuration for benchmarks/CI."""
-    return ExperimentConfig(name=EXPERIMENT_ID, n=256, seeds=(0, 1), measure_rounds=10, items=2)
+    return ExperimentConfig(name=EXPERIMENT_ID, n=256, seeds=(0, 1), measure_rounds=10, items=2, workers=workers)
 
 
-def full_config() -> ExperimentConfig:
+def full_config(workers: int = 1) -> ExperimentConfig:
     """Larger configuration for EXPERIMENTS.md numbers."""
-    return ExperimentConfig(name=EXPERIMENT_ID, n=1024, seeds=(0, 1, 2), measure_rounds=20, items=3)
+    return ExperimentConfig(name=EXPERIMENT_ID, n=1024, seeds=(0, 1, 2), measure_rounds=20, items=3, workers=workers)
 
 
 def _trial(config: ExperimentConfig, seed: int) -> Dict[str, object]:
@@ -81,10 +82,10 @@ def run(config: Optional[ExperimentConfig] = None, sizes=NETWORK_SIZES) -> Exper
     with timed_experiment(result):
         all_ns = []
         all_latencies = []
-        for n in sizes:
-            cfg = base.with_overrides(n=n)
-            bounds = PaperBounds(n, cfg.delta)
-            trials = run_trials(cfg, _trial)
+        sweep = Sweep(base, GridSpec.product({"n": tuple(sizes)}), _trial).run()
+        for n, cell in zip(sizes, sweep):
+            bounds = PaperBounds(n, base.delta)
+            trials = cell.trials
             successes = [s for t in trials for s in t.payload["success"]]
             latencies = [l for t in trials for l in t.payload["latencies"]]
             probes = [p for t in trials for p in t.payload["probes"]]

@@ -18,8 +18,9 @@ from repro.analysis.stats import mean_ci, success_fraction
 from repro.analysis.tables import ResultTable
 from repro.analysis.theory import PaperBounds
 from repro.experiments.common import run_storage_trial
-from repro.sim.experiment import ExperimentConfig, run_trials
+from repro.sim.experiment import ExperimentConfig
 from repro.sim.results import ExperimentResult, timed_experiment
+from repro.sim.runner import GridSpec, Sweep
 
 EXPERIMENT_ID = "E7"
 TITLE = "Churn-rate sweep: where the protocol degrades"
@@ -32,14 +33,14 @@ CLAIM = (
 SWEEP_MULTIPLIERS = (0.0, 0.05, 0.125, 0.25, 0.5, 1.0)
 
 
-def quick_config() -> ExperimentConfig:
+def quick_config(workers: int = 1) -> ExperimentConfig:
     """Small configuration for benchmarks/CI."""
-    return ExperimentConfig(name=EXPERIMENT_ID, n=256, seeds=(0, 1), measure_rounds=30, items=2)
+    return ExperimentConfig(name=EXPERIMENT_ID, n=256, seeds=(0, 1), measure_rounds=30, items=2, workers=workers)
 
 
-def full_config() -> ExperimentConfig:
+def full_config(workers: int = 1) -> ExperimentConfig:
     """Larger configuration for EXPERIMENTS.md numbers."""
-    return ExperimentConfig(name=EXPERIMENT_ID, n=1024, seeds=(0, 1, 2), measure_rounds=80, items=3)
+    return ExperimentConfig(name=EXPERIMENT_ID, n=1024, seeds=(0, 1, 2), measure_rounds=80, items=3, workers=workers)
 
 
 def _rate_for(n: float, delta: float, multiplier: float) -> int:
@@ -87,12 +88,17 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         ],
     )
     with timed_experiment(result):
-        for multiplier in SWEEP_MULTIPLIERS:
-            rate = _rate_for(config.n, config.delta, multiplier)
-            cfg = config.with_overrides(
-                churn_rate=rate, adversary="none" if rate == 0 else "uniform"
-            )
-            trials = run_trials(cfg, _trial)
+        rates = [_rate_for(config.n, config.delta, m) for m in SWEEP_MULTIPLIERS]
+        # At small n several multipliers can round to the same absolute rate;
+        # run each distinct rate once and reuse its cell for every multiplier.
+        unique_rates = list(dict.fromkeys(rates))
+        grid = GridSpec.from_cells(
+            [{"churn_rate": rate, "adversary": "none" if rate == 0 else "uniform"} for rate in unique_rates]
+        )
+        sweep = Sweep(config, grid, _trial).run()
+        cell_by_rate = dict(zip(unique_rates, sweep))
+        for multiplier, rate in zip(SWEEP_MULTIPLIERS, rates):
+            trials = cell_by_rate[rate].trials
             availability = mean_ci([t.payload["availability"] for t in trials])
             successes = [s for t in trials for s in t.payload["success"]]
             success_rate, _, _ = success_fraction(successes)

@@ -34,14 +34,14 @@ CLAIM = (
 NETWORK_SIZES = (256, 512, 1024)
 
 
-def quick_config() -> ExperimentConfig:
+def quick_config(workers: int = 1) -> ExperimentConfig:
     """Small configuration for benchmarks/CI."""
-    return ExperimentConfig(name=EXPERIMENT_ID, n=256, seeds=(0, 1), measure_rounds=20, items=2)
+    return ExperimentConfig(name=EXPERIMENT_ID, n=256, seeds=(0, 1), measure_rounds=20, items=2, workers=workers)
 
 
-def full_config() -> ExperimentConfig:
+def full_config(workers: int = 1) -> ExperimentConfig:
     """Larger configuration for EXPERIMENTS.md numbers."""
-    return ExperimentConfig(name=EXPERIMENT_ID, n=1024, seeds=(0, 1, 2), measure_rounds=40, items=3)
+    return ExperimentConfig(name=EXPERIMENT_ID, n=1024, seeds=(0, 1, 2), measure_rounds=40, items=3, workers=workers)
 
 
 def _protocol_trial(config: ExperimentConfig, seed: int) -> Dict[str, float]:

@@ -39,14 +39,14 @@ CLAIM = (
 )
 
 
-def quick_config() -> ExperimentConfig:
+def quick_config(workers: int = 1) -> ExperimentConfig:
     """Small configuration for benchmarks/CI."""
-    return ExperimentConfig(name=EXPERIMENT_ID, n=256, seeds=(0, 1), measure_rounds=40, items=2)
+    return ExperimentConfig(name=EXPERIMENT_ID, n=256, seeds=(0, 1), measure_rounds=40, items=2, workers=workers)
 
 
-def full_config() -> ExperimentConfig:
+def full_config(workers: int = 1) -> ExperimentConfig:
     """Larger configuration for EXPERIMENTS.md numbers."""
-    return ExperimentConfig(name=EXPERIMENT_ID, n=1024, seeds=(0, 1, 2), measure_rounds=120, items=3)
+    return ExperimentConfig(name=EXPERIMENT_ID, n=1024, seeds=(0, 1, 2), measure_rounds=120, items=3, workers=workers)
 
 
 def _trial(config: ExperimentConfig, seed: int) -> Dict[str, Dict[str, float]]:
@@ -161,6 +161,8 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         ],
     )
     with timed_experiment(result):
+        # All seeds of the four-way baseline comparison fan into one pool;
+        # each seeded trial runs every scheme on the same churn schedule.
         trials = run_trials(config, _trial)
         for scheme in SCHEMES:
             availability = mean_ci([t.payload[scheme]["availability"] for t in trials])

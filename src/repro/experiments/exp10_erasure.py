@@ -18,8 +18,9 @@ from repro.analysis.stats import mean_ci
 from repro.analysis.tables import ResultTable
 from repro.core.params import ProtocolParameters
 from repro.experiments.common import run_storage_trial
-from repro.sim.experiment import ExperimentConfig, run_trials
+from repro.sim.experiment import ExperimentConfig
 from repro.sim.results import ExperimentResult, timed_experiment
+from repro.sim.runner import GridSpec, Sweep
 
 EXPERIMENT_ID = "E10"
 TITLE = "Erasure-coded storage: constant-factor space overhead with the same availability"
@@ -31,14 +32,14 @@ CLAIM = (
 ITEM_SIZES = (256, 1024, 4096)
 
 
-def quick_config() -> ExperimentConfig:
+def quick_config(workers: int = 1) -> ExperimentConfig:
     """Small configuration for benchmarks/CI."""
-    return ExperimentConfig(name=EXPERIMENT_ID, n=256, seeds=(0, 1), measure_rounds=40, items=2)
+    return ExperimentConfig(name=EXPERIMENT_ID, n=256, seeds=(0, 1), measure_rounds=40, items=2, workers=workers)
 
 
-def full_config() -> ExperimentConfig:
+def full_config(workers: int = 1) -> ExperimentConfig:
     """Larger configuration for EXPERIMENTS.md numbers."""
-    return ExperimentConfig(name=EXPERIMENT_ID, n=1024, seeds=(0, 1, 2), measure_rounds=120, items=3)
+    return ExperimentConfig(name=EXPERIMENT_ID, n=1024, seeds=(0, 1, 2), measure_rounds=120, items=3, workers=workers)
 
 
 def _trial(config: ExperimentConfig, seed: int) -> Dict[str, float]:
@@ -89,21 +90,24 @@ def run(config: Optional[ExperimentConfig] = None, item_sizes=ITEM_SIZES) -> Exp
         ],
     )
     with timed_experiment(result):
-        for item_size in item_sizes:
-            for mode in ("replicate", "erasure"):
-                cfg = base.with_overrides(item_size=item_size, storage_mode=mode)
-                trials = run_trials(cfg, _trial)
-                stored = mean_ci([t.payload["stored_bytes"] for t in trials])
-                table.add_row(
-                    item_size_bytes=item_size,
-                    mode=mode,
-                    stored_bytes_per_item=stored.mean,
-                    overhead_factor=stored.mean / item_size,
-                    availability=mean_ci([t.payload["availability"] for t in trials]).mean,
-                    readable_fraction=mean_ci([t.payload["readable"] for t in trials]).mean,
-                    handovers=mean_ci([t.payload["handovers"] for t in trials]).mean,
-                    reconstruction_failures=sum(t.payload["reconstruction_failures"] for t in trials),
-                )
+        grid = GridSpec.product(
+            {"item_size": tuple(item_sizes), "storage_mode": ("replicate", "erasure")}
+        )
+        for cell in Sweep(base, grid, _trial).run():
+            overrides = cell.cell.override_dict()
+            item_size, mode = overrides["item_size"], overrides["storage_mode"]
+            trials = cell.trials
+            stored = mean_ci([t.payload["stored_bytes"] for t in trials])
+            table.add_row(
+                item_size_bytes=item_size,
+                mode=mode,
+                stored_bytes_per_item=stored.mean,
+                overhead_factor=stored.mean / item_size,
+                availability=mean_ci([t.payload["availability"] for t in trials]).mean,
+                readable_fraction=mean_ci([t.payload["readable"] for t in trials]).mean,
+                handovers=mean_ci([t.payload["handovers"] for t in trials]).mean,
+                reconstruction_failures=sum(t.payload["reconstruction_failures"] for t in trials),
+            )
         table.add_note(
             f"Replication stores ~committee_size={params.committee_size} copies; IDA stores L/K = "
             f"{params.erasure_total_pieces}/{params.erasure_required_pieces} = "

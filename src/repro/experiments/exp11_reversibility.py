@@ -9,13 +9,17 @@ distance from uniform plus the max-over-uniform ratio, under churn.
 
 from __future__ import annotations
 
-from typing import Optional
+from functools import partial
+from typing import Dict, Optional
+
+import numpy as np
 
 from repro.analysis.stats import mean_ci
 from repro.analysis.tables import ResultTable
 from repro.experiments.common import run_soup_only
-from repro.sim.experiment import ExperimentConfig, run_trials
+from repro.sim.experiment import ExperimentConfig
 from repro.sim.results import ExperimentResult, timed_experiment
+from repro.sim.runner import GridSpec, Sweep
 from repro.walks.mixing import origin_distribution, total_variation_from_uniform
 
 EXPERIMENT_ID = "E11"
@@ -28,14 +32,28 @@ CLAIM = (
 CHURN_FRACTIONS = (0.0, 0.05, 0.1)
 
 
-def quick_config() -> ExperimentConfig:
+def quick_config(workers: int = 1) -> ExperimentConfig:
     """Small configuration for benchmarks/CI."""
-    return ExperimentConfig(name=EXPERIMENT_ID, n=256, seeds=(0, 1), measure_rounds=0)
+    return ExperimentConfig(name=EXPERIMENT_ID, n=256, seeds=(0, 1), measure_rounds=0, workers=workers)
 
 
-def full_config() -> ExperimentConfig:
+def full_config(workers: int = 1) -> ExperimentConfig:
     """Larger configuration for EXPERIMENTS.md numbers."""
-    return ExperimentConfig(name=EXPERIMENT_ID, n=2048, seeds=(0, 1, 2, 3), measure_rounds=0)
+    return ExperimentConfig(name=EXPERIMENT_ID, n=2048, seeds=(0, 1, 2, 3), measure_rounds=0, workers=workers)
+
+
+def _trial(config: ExperimentConfig, seed: int, walks_per_source: int = 8) -> Dict[str, float]:
+    run_result = run_soup_only(config, seed, walks_per_source=walks_per_source)
+    # The reference population for *origins* is the round-0 population
+    # (sources no longer alive can still be legitimate origins).
+    population = np.unique(run_result.injected_sources)
+    counts = origin_distribution(run_result.delivery)
+    report = total_variation_from_uniform(counts, population)
+    return {
+        "tv": report.tv_distance,
+        "ratio": report.max_over_uniform,
+        "coverage": report.coverage,
+    }
 
 
 def run(config: Optional[ExperimentConfig] = None, walks_per_source: int = 8) -> ExperimentResult:
@@ -58,27 +76,15 @@ def run(config: Optional[ExperimentConfig] = None, walks_per_source: int = 8) ->
         ],
     )
     with timed_experiment(result):
-        for fraction in CHURN_FRACTIONS:
-            cfg = config.with_overrides(
-                churn_fraction=fraction, adversary="none" if fraction == 0 else "uniform"
-            )
-
-            def trial(c, seed):
-                run_result = run_soup_only(c, seed, walks_per_source=walks_per_source)
-                # The reference population for *origins* is the round-0 population
-                # (sources no longer alive can still be legitimate origins).
-                import numpy as np
-
-                population = np.unique(run_result.injected_sources)
-                counts = origin_distribution(run_result.delivery)
-                report = total_variation_from_uniform(counts, population)
-                return {
-                    "tv": report.tv_distance,
-                    "ratio": report.max_over_uniform,
-                    "coverage": report.coverage,
-                }
-
-            trials = run_trials(cfg, trial)
+        grid = GridSpec.from_cells(
+            [
+                {"churn_fraction": fraction, "adversary": "none" if fraction == 0 else "uniform"}
+                for fraction in CHURN_FRACTIONS
+            ]
+        )
+        sweep = Sweep(config, grid, partial(_trial, walks_per_source=walks_per_source)).run()
+        for fraction, cell in zip(CHURN_FRACTIONS, sweep):
+            trials = cell.trials
             table.add_row(
                 churn_fraction=fraction,
                 origin_tv_distance=mean_ci([t.payload["tv"] for t in trials]).mean,

@@ -18,8 +18,9 @@ import numpy as np
 from repro.analysis.stats import mean_ci
 from repro.analysis.tables import ResultTable
 from repro.experiments.common import store_items
-from repro.sim.experiment import ExperimentConfig, build_system, run_trials
+from repro.sim.experiment import ExperimentConfig, build_system
 from repro.sim.results import ExperimentResult, timed_experiment
+from repro.sim.runner import GridSpec, Sweep
 
 EXPERIMENT_ID = "E12"
 TITLE = "Ablation: adaptive (non-oblivious) churn destroys availability at the same rate"
@@ -31,14 +32,14 @@ CLAIM = (
 CHURN_FRACTIONS = (0.02, 0.05)
 
 
-def quick_config() -> ExperimentConfig:
+def quick_config(workers: int = 1) -> ExperimentConfig:
     """Small configuration for benchmarks/CI."""
-    return ExperimentConfig(name=EXPERIMENT_ID, n=256, seeds=(0, 1), measure_rounds=40, items=3)
+    return ExperimentConfig(name=EXPERIMENT_ID, n=256, seeds=(0, 1), measure_rounds=40, items=3, workers=workers)
 
 
-def full_config() -> ExperimentConfig:
+def full_config(workers: int = 1) -> ExperimentConfig:
     """Larger configuration for EXPERIMENTS.md numbers."""
-    return ExperimentConfig(name=EXPERIMENT_ID, n=1024, seeds=(0, 1, 2), measure_rounds=100, items=4)
+    return ExperimentConfig(name=EXPERIMENT_ID, n=1024, seeds=(0, 1, 2), measure_rounds=100, items=4, workers=workers)
 
 
 def _trial(config: ExperimentConfig, seed: int) -> Dict[str, float]:
@@ -86,20 +87,23 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         ],
     )
     with timed_experiment(result):
-        for fraction in CHURN_FRACTIONS:
-            for adversary in ("uniform", "adaptive"):
-                cfg = config.with_overrides(churn_fraction=fraction, adversary=adversary)
-                trials = run_trials(cfg, _trial)
-                losses = [t.payload["rounds_to_first_loss"] for t in trials]
-                losses = [l for l in losses if not np.isnan(l)]
-                table.add_row(
-                    churn_fraction=fraction,
-                    adversary="oblivious-uniform" if adversary == "uniform" else "ADAPTIVE (excluded by model)",
-                    availability=mean_ci([t.payload["availability"] for t in trials]).mean,
-                    items_lost=mean_ci([t.payload["loss_events"] for t in trials]).mean,
-                    rounds_to_first_loss=float(np.mean(losses)) if losses else float("nan"),
-                    retrieval_success=mean_ci([t.payload["retrieval_success"] for t in trials]).mean,
-                )
+        grid = GridSpec.product(
+            {"churn_fraction": CHURN_FRACTIONS, "adversary": ("uniform", "adaptive")}
+        )
+        for cell in Sweep(config, grid, _trial).run():
+            overrides = cell.cell.override_dict()
+            fraction, adversary = overrides["churn_fraction"], overrides["adversary"]
+            trials = cell.trials
+            losses = [t.payload["rounds_to_first_loss"] for t in trials]
+            losses = [l for l in losses if not np.isnan(l)]
+            table.add_row(
+                churn_fraction=fraction,
+                adversary="oblivious-uniform" if adversary == "uniform" else "ADAPTIVE (excluded by model)",
+                availability=mean_ci([t.payload["availability"] for t in trials]).mean,
+                items_lost=mean_ci([t.payload["loss_events"] for t in trials]).mean,
+                rounds_to_first_loss=float(np.mean(losses)) if losses else float("nan"),
+                retrieval_success=mean_ci([t.payload["retrieval_success"] for t in trials]).mean,
+            )
         table.add_note(
             "The adaptive adversary inspects the live protocol state (storage committee membership and holders) "
             "every round, which the paper's model forbids; it is included only to show the assumption matters."

@@ -66,10 +66,10 @@ def all_experiments() -> List[str]:
     return sorted(EXPERIMENTS, key=lambda e: int(e[1:]))
 
 
-def run_experiment(experiment_id: str, full: bool = False) -> ExperimentResult:
-    """Run one experiment in quick (default) or full mode."""
+def run_experiment(experiment_id: str, full: bool = False, workers: int = 1) -> ExperimentResult:
+    """Run one experiment in quick (default) or full mode on ``workers`` processes."""
     module = get_experiment(experiment_id)
-    config = module.full_config() if full else module.quick_config()
+    config = module.full_config(workers=workers) if full else module.quick_config(workers=workers)
     return module.run(config)
 
 
@@ -82,6 +82,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("experiment", help="experiment id (E1..E12), 'all', or 'list'")
     parser.add_argument("--full", action="store_true", help="use the full (slow) configuration")
     parser.add_argument("--markdown", action="store_true", help="emit Markdown instead of plain text")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the Monte-Carlo trials (seed-deterministic; 1 = sequential)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment.lower() == "list":
@@ -92,7 +98,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     targets = all_experiments() if args.experiment.lower() == "all" else [args.experiment]
     for experiment_id in targets:
-        result = run_experiment(experiment_id, full=args.full)
+        result = run_experiment(experiment_id, full=args.full, workers=args.workers)
         print(result.to_markdown() if args.markdown else result.to_text())
         print()
     return 0

@@ -218,6 +218,24 @@ class DynamicNetwork:
         """Vectorised lookup of the uids occupying an array of slots."""
         return self._slot_uid[np.asarray(slots, dtype=np.int64)]
 
+    def slots_of_uids(self, uids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised uid -> slot lookup: ``(slots, alive_mask)``.
+
+        ``slots[i]`` is the slot of ``uids[i]`` where ``alive_mask[i]`` is
+        True and undefined otherwise.  One sort of the slot->uid array plus a
+        ``searchsorted`` replaces a Python-level dict probe per uid; duplicate
+        query uids are allowed.
+        """
+        uids = np.asarray(uids, dtype=np.int64)
+        if uids.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+        order = np.argsort(self._slot_uid, kind="stable")
+        sorted_uids = self._slot_uid[order]
+        idx = np.searchsorted(sorted_uids, uids)
+        idx_clipped = np.minimum(idx, sorted_uids.size - 1)
+        alive = sorted_uids[idx_clipped] == uids
+        return order[idx_clipped], alive
+
     def slots_of(self, uids: Sequence[int]) -> List[int]:
         """Slots of the uids that are still alive (dead uids are skipped)."""
         out: List[int] = []

@@ -1,4 +1,4 @@
-"""Simulation harness: experiment configs, Monte-Carlo runner, metrics, results."""
+"""Simulation harness: experiment configs, Monte-Carlo runner, sweeps, metrics, results."""
 
 from repro.sim.experiment import (
     ExperimentConfig,
@@ -11,6 +11,15 @@ from repro.sim.experiment import (
 )
 from repro.sim.metrics import MetricsCollector, RoundMetrics
 from repro.sim.results import ExperimentResult, timed_experiment
+from repro.sim.runner import (
+    CellResult,
+    GridSpec,
+    Sweep,
+    SweepCell,
+    SweepResult,
+    TrialRunner,
+    WorkerError,
+)
 
 __all__ = [
     "ExperimentConfig",
@@ -24,4 +33,11 @@ __all__ = [
     "RoundMetrics",
     "ExperimentResult",
     "timed_experiment",
+    "TrialRunner",
+    "GridSpec",
+    "Sweep",
+    "SweepCell",
+    "CellResult",
+    "SweepResult",
+    "WorkerError",
 ]

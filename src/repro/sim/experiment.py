@@ -9,7 +9,9 @@ All twelve experiments (E1-E12, see DESIGN.md) share the same scaffolding:
 * :func:`build_system` which turns a config + seed into a ready
   :class:`~repro.core.protocol.P2PStorageSystem`;
 * :func:`run_trials` which maps a per-trial callable over the seeds and
-  gathers the per-trial results.
+  gathers the per-trial results, delegating to
+  :class:`repro.sim.runner.TrialRunner` so trials run in parallel when the
+  config's ``workers`` knob (or the explicit ``workers`` argument) says so.
 
 Experiments keep their own logic (what to measure, which table to print) in
 ``repro.experiments.expNN_*``; this module only owns the shared plumbing.
@@ -17,8 +19,6 @@ Experiments keep their own logic (what to measure, which table to print) in
 
 from __future__ import annotations
 
-import math
-import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -76,6 +76,10 @@ class ExperimentConfig:
         Item payload size in bytes.
     param_overrides:
         Extra keyword overrides for :class:`ProtocolParameters`.
+    workers:
+        Worker processes used by :func:`run_trials` and sweeps (1 =
+        sequential).  Parallel runs are seed-deterministic, so this knob
+        never changes results -- only wall-clock time.
     """
 
     name: str
@@ -92,6 +96,7 @@ class ExperimentConfig:
     items: int = 4
     item_size: int = 256
     param_overrides: Dict[str, float] = field(default_factory=dict)
+    workers: int = 1
 
     def __post_init__(self) -> None:
         check_choice(self.adversary, "adversary", ADVERSARY_KINDS)
@@ -100,6 +105,8 @@ class ExperimentConfig:
             raise ValueError("n must be an even integer >= 16")
         if self.churn_fraction < 0:
             raise ValueError("churn_fraction must be non-negative")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
 
     def resolved_churn_rate(self) -> int:
         """The absolute per-round churn this config implies."""
@@ -187,16 +194,19 @@ def run_trials(
     config: ExperimentConfig,
     trial: Callable[[ExperimentConfig, int], Dict[str, Any]],
     seeds: Optional[Sequence[int]] = None,
+    workers: Optional[int] = None,
 ) -> List[TrialResult]:
-    """Run ``trial(config, seed)`` for every seed and collect the results."""
-    results: List[TrialResult] = []
-    for seed in (config.seeds if seeds is None else seeds):
-        start = time.perf_counter()
-        payload = trial(config, int(seed))
-        results.append(
-            TrialResult(seed=int(seed), payload=payload, elapsed_seconds=time.perf_counter() - start)
-        )
-    return results
+    """Run ``trial(config, seed)`` for every seed and collect the results.
+
+    ``workers`` defaults to ``config.workers``; with more than one worker the
+    trials run on a process pool (see :class:`repro.sim.runner.TrialRunner`).
+    Results are returned in seed order either way, and parallel payloads are
+    byte-identical to sequential ones.
+    """
+    from repro.sim.runner import TrialRunner  # local import: runner imports this module
+
+    runner = TrialRunner(workers=config.workers if workers is None else workers)
+    return runner.run(config, trial, seeds=seeds)
 
 
 def default_warmup(config: ExperimentConfig) -> int:

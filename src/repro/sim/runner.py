@@ -1,0 +1,423 @@
+"""Parallel Monte-Carlo trial runner and scenario sweep engine.
+
+Every experiment in this repository is a Monte-Carlo aggregate over seeded
+trials, and most experiments additionally sweep one or two configuration axes
+(churn rate, network size, storage mode, ...).  This module provides the
+shared machinery for running all of those (config, seed) cells through one
+worker pool:
+
+* :class:`TrialRunner` executes ``trial(config, seed)`` callables either
+  sequentially (``workers=1``) or on a :class:`~concurrent.futures.
+  ProcessPoolExecutor`.  Because every trial derives *all* of its randomness
+  from its seed (see :mod:`repro.util.rng`), parallel and sequential runs
+  produce byte-identical payloads -- only the timing differs.  Trial callables
+  that cannot be pickled (lambdas, closures) silently fall back to the
+  sequential path, so existing call sites keep working.
+* :class:`GridSpec` expands an :class:`~repro.sim.experiment.ExperimentConfig`
+  over a parameter grid -- either the cartesian product of independent axes or
+  an explicit list of coordinated override cells -- via
+  :meth:`ExperimentConfig.with_overrides`.
+* :class:`Sweep` fans *all* (cell, seed) tasks of a grid into one pool and
+  regroups the results per cell, with progress logging and per-cell timing.
+
+Errors raised inside a worker process are re-raised in the parent as
+:class:`WorkerError` carrying the offending config name, seed and the remote
+traceback, so a failing cell in a 100-cell sweep is attributable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, fields
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.sim.experiment import ExperimentConfig, TrialResult
+from repro.util.simlog import get_logger
+
+__all__ = [
+    "WorkerError",
+    "TrialRunner",
+    "GridSpec",
+    "SweepCell",
+    "CellResult",
+    "SweepResult",
+    "Sweep",
+]
+
+#: A trial maps (config, seed) to a plain-data payload dict.  Payloads cross
+#: process boundaries, so they must be picklable (floats, lists, arrays --
+#: not live ``P2PStorageSystem`` objects).
+TrialFn = Callable[[ExperimentConfig, int], Dict[str, Any]]
+
+_logger = get_logger("runner")
+
+
+class WorkerError(RuntimeError):
+    """A trial raised inside a worker (or the sequential fallback).
+
+    Attributes
+    ----------
+    config_name:
+        ``config.name`` of the failing cell.
+    seed:
+        Seed of the failing trial.
+    remote_traceback:
+        Formatted traceback from the worker process (or the local one).
+    """
+
+    def __init__(self, config_name: str, seed: int, message: str, remote_traceback: str = "") -> None:
+        self.config_name = config_name
+        self.seed = seed
+        self.message = message
+        self.remote_traceback = remote_traceback
+        detail = f"\n--- worker traceback ---\n{remote_traceback}" if remote_traceback else ""
+        super().__init__(f"trial failed (config={config_name!r}, seed={seed}): {message}{detail}")
+
+    def __reduce__(self):
+        # Exceptions pickle via their ``args`` by default, which would try to
+        # re-call __init__ with the formatted message only; spell out the real
+        # constructor arguments so the error crosses the process boundary.
+        return (type(self), (self.config_name, self.seed, self.message, self.remote_traceback))
+
+
+def _execute_task(task: Tuple[TrialFn, ExperimentConfig, int]) -> Tuple[int, Dict[str, Any], float]:
+    """Run one (trial, config, seed) task; returns (seed, payload, elapsed).
+
+    Runs in the worker process.  Exceptions are caught and re-packaged so the
+    parent can raise a :class:`WorkerError` with the remote traceback instead
+    of an opaque pickling failure.
+    """
+    trial, config, seed = task
+    start = time.perf_counter()
+    try:
+        payload = trial(config, int(seed))
+    except Exception as exc:  # noqa: BLE001 - re-raised as WorkerError in the parent
+        raise WorkerError(config.name, int(seed), repr(exc), traceback.format_exc()) from None
+    return int(seed), payload, time.perf_counter() - start
+
+
+def _is_picklable(obj: Any) -> bool:
+    """True when ``obj`` survives a pickle round-trip attempt."""
+    try:
+        pickle.dumps(obj)
+    except Exception:  # noqa: BLE001 - any pickling failure means "not picklable"
+        return False
+    return True
+
+
+class TrialRunner:
+    """Executes seeded trials, optionally on a process pool.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  ``1`` (the default) runs everything in
+        the calling process; ``None`` uses ``os.cpu_count()``.  Parallel runs
+        are seed-deterministic: results are returned in task order and each
+        trial derives its randomness solely from its seed, so the payloads
+        are identical to a ``workers=1`` run.
+    progress:
+        When True, log one INFO line per completed task on the ``repro.runner``
+        logger.
+
+    Notes
+    -----
+    The pool uses the ``fork`` start method where available so trials defined
+    in any module (including test modules) can be dispatched.  Trial callables
+    must be module-level functions or :func:`functools.partial` wrappers of
+    them to be picklable; lambdas and closures are detected and run on the
+    sequential fallback path instead.
+    """
+
+    def __init__(self, workers: Optional[int] = 1, progress: bool = False) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if int(workers) < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.progress = progress
+
+    # ------------------------------------------------------------------ public API
+    def run(
+        self,
+        config: ExperimentConfig,
+        trial: TrialFn,
+        seeds: Optional[Sequence[int]] = None,
+    ) -> List[TrialResult]:
+        """Run ``trial(config, seed)`` for every seed; results in seed order."""
+        seeds = config.seeds if seeds is None else seeds
+        tasks = [(trial, config, int(seed)) for seed in seeds]
+        return self._map(tasks)
+
+    def run_cells(
+        self,
+        cells: Sequence[Tuple[ExperimentConfig, Sequence[int]]],
+        trial: TrialFn,
+    ) -> List[List[TrialResult]]:
+        """Fan all (config, seed) pairs of several cells into one pool.
+
+        ``cells`` is a sequence of ``(config, seeds)`` pairs; the return value
+        has one list of :class:`TrialResult` per cell, in cell order.
+        """
+        tasks: List[Tuple[TrialFn, ExperimentConfig, int]] = []
+        boundaries: List[int] = []
+        for config, seeds in cells:
+            for seed in seeds:
+                tasks.append((trial, config, int(seed)))
+            boundaries.append(len(tasks))
+        flat = self._map(tasks)
+        out: List[List[TrialResult]] = []
+        start = 0
+        for end in boundaries:
+            out.append(flat[start:end])
+            start = end
+        return out
+
+    # ------------------------------------------------------------------ internals
+    def _map(self, tasks: Sequence[Tuple[TrialFn, ExperimentConfig, int]]) -> List[TrialResult]:
+        """Execute tasks, preserving order regardless of completion order."""
+        if not tasks:
+            return []
+        if self.workers == 1 or len(tasks) == 1 or not self._tasks_picklable(tasks):
+            return self._map_sequential(tasks)
+        return self._map_parallel(tasks)
+
+    def _tasks_picklable(self, tasks: Sequence[Tuple[TrialFn, ExperimentConfig, int]]) -> bool:
+        # Configs are plain frozen dataclasses; the trial callable is the only
+        # realistic pickling hazard, and all tasks of one _map call share it.
+        trial = tasks[0][0]
+        if _is_picklable(trial):
+            return True
+        _logger.debug(
+            "trial %r is not picklable (lambda or closure); running %d task(s) sequentially",
+            trial,
+            len(tasks),
+        )
+        return False
+
+    def _map_sequential(self, tasks: Sequence[Tuple[TrialFn, ExperimentConfig, int]]) -> List[TrialResult]:
+        results: List[TrialResult] = []
+        for i, task in enumerate(tasks):
+            seed, payload, elapsed = _execute_task(task)
+            results.append(TrialResult(seed=seed, payload=payload, elapsed_seconds=elapsed))
+            self._log_progress(i + 1, len(tasks), task)
+        return results
+
+    def _map_parallel(self, tasks: Sequence[Tuple[TrialFn, ExperimentConfig, int]]) -> List[TrialResult]:
+        slots: List[Optional[TrialResult]] = [None] * len(tasks)
+        max_workers = min(self.workers, len(tasks))
+        done = 0
+        with ProcessPoolExecutor(max_workers=max_workers, mp_context=_fork_context()) as pool:
+            future_to_index = {pool.submit(_execute_task, task): i for i, task in enumerate(tasks)}
+            for future in as_completed(future_to_index):
+                index = future_to_index[future]
+                seed, payload, elapsed = future.result()  # re-raises WorkerError
+                slots[index] = TrialResult(seed=seed, payload=payload, elapsed_seconds=elapsed)
+                done += 1
+                self._log_progress(done, len(tasks), tasks[index])
+        return [result for result in slots if result is not None]
+
+    def _log_progress(self, done: int, total: int, task: Tuple[TrialFn, ExperimentConfig, int]) -> None:
+        if self.progress:
+            _, config, seed = task
+            _logger.info("trial %d/%d done (config=%s, seed=%d)", done, total, config.name, seed)
+
+
+def _fork_context():
+    """The fork multiprocessing context, or None (platform default) without it."""
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+# ---------------------------------------------------------------------- grids
+_CONFIG_FIELDS = frozenset(f.name for f in fields(ExperimentConfig))
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A parameter grid over :class:`ExperimentConfig` fields.
+
+    Two construction modes:
+
+    * ``GridSpec.product({"churn_fraction": (0.02, 0.05), "storage_mode": (...)})``
+      -- the cartesian product of independent axes, expanded in definition
+      order (last axis varies fastest);
+    * ``GridSpec.from_cells([{...}, {...}])`` -- an explicit list of override
+      dicts for coordinated axes (e.g. E7 pairs ``churn_rate`` with the
+      matching ``adversary`` kind).
+
+    Unknown field names and duplicate cells are rejected eagerly -- a sweep
+    that silently ran the same cell twice would skew every aggregate.
+    """
+
+    cells_overrides: Tuple[Tuple[Tuple[str, Any], ...], ...]
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for cell in self.cells_overrides:
+            for key, _ in cell:
+                if key not in _CONFIG_FIELDS:
+                    raise ValueError(f"unknown ExperimentConfig field {key!r} in grid")
+            # Canonicalise by key so {'a': 1, 'b': 2} and {'b': 2, 'a': 1}
+            # count as the same cell (keys are unique within a cell, so the
+            # sort never compares values).
+            canonical = tuple(sorted(cell))
+            if canonical in seen:
+                raise ValueError(f"duplicate grid cell {dict(cell)!r}")
+            seen.add(canonical)
+        if not self.cells_overrides:
+            raise ValueError("grid must contain at least one cell")
+
+    @classmethod
+    def product(cls, axes: Mapping[str, Sequence[Any]]) -> "GridSpec":
+        """Cartesian product of independent axes (last axis varies fastest)."""
+        if not axes:
+            raise ValueError("grid must have at least one axis")
+        names = list(axes)
+        for name, values in axes.items():
+            if len(list(values)) == 0:
+                raise ValueError(f"axis {name!r} has no values")
+        cells = [
+            tuple(zip(names, combo)) for combo in itertools.product(*(tuple(axes[n]) for n in names))
+        ]
+        return cls(cells_overrides=tuple(cells))
+
+    @classmethod
+    def from_cells(cls, cells: Sequence[Mapping[str, Any]]) -> "GridSpec":
+        """Explicit override dicts, one per cell, for coordinated axes."""
+        return cls(cells_overrides=tuple(tuple(cell.items()) for cell in cells))
+
+    def overrides(self) -> List[Dict[str, Any]]:
+        """The override dict of every cell, in expansion order."""
+        return [dict(cell) for cell in self.cells_overrides]
+
+    def expand(self, base: ExperimentConfig) -> List[ExperimentConfig]:
+        """Apply every cell to ``base`` via :meth:`ExperimentConfig.with_overrides`."""
+        return [base.with_overrides(**dict(cell)) for cell in self.cells_overrides]
+
+    def __len__(self) -> int:
+        return len(self.cells_overrides)
+
+
+# ---------------------------------------------------------------------- sweeps
+@dataclass(frozen=True)
+class SweepCell:
+    """One expanded grid cell: its index, overrides and resolved config."""
+
+    index: int
+    overrides: Tuple[Tuple[str, Any], ...]
+    config: ExperimentConfig
+
+    def override_dict(self) -> Dict[str, Any]:
+        """The overrides as a plain dict."""
+        return dict(self.overrides)
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """All trials of one sweep cell plus their cumulative compute time."""
+
+    cell: SweepCell
+    trials: List[TrialResult]
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Summed per-trial compute time of this cell (not wall-clock)."""
+        return float(sum(t.elapsed_seconds for t in self.trials))
+
+    def payloads(self) -> List[Dict[str, Any]]:
+        """The payload dict of every trial, in seed order."""
+        return [t.payload for t in self.trials]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Per-cell results of one sweep, in grid expansion order."""
+
+    cells: List[CellResult]
+    elapsed_seconds: float
+
+    @property
+    def total_trials(self) -> int:
+        """Number of trials across all cells."""
+        return sum(len(c.trials) for c in self.cells)
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+
+class Sweep:
+    """Expand a config over a grid and fan every (cell, seed) into one pool.
+
+    Parameters
+    ----------
+    base:
+        The base configuration every cell starts from.
+    grid:
+        The :class:`GridSpec` describing the cells.
+    trial:
+        The per-trial callable (must be picklable -- a module-level function
+        or a :func:`functools.partial` of one -- for parallel execution).
+
+    Examples
+    --------
+    >>> from repro.sim.experiment import ExperimentConfig
+    >>> grid = GridSpec.product({"churn_fraction": (0.02, 0.05)})
+    >>> sweep = Sweep(ExperimentConfig(name="T", n=64), grid, my_trial)  # doctest: +SKIP
+    >>> result = sweep.run(TrialRunner(workers=4))                       # doctest: +SKIP
+    """
+
+    def __init__(self, base: ExperimentConfig, grid: GridSpec, trial: TrialFn) -> None:
+        self.base = base
+        self.grid = grid
+        self.trial = trial
+
+    def cells(self) -> List[SweepCell]:
+        """The expanded cells, in grid order."""
+        return [
+            SweepCell(index=i, overrides=overrides, config=config)
+            for i, (overrides, config) in enumerate(
+                zip(self.grid.cells_overrides, self.grid.expand(self.base))
+            )
+        ]
+
+    def run(self, runner: Optional[TrialRunner] = None) -> SweepResult:
+        """Run every (cell, seed) task through ``runner`` (default: base.workers)."""
+        runner = TrialRunner(workers=self.base.workers) if runner is None else runner
+        cells = self.cells()
+        total_tasks = sum(len(c.config.seeds) for c in cells)
+        _logger.info(
+            "sweep %s: %d cells x seeds = %d trials on %d worker(s)",
+            self.base.name,
+            len(cells),
+            total_tasks,
+            runner.workers,
+        )
+        start = time.perf_counter()
+        per_cell = runner.run_cells([(c.config, c.config.seeds) for c in cells], self.trial)
+        results: List[CellResult] = []
+        for cell, trials in zip(cells, per_cell):
+            result = CellResult(cell=cell, trials=trials)
+            _logger.info(
+                "sweep %s cell %d/%d %s: %d trial(s), %.2fs compute",
+                self.base.name,
+                cell.index + 1,
+                len(cells),
+                cell.override_dict(),
+                len(trials),
+                result.elapsed_seconds,
+            )
+            results.append(result)
+        return SweepResult(cells=results, elapsed_seconds=time.perf_counter() - start)

@@ -175,19 +175,25 @@ class WalkSoup:
         return self.inject(slots, uids, round_index)
 
     def inject_from_uids(self, uids: np.ndarray, round_index: int, per_node: int = 1) -> int:
-        """Inject ``per_node`` tokens from each (alive) uid in ``uids``."""
-        slots: List[int] = []
-        srcs: List[int] = []
-        for uid in np.asarray(uids).tolist():
-            slot = self.network.slot_of_or_none(int(uid))
-            if slot is not None:
-                slots.extend([slot] * per_node)
-                srcs.extend([int(uid)] * per_node)
-        if not slots:
+        """Inject ``per_node`` tokens from each (alive) uid in ``uids``.
+
+        Dead uids are skipped.  The uid -> slot resolution is one bulk
+        :meth:`~repro.net.network.DynamicNetwork.slots_of_uids` call rather
+        than a Python loop, preserving the order of ``uids`` (each alive uid
+        contributes its ``per_node`` tokens contiguously).
+        """
+        uids = np.asarray(uids, dtype=np.int64)
+        if uids.size == 0 or per_node <= 0:
             return 0
-        return self.inject(
-            np.asarray(slots, dtype=np.int32), np.asarray(srcs, dtype=np.int64), round_index
-        )
+        slots, alive = self.network.slots_of_uids(uids)
+        if not alive.any():
+            return 0
+        slots = slots[alive]
+        srcs = uids[alive]
+        if per_node > 1:
+            slots = np.repeat(slots, per_node)
+            srcs = np.repeat(srcs, per_node)
+        return self.inject(slots.astype(np.int32), srcs, round_index)
 
     # ------------------------------------------------------------------ round step
     def apply_churn(self, report: ChurnReport) -> int:

@@ -91,6 +91,16 @@ class TestQuickRuns:
         if rows["replicate"]["availability"] > 0 and rows["erasure"]["availability"] > 0:
             assert rows["erasure"]["stored_bytes_per_item"] <= rows["replicate"]["stored_bytes_per_item"]
 
+    def test_e7_small_n_with_colliding_sweep_rates(self):
+        # At n=64 several sweep multipliers round to the same absolute churn
+        # rate; E7 must reuse the cell rather than crash on a duplicate grid
+        # cell, and still emit one row per multiplier.
+        from repro.experiments import exp07_churn_sweep as e7
+
+        result = e7.run(ExperimentConfig(name="E7", **TINY))
+        self._check(result)
+        assert len(result.tables[0].rows) == len(e7.SWEEP_MULTIPLIERS)
+
     def test_e12_ablation_rows(self):
         from repro.experiments import exp12_adaptive_ablation as e12
 

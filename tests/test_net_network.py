@@ -179,3 +179,33 @@ class TestAdversaryValidation:
         net = make_network(adversary=Dup())
         with pytest.raises(ValueError):
             net.begin_round()
+
+
+class TestBulkSlotLookup:
+    def test_slots_of_uids_matches_scalar_lookup(self):
+        adversary = UniformRandomChurn(32, 4, np.random.default_rng(9))
+        net = make_network(adversary=adversary)
+        for _ in range(5):
+            net.begin_round()
+            net.end_round()
+        # Alive, dead and duplicate uids, in arbitrary order.
+        query = np.array([0, 31, 7, 1000, 7, 50, 3], dtype=np.int64)
+        slots, alive = net.slots_of_uids(query)
+        assert slots.shape == query.shape and alive.shape == query.shape
+        for uid, slot, is_alive in zip(query.tolist(), slots.tolist(), alive.tolist()):
+            expected = net.slot_of_or_none(int(uid))
+            assert is_alive == (expected is not None)
+            if expected is not None:
+                assert slot == expected
+
+    def test_slots_of_uids_empty(self):
+        net = make_network()
+        slots, alive = net.slots_of_uids(np.empty(0, dtype=np.int64))
+        assert slots.size == 0 and alive.size == 0
+
+    def test_slots_of_uids_all_alive_initial(self):
+        net = make_network()
+        query = np.arange(32, dtype=np.int64)
+        slots, alive = net.slots_of_uids(query)
+        assert alive.all()
+        assert np.array_equal(net.uids_at(slots), query)

@@ -15,7 +15,7 @@ import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.net.churn import ScheduledChurn, UniformRandomChurn
+from repro.net.churn import ScheduledChurn, UniformRandomChurn, paper_churn_limit
 from repro.net.network import DynamicNetwork
 from repro.net.topology import random_matching
 from repro.util.datastructures import IndexedSet, RoundTimer
@@ -145,3 +145,73 @@ def test_scheduled_churn_respects_schedule(schedule_rounds, seed):
         net.end_round()
         expected = len(set(schedule.get(r, [])))
         assert report.count == expected
+
+
+@given(
+    slots=st.lists(st.integers(0, 31), min_size=1, max_size=300),
+    cap=st.integers(1, 12),
+    seed=st.integers(0, 50),
+)
+@SETTINGS
+def test_forwarding_mask_partitions_tokens_and_respects_cap(slots, cap, seed):
+    """Lemma 1's cap: no slot moves more than forwarding_cap tokens, and the
+    held/moving split partitions all tokens (under-cap slots move everything)."""
+    net = DynamicNetwork(32, degree=4, adversary_rng=RngStream(seed))
+    soup = WalkSoup(
+        net,
+        walk_length=4,
+        walks_per_node=1,
+        rng=RngStream(seed + 1),
+        enforce_forwarding_cap=True,
+        forwarding_cap=cap,
+    )
+    net.begin_round()
+    positions = np.asarray(slots, dtype=np.int32)
+    soup.inject(positions, positions.astype(np.int64), 0)
+    mask = soup._forwarding_mask()
+    net.end_round()
+
+    assert mask.shape == positions.shape
+    moving_counts = np.bincount(positions[mask], minlength=32)
+    total_counts = np.bincount(positions, minlength=32)
+    # No slot ever moves more than the cap.
+    assert int(moving_counts.max(initial=0)) <= cap
+    # held + moving partitions all tokens, per slot and in total.
+    held_counts = np.bincount(positions[~mask], minlength=32)
+    assert np.array_equal(moving_counts + held_counts, total_counts)
+    # Slots at or under the cap move every resident token; slots over the
+    # cap move exactly the cap.
+    expected_moving = np.minimum(total_counts, cap)
+    assert np.array_equal(moving_counts, expected_moving)
+
+
+@given(n=st.integers(1, 2))
+@SETTINGS
+def test_paper_churn_limit_zero_below_three_nodes(n):
+    assert paper_churn_limit(n) == 0
+
+
+@given(n=st.integers(3, 100_000), delta=st.floats(0.0, 50.0, allow_nan=False))
+@SETTINGS
+def test_paper_churn_limit_bounded_and_nonnegative(n, delta):
+    """Huge delta drives the limit to zero; it never exceeds n // 2."""
+    limit = paper_churn_limit(n, delta)
+    assert 0 <= limit <= n // 2
+
+
+@given(
+    n=st.integers(3, 100_000),
+    delta_low=st.floats(0.0, 5.0, allow_nan=False),
+    delta_gap=st.floats(0.1, 5.0, allow_nan=False),
+)
+@SETTINGS
+def test_paper_churn_limit_non_increasing_in_delta(n, delta_low, delta_gap):
+    # For n >= 3, ln(n) > 1, so a larger exponent can only shrink the bound.
+    assert paper_churn_limit(n, delta_low + delta_gap) <= paper_churn_limit(n, delta_low)
+
+
+@given(n=st.integers(3, 10_000), constant=st.floats(100.0, 1e6))
+@SETTINGS
+def test_paper_churn_limit_caps_at_half_the_network(n, constant):
+    """An absurd constant saturates the bound at n // 2, never beyond."""
+    assert paper_churn_limit(n, 0.0, constant=constant) == n // 2

@@ -42,6 +42,44 @@ class TestInjection:
         soup = make_soup(net)
         assert soup.inject(np.empty(0, dtype=np.int32), np.empty(0, dtype=np.int64), 0) == 0
 
+    def test_inject_from_uids_empty_and_nonpositive(self):
+        net = make_net()
+        soup = make_soup(net)
+        net.begin_round()
+        assert soup.inject_from_uids(np.empty(0, dtype=np.int64), 0) == 0
+        assert soup.inject_from_uids(np.array([0, 1]), 0, per_node=0) == 0
+        assert soup.in_flight == 0
+        net.end_round()
+
+    def test_inject_from_uids_matches_python_loop_reference(self):
+        """The vectorised injection pins the old per-uid loop's behaviour."""
+        adv = UniformRandomChurn(64, 8, np.random.default_rng(3))
+        net = make_net(adversary=adv)
+        for _ in range(4):  # churn a few rounds so some original uids are dead
+            net.begin_round()
+            net.end_round()
+
+        def reference(uids, per_node):
+            slots, srcs = [], []
+            for uid in np.asarray(uids).tolist():
+                slot = net.slot_of_or_none(int(uid))
+                if slot is not None:
+                    slots.extend([slot] * per_node)
+                    srcs.extend([int(uid)] * per_node)
+            return np.asarray(slots, dtype=np.int32), np.asarray(srcs, dtype=np.int64)
+
+        # A mix of alive, dead and repeated uids, unsorted on purpose.
+        uids = np.array([63, 0, 5, 9999, 17, 5, 1_000_000, 2, 63], dtype=np.int64)
+        for per_node in (1, 3):
+            soup = make_soup(net)
+            net.begin_round()
+            expected_slots, expected_srcs = reference(uids, per_node)
+            count = soup.inject_from_uids(uids, 0, per_node=per_node)
+            net.end_round()
+            assert count == expected_slots.size
+            assert np.array_equal(soup._positions, expected_slots)
+            assert np.array_equal(soup._sources, expected_srcs)
+
 
 class TestConservationWithoutChurn:
     def test_every_walk_is_eventually_delivered(self):
