@@ -7,17 +7,29 @@ runtime without adding information) and attaches the headline measurements as
 benchmark extra_info so `pytest benchmarks/ --benchmark-only` doubles as a
 results printer.
 
-The ``workers`` knob of :class:`repro.sim.runner.TrialRunner` threads through
-here: pass ``workers=k`` from a benchmark, or set the ``REPRO_BENCH_WORKERS``
-environment variable to parallelise every experiment benchmark's Monte-Carlo
-trials.  Results are seed-deterministic, so the knob only changes timing.
+Benchmarks resolve their experiment through the spec registry
+(:func:`repro.experiments.registry.get_experiment`), so they exercise the
+same :class:`~repro.experiments.spec.ExperimentSpec` path the
+``repro-experiment`` CLI uses.
+
+Environment knobs:
+
+* ``REPRO_BENCH_WORKERS=k`` parallelises every experiment benchmark's
+  Monte-Carlo trials through :class:`repro.sim.runner.TrialRunner` (results
+  are seed-deterministic, so the knob only changes timing);
+* ``REPRO_BENCH_JSON_DIR=path`` writes each benchmarked experiment's full
+  :class:`~repro.sim.results.ExperimentResult` as ``<id>.json`` under that
+  directory (CI uploads these as workflow artifacts).
 """
 
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import pytest
+
+from repro.experiments.registry import get_experiment
 
 
 def _default_workers() -> int:
@@ -28,21 +40,32 @@ def _default_workers() -> int:
         return 1
 
 
+def _json_dir() -> Path | None:
+    """Artifact directory from $REPRO_BENCH_JSON_DIR (None = don't persist)."""
+    value = os.environ.get("REPRO_BENCH_JSON_DIR", "").strip()
+    return Path(value) if value else None
+
+
 def run_experiment_benchmark(benchmark, module, workers=None, **run_kwargs):
-    """Run ``module.run(module.quick_config(workers=...))`` once under the benchmark timer."""
+    """Run the module's experiment via its registered spec under the benchmark timer."""
+    spec = get_experiment(module.EXPERIMENT_ID)
     workers = _default_workers() if workers is None else workers
     result_holder = {}
 
     def target():
-        result_holder["result"] = module.run(module.quick_config(workers=workers), **run_kwargs)
+        result_holder["result"] = spec.run(spec.config(workers=workers), **run_kwargs)
         return result_holder["result"]
 
     result = benchmark.pedantic(target, rounds=1, iterations=1)
-    benchmark.extra_info["experiment"] = module.EXPERIMENT_ID
-    benchmark.extra_info["title"] = module.TITLE
+    benchmark.extra_info["experiment"] = spec.experiment_id
+    benchmark.extra_info["title"] = spec.title
     benchmark.extra_info["workers"] = workers
     for finding in result.findings[:2]:
         benchmark.extra_info.setdefault("findings", []).append(finding)
+    json_dir = _json_dir()
+    if json_dir is not None:
+        json_dir.mkdir(parents=True, exist_ok=True)
+        (json_dir / f"{spec.experiment_id}.json").write_text(result.to_json())
     # Surface the first table in the captured output for convenience.
     print()
     for table in result.tables:

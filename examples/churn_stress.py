@@ -10,15 +10,20 @@ adversary that replaces the entire population over time.
 
 The whole scenario grid fans into one process pool via
 :class:`repro.sim.runner.Sweep`; results are seed-deterministic, so
-``--workers`` only changes wall-clock time::
+``--workers`` only changes wall-clock time.  With ``--json-out`` every
+completed cell is persisted through :class:`repro.sim.store.ResultStore`, so
+a killed run picks up where it stopped when re-invoked with the same
+directory::
 
-    python examples/churn_stress.py --workers 4
+    python examples/churn_stress.py --workers 4 --json-out /tmp/churn-stress
+    # ^C mid-run, then re-run the same command: completed cells load from disk
 """
 
 from __future__ import annotations
 
 import argparse
 import math
+from pathlib import Path
 from typing import Dict
 
 import numpy as np
@@ -28,6 +33,7 @@ from repro.core.params import ProtocolParameters
 from repro.experiments.common import run_storage_trial
 from repro.sim.experiment import ExperimentConfig
 from repro.sim.runner import GridSpec, Sweep, TrialRunner
+from repro.sim.store import ResultStore
 
 
 def stress_trial(config: ExperimentConfig, seed: int) -> Dict[str, float]:
@@ -46,6 +52,12 @@ def stress_trial(config: ExperimentConfig, seed: int) -> Dict[str, float]:
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workers", type=int, default=1, help="worker processes for the sweep (default 1)")
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        metavar="DIR",
+        help="persist per-cell results under DIR; re-running with the same DIR resumes the sweep",
+    )
     args = parser.parse_args()
 
     n = 512
@@ -68,8 +80,16 @@ def main() -> None:
         for kind in ("uniform", "sweep")
         if rate or kind == "uniform"
     ]
+    store = None
+    if args.json_out is not None:
+        run_dir = Path(args.json_out)
+        if (run_dir / ResultStore.MANIFEST_NAME).exists():
+            store = ResultStore.open(run_dir)
+            print(f"resuming from {run_dir} ({len(store.completed_keys())} cells already done)")
+        else:
+            store = ResultStore.create(run_dir, {"example": "churn_stress", "n": n})
     sweep = Sweep(base, GridSpec.from_cells(cells), stress_trial)
-    result = sweep.run(TrialRunner(workers=args.workers, progress=True))
+    result = sweep.run(TrialRunner(workers=args.workers, progress=True), store=store)
 
     table = ResultTable(
         title=f"churn stress sweep (n={n}, paper regime ~{int(paper_rate)} per round, n/ln n = {int(n/log_n)})",

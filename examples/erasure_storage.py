@@ -8,14 +8,17 @@ bytes stored, availability, and the reconstruct-and-redisperse handovers.
 
 Both storage modes run as one two-cell sweep through
 :class:`repro.sim.runner.Sweep`; pass ``--workers 2`` to run them on separate
-processes (the results are seed-deterministic either way)::
+processes (the results are seed-deterministic either way).  ``--json-out``
+persists each cell through :class:`repro.sim.store.ResultStore` and resumes
+on re-invocation::
 
-    python examples/erasure_storage.py --workers 2
+    python examples/erasure_storage.py --workers 2 --json-out /tmp/erasure-demo
 """
 
 from __future__ import annotations
 
 import argparse
+from pathlib import Path
 from typing import Dict
 
 import numpy as np
@@ -25,6 +28,7 @@ from repro.analysis.tables import ResultTable
 from repro.core.params import ProtocolParameters
 from repro.sim.experiment import ExperimentConfig, build_system
 from repro.sim.runner import GridSpec, Sweep, TrialRunner
+from repro.sim.store import ResultStore
 
 ITEM_SIZE = 4096
 
@@ -53,6 +57,12 @@ def erasure_trial(config: ExperimentConfig, seed: int) -> Dict[str, float]:
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workers", type=int, default=1, help="worker processes for the sweep (default 1)")
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        metavar="DIR",
+        help="persist per-cell results under DIR; re-running with the same DIR resumes the sweep",
+    )
     args = parser.parse_args()
 
     # Show the raw coder first.
@@ -78,8 +88,16 @@ def main() -> None:
         item_size=ITEM_SIZE,
         workers=args.workers,
     )
+    store = None
+    if args.json_out is not None:
+        run_dir = Path(args.json_out)
+        if (run_dir / ResultStore.MANIFEST_NAME).exists():
+            store = ResultStore.open(run_dir)
+            print(f"resuming from {run_dir} ({len(store.completed_keys())} cells already done)")
+        else:
+            store = ResultStore.create(run_dir, {"example": "erasure_storage", "n": n})
     grid = GridSpec.product({"storage_mode": ("replicate", "erasure")})
-    result = Sweep(base, grid, erasure_trial).run(TrialRunner(workers=args.workers))
+    result = Sweep(base, grid, erasure_trial).run(TrialRunner(workers=args.workers), store=store)
 
     table = ResultTable(
         title=f"replication vs erasure-coded storage (n={n}, churn 5/round, 4 KiB items)",

@@ -4,22 +4,30 @@ Every experiment produces one or more :class:`ResultTable` objects -- the
 reproduction's stand-in for the paper's (non-existent) tables and figures.
 A table is a list of column names plus rows of values, with light formatting
 logic so the same object can be printed to a terminal, embedded in
-EXPERIMENTS.md, or dumped as CSV for external plotting.
+EXPERIMENTS.md, or dumped as CSV for external plotting.  Tables also
+round-trip through JSON (:meth:`ResultTable.to_json` /
+:meth:`ResultTable.from_json`) so persisted :class:`~repro.sim.results.
+ExperimentResult` artifacts re-render exactly as the live run did.
 """
 
 from __future__ import annotations
 
 import csv
 import io
+import json
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.util.serialization import dumps_artifact, jsonify
 
 __all__ = ["ResultTable", "format_value"]
 
 
 def format_value(value: Any, precision: int = 4) -> str:
     """Human-friendly formatting for table cells."""
+    if type(value).__module__ == "numpy" and hasattr(value, "item") and not hasattr(value, "__len__"):
+        value = value.item()  # numpy scalars render like their Python equivalents
     if value is None:
         return "-"
     if isinstance(value, bool):
@@ -111,6 +119,35 @@ class ResultTable:
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.to_text()
+
+    # ------------------------------------------------------------------ serialization
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Plain-data form of the table (numpy values normalised)."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": jsonify(self.rows),
+            "notes": list(self.notes),
+        }
+
+    def to_json(self) -> str:
+        """JSON document for on-disk artifacts."""
+        return dumps_artifact(self.to_json_dict())
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "ResultTable":
+        """Rebuild a table from :meth:`to_json_dict` output."""
+        return cls(
+            title=data["title"],
+            columns=list(data["columns"]),
+            rows=[dict(row) for row in data.get("rows", [])],
+            notes=list(data.get("notes", [])),
+        )
+
+    @classmethod
+    def from_json(cls, document: str) -> "ResultTable":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_json_dict(json.loads(document))
 
     # ------------------------------------------------------------------ small helpers
     def is_empty(self) -> bool:

@@ -1,4 +1,13 @@
-"""The reproduction experiments E1-E12 (one module per claim; see DESIGN.md)."""
+"""The reproduction experiments E1-E12 (one module per claim; see DESIGN.md).
+
+Each ``expNN_*`` module declares itself to the harness with the
+:func:`~repro.experiments.spec.register_experiment` decorator, which bundles
+its title, paper claim, quick/full config presets, per-seed trial callable
+and default sweep grid into an :class:`~repro.experiments.spec.
+ExperimentSpec`.  Importing this package therefore populates the registry;
+``repro.experiments.registry`` exposes it programmatically and as the
+``repro-experiment`` CLI.
+"""
 
 from repro.experiments import (
     exp01_soup_mixing,
@@ -14,6 +23,7 @@ from repro.experiments import (
     exp11_reversibility,
     exp12_adaptive_ablation,
 )
+from repro.experiments.spec import REGISTRY, ExperimentSpec, register_experiment, registered_ids
 
 __all__ = [
     "exp01_soup_mixing",
@@ -28,4 +38,8 @@ __all__ = [
     "exp10_erasure",
     "exp11_reversibility",
     "exp12_adaptive_ablation",
+    "REGISTRY",
+    "ExperimentSpec",
+    "register_experiment",
+    "registered_ids",
 ]

@@ -2,14 +2,19 @@
 
 Every experiment module follows the same shape:
 
-* module constants ``EXPERIMENT_ID``, ``TITLE``, ``CLAIM``;
+* module constants ``EXPERIMENT_ID``, ``TITLE``, ``CLAIM`` (and usually a
+  module-level ``GRID`` or grid-factory for its default sweep);
 * ``quick_config(workers=1)`` -- a small configuration meant for benchmarks
   and CI (seconds, not minutes);
 * ``full_config(workers=1)`` -- a larger configuration for producing the
   numbers recorded in EXPERIMENTS.md;
-* ``run(config=None) -> ExperimentResult``;
+* ``run(config=None) -> ExperimentResult``, decorated with
+  :func:`repro.experiments.spec.register_experiment`, which bundles all of
+  the above into an :class:`~repro.experiments.spec.ExperimentSpec` and
+  installs it in the registry the ``repro-experiment`` CLI works from;
 * a module-level ``_trial(config, seed) -> dict`` returning plain picklable
-  data, so trials can be dispatched to worker processes.
+  data, so trials can be dispatched to worker processes and persisted as
+  JSON cell artifacts by :class:`repro.sim.store.ResultStore`.
 
 The ``workers`` knob threads through to :class:`repro.sim.runner.TrialRunner`:
 ``workers=1`` runs trials sequentially in-process, ``workers=k`` fans every

@@ -23,6 +23,7 @@ from repro.sim.experiment import ExperimentConfig
 from repro.sim.results import ExperimentResult, timed_experiment
 from repro.sim.runner import GridSpec, Sweep
 from repro.experiments.common import run_soup_only
+from repro.experiments.spec import register_experiment
 from repro.walks.mixing import destination_distribution, total_variation_from_uniform
 
 EXPERIMENT_ID = "E1"
@@ -34,6 +35,14 @@ CLAIM = (
 
 #: Churn expressed as fractions of the paper's limit 4n/(ln n)^{1+delta}.
 CHURN_FRACTIONS = (0.0, 0.02, 0.05, 0.1)
+
+#: Default sweep grid: one cell per churn fraction, paired with its adversary kind.
+GRID = GridSpec.from_cells(
+    [
+        {"churn_fraction": fraction, "adversary": "none" if fraction == 0 else "uniform"}
+        for fraction in CHURN_FRACTIONS
+    ]
+)
 
 
 def quick_config(workers: int = 1) -> ExperimentConfig:
@@ -58,6 +67,15 @@ def _trial(config: ExperimentConfig, seed: int, walks_per_source: int = 8) -> Di
     }
 
 
+@register_experiment(
+    EXPERIMENT_ID,
+    title=TITLE,
+    claim=CLAIM,
+    quick=quick_config,
+    full=full_config,
+    trial=_trial,
+    grid=GRID,
+)
 def run(config: Optional[ExperimentConfig] = None, walks_per_source: int = 8) -> ExperimentResult:
     """Run E1 and return its result tables."""
     config = quick_config() if config is None else config
@@ -66,7 +84,8 @@ def run(config: Optional[ExperimentConfig] = None, walks_per_source: int = 8) ->
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         claim=CLAIM,
-        config_summary={"n": config.n, "seeds": list(config.seeds), "walks_per_source": walks_per_source},
+        config=config,
+        config_summary={"walks_per_source": walks_per_source},
     )
     table = ResultTable(
         title=f"{EXPERIMENT_ID}: destination uniformity vs churn (n={config.n})",
@@ -80,13 +99,7 @@ def run(config: Optional[ExperimentConfig] = None, walks_per_source: int = 8) ->
         ],
     )
     with timed_experiment(result):
-        grid = GridSpec.from_cells(
-            [
-                {"churn_fraction": fraction, "adversary": "none" if fraction == 0 else "uniform"}
-                for fraction in CHURN_FRACTIONS
-            ]
-        )
-        sweep = Sweep(config, grid, partial(_trial, walks_per_source=walks_per_source)).run()
+        sweep = Sweep(config, GRID, partial(_trial, walks_per_source=walks_per_source)).run()
         for fraction, cell in zip(CHURN_FRACTIONS, sweep):
             trials = cell.trials
             tv = mean_ci([t.payload["tv"] for t in trials])

@@ -16,6 +16,7 @@ from repro.analysis.stats import mean_ci
 from repro.analysis.tables import ResultTable
 from repro.analysis.theory import PaperBounds
 from repro.experiments.common import run_soup_only
+from repro.experiments.spec import register_experiment
 from repro.sim.experiment import ExperimentConfig
 from repro.sim.results import ExperimentResult, timed_experiment
 from repro.sim.runner import GridSpec, Sweep
@@ -28,6 +29,14 @@ CLAIM = (
 )
 
 CHURN_FRACTIONS = (0.0, 0.02, 0.05, 0.1, 0.25)
+
+#: Default sweep grid: one cell per churn fraction, paired with its adversary kind.
+GRID = GridSpec.from_cells(
+    [
+        {"churn_fraction": fraction, "adversary": "none" if fraction == 0 else "uniform"}
+        for fraction in CHURN_FRACTIONS
+    ]
+)
 
 
 def quick_config(workers: int = 1) -> ExperimentConfig:
@@ -52,6 +61,15 @@ def _trial(config: ExperimentConfig, seed: int, walks_per_source: int = 8, thres
     }
 
 
+@register_experiment(
+    EXPERIMENT_ID,
+    title=TITLE,
+    claim=CLAIM,
+    quick=quick_config,
+    full=full_config,
+    trial=_trial,
+    grid=GRID,
+)
 def run(config: Optional[ExperimentConfig] = None, walks_per_source: int = 8) -> ExperimentResult:
     """Run E2 and return its result tables."""
     config = quick_config() if config is None else config
@@ -60,7 +78,8 @@ def run(config: Optional[ExperimentConfig] = None, walks_per_source: int = 8) ->
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         claim=CLAIM,
-        config_summary={"n": config.n, "seeds": list(config.seeds), "walks_per_source": walks_per_source},
+        config=config,
+        config_summary={"walks_per_source": walks_per_source},
     )
     threshold = max(0.0, bounds.survival_probability_lower_bound())
     table = ResultTable(
@@ -75,14 +94,8 @@ def run(config: Optional[ExperimentConfig] = None, walks_per_source: int = 8) ->
         ],
     )
     with timed_experiment(result):
-        grid = GridSpec.from_cells(
-            [
-                {"churn_fraction": fraction, "adversary": "none" if fraction == 0 else "uniform"}
-                for fraction in CHURN_FRACTIONS
-            ]
-        )
         trial = partial(_trial, walks_per_source=walks_per_source, threshold=threshold)
-        sweep = Sweep(config, grid, trial).run()
+        sweep = Sweep(config, GRID, trial).run()
         for fraction, cell in zip(CHURN_FRACTIONS, sweep):
             trials = cell.trials
             overall = mean_ci([t.payload["overall"] for t in trials])

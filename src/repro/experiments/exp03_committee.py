@@ -22,6 +22,7 @@ from repro.analysis.stats import mean_ci
 from repro.analysis.tables import ResultTable
 from repro.analysis.theory import PaperBounds
 from repro.core.committee import Committee
+from repro.experiments.spec import register_experiment
 from repro.sim.experiment import ExperimentConfig, build_system, run_trials
 from repro.sim.results import ExperimentResult, timed_experiment
 
@@ -73,6 +74,14 @@ def _trial(config: ExperimentConfig, seed: int, maintain: bool) -> Dict[str, flo
     }
 
 
+@register_experiment(
+    EXPERIMENT_ID,
+    title=TITLE,
+    claim=CLAIM,
+    quick=quick_config,
+    full=full_config,
+    trial=_trial,
+)
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Run E3 and return its result tables."""
     config = quick_config() if config is None else config
@@ -81,12 +90,8 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         claim=CLAIM,
-        config_summary={
-            "n": config.n,
-            "seeds": list(config.seeds),
-            "horizon_rounds": config.measure_rounds,
-            "committee_size": int(round(bounds.committee_size())),
-        },
+        config=config,
+        config_summary={"committee_size": int(round(bounds.committee_size()))},
     )
     table = ResultTable(
         title=f"{EXPERIMENT_ID}: committee goodness over {config.measure_rounds} rounds (n={config.n})",

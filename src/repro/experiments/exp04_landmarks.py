@@ -19,6 +19,7 @@ from repro.analysis.stats import mean_ci
 from repro.analysis.tables import ResultTable
 from repro.analysis.theory import PaperBounds
 from repro.experiments.common import run_storage_trial
+from repro.experiments.spec import register_experiment
 from repro.sim.experiment import ExperimentConfig
 from repro.sim.results import ExperimentResult, timed_experiment
 from repro.sim.runner import GridSpec, Sweep
@@ -31,6 +32,9 @@ CLAIM = (
 )
 
 NETWORK_SIZES = (256, 512, 1024)
+
+#: Default sweep grid over the network size (run(sizes=...) can override).
+GRID = GridSpec.product({"n": NETWORK_SIZES})
 
 
 def quick_config(workers: int = 1) -> ExperimentConfig:
@@ -60,6 +64,15 @@ def _trial(config: ExperimentConfig, seed: int) -> Dict[str, float]:
     }
 
 
+@register_experiment(
+    EXPERIMENT_ID,
+    title=TITLE,
+    claim=CLAIM,
+    quick=quick_config,
+    full=full_config,
+    trial=_trial,
+    grid=GRID,
+)
 def run(config: Optional[ExperimentConfig] = None, sizes=NETWORK_SIZES) -> ExperimentResult:
     """Run E4 over a sweep of network sizes and return its result tables."""
     base = quick_config() if config is None else config
@@ -67,7 +80,8 @@ def run(config: Optional[ExperimentConfig] = None, sizes=NETWORK_SIZES) -> Exper
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         claim=CLAIM,
-        config_summary={"sizes": list(sizes), "seeds": list(base.seeds), "items": base.items},
+        config=base,
+        config_summary={"sizes": list(sizes)},
     )
     table = ResultTable(
         title=f"{EXPERIMENT_ID}: landmark-set size vs network size",

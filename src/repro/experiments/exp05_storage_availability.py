@@ -22,6 +22,7 @@ from repro.sim.metrics import MetricsCollector
 from repro.sim.results import ExperimentResult, timed_experiment
 from repro.sim.runner import GridSpec, Sweep
 from repro.experiments.common import store_items
+from repro.experiments.spec import register_experiment
 
 EXPERIMENT_ID = "E5"
 TITLE = "Stored items stay available under churn with Theta(log n) copies"
@@ -31,6 +32,9 @@ CLAIM = (
 )
 
 CHURN_FRACTIONS = (0.02, 0.05, 0.1)
+
+#: Default sweep grid over the churn fraction.
+GRID = GridSpec.product({"churn_fraction": CHURN_FRACTIONS})
 
 
 def quick_config(workers: int = 1) -> ExperimentConfig:
@@ -64,6 +68,15 @@ def _trial(config: ExperimentConfig, seed: int) -> Dict[str, float]:
     }
 
 
+@register_experiment(
+    EXPERIMENT_ID,
+    title=TITLE,
+    claim=CLAIM,
+    quick=quick_config,
+    full=full_config,
+    trial=_trial,
+    grid=GRID,
+)
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Run E5 and return its result tables."""
     config = quick_config() if config is None else config
@@ -72,13 +85,8 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         claim=CLAIM,
-        config_summary={
-            "n": config.n,
-            "items": config.items,
-            "horizon_rounds": config.measure_rounds,
-            "seeds": list(config.seeds),
-            "theta_log_n_copies": int(round(bounds.storage_copies())),
-        },
+        config=config,
+        config_summary={"theta_log_n_copies": int(round(bounds.storage_copies()))},
     )
     table = ResultTable(
         title=f"{EXPERIMENT_ID}: availability after {config.measure_rounds} rounds (n={config.n})",
@@ -94,7 +102,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         ],
     )
     with timed_experiment(result):
-        sweep = Sweep(config, GridSpec.product({"churn_fraction": CHURN_FRACTIONS}), _trial).run()
+        sweep = Sweep(config, GRID, _trial).run()
         for fraction, cell in zip(CHURN_FRACTIONS, sweep):
             cfg = cell.cell.config
             trials = cell.trials

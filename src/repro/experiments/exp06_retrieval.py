@@ -17,6 +17,7 @@ from repro.analysis.stats import log_fit_slope, mean_ci, percentile, success_fra
 from repro.analysis.tables import ResultTable
 from repro.analysis.theory import PaperBounds
 from repro.experiments.common import run_storage_trial
+from repro.experiments.spec import register_experiment
 from repro.sim.experiment import ExperimentConfig
 from repro.sim.results import ExperimentResult, timed_experiment
 from repro.sim.runner import GridSpec, Sweep
@@ -30,6 +31,9 @@ CLAIM = (
 
 NETWORK_SIZES = (256, 512, 1024)
 RETRIEVALS_PER_ITEM = 2
+
+#: Default sweep grid over the network size (run(sizes=...) can override).
+GRID = GridSpec.product({"n": NETWORK_SIZES})
 
 
 def quick_config(workers: int = 1) -> ExperimentConfig:
@@ -53,6 +57,15 @@ def _trial(config: ExperimentConfig, seed: int) -> Dict[str, object]:
     }
 
 
+@register_experiment(
+    EXPERIMENT_ID,
+    title=TITLE,
+    claim=CLAIM,
+    quick=quick_config,
+    full=full_config,
+    trial=_trial,
+    grid=GRID,
+)
 def run(config: Optional[ExperimentConfig] = None, sizes=NETWORK_SIZES) -> ExperimentResult:
     """Run E6 over a network-size sweep and return its result tables."""
     base = quick_config() if config is None else config
@@ -60,12 +73,8 @@ def run(config: Optional[ExperimentConfig] = None, sizes=NETWORK_SIZES) -> Exper
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         claim=CLAIM,
-        config_summary={
-            "sizes": list(sizes),
-            "seeds": list(base.seeds),
-            "churn_fraction": base.churn_fraction,
-            "retrievals_per_item": RETRIEVALS_PER_ITEM,
-        },
+        config=base,
+        config_summary={"sizes": list(sizes), "retrievals_per_item": RETRIEVALS_PER_ITEM},
     )
     table = ResultTable(
         title=f"{EXPERIMENT_ID}: retrieval success and latency vs n",

@@ -18,6 +18,7 @@ from repro.analysis.stats import mean_ci, success_fraction
 from repro.analysis.tables import ResultTable
 from repro.analysis.theory import PaperBounds
 from repro.experiments.common import run_storage_trial
+from repro.experiments.spec import register_experiment
 from repro.sim.experiment import ExperimentConfig
 from repro.sim.results import ExperimentResult, timed_experiment
 from repro.sim.runner import GridSpec, Sweep
@@ -49,6 +50,20 @@ def _rate_for(n: float, delta: float, multiplier: float) -> int:
     return int(round(multiplier * n / (bounds.log_n ** (1.0 + delta))))
 
 
+def sweep_grid(config: ExperimentConfig) -> GridSpec:
+    """The churn-rate grid for ``config``: one cell per *distinct* absolute rate.
+
+    At small n several multipliers round to the same absolute churn rate;
+    the grid runs each distinct rate once and ``run`` reuses the cell for
+    every multiplier that maps to it.
+    """
+    rates = [_rate_for(config.n, config.delta, m) for m in SWEEP_MULTIPLIERS]
+    unique_rates = list(dict.fromkeys(rates))
+    return GridSpec.from_cells(
+        [{"churn_rate": rate, "adversary": "none" if rate == 0 else "uniform"} for rate in unique_rates]
+    )
+
+
 def _trial(config: ExperimentConfig, seed: int) -> Dict[str, object]:
     payload = run_storage_trial(config, seed, retrievals_per_item=1)
     system = payload["system"]
@@ -60,6 +75,15 @@ def _trial(config: ExperimentConfig, seed: int) -> Dict[str, object]:
     }
 
 
+@register_experiment(
+    EXPERIMENT_ID,
+    title=TITLE,
+    claim=CLAIM,
+    quick=quick_config,
+    full=full_config,
+    trial=_trial,
+    grid=sweep_grid,
+)
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Run E7 and return its result tables."""
     config = quick_config() if config is None else config
@@ -68,10 +92,8 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         claim=CLAIM,
+        config=config,
         config_summary={
-            "n": config.n,
-            "seeds": list(config.seeds),
-            "horizon_rounds": config.measure_rounds,
             "paper_limit_per_round": int(bounds.churn_limit()),
             "conjectured_ceiling_per_round": int(bounds.conjectured_churn_ceiling()),
         },
@@ -89,14 +111,9 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     )
     with timed_experiment(result):
         rates = [_rate_for(config.n, config.delta, m) for m in SWEEP_MULTIPLIERS]
-        # At small n several multipliers can round to the same absolute rate;
-        # run each distinct rate once and reuse its cell for every multiplier.
-        unique_rates = list(dict.fromkeys(rates))
-        grid = GridSpec.from_cells(
-            [{"churn_rate": rate, "adversary": "none" if rate == 0 else "uniform"} for rate in unique_rates]
-        )
+        grid = sweep_grid(config)
         sweep = Sweep(config, grid, _trial).run()
-        cell_by_rate = dict(zip(unique_rates, sweep))
+        cell_by_rate = {overrides["churn_rate"]: cell for overrides, cell in zip(grid.overrides(), sweep)}
         for multiplier, rate in zip(SWEEP_MULTIPLIERS, rates):
             trials = cell_by_rate[rate].trials
             availability = mean_ci([t.payload["availability"] for t in trials])

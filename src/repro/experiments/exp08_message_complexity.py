@@ -21,6 +21,7 @@ from repro.analysis.stats import mean_ci
 from repro.analysis.tables import ResultTable
 from repro.baselines.flooding import FloodingStore
 from repro.experiments.common import run_storage_trial
+from repro.experiments.spec import register_experiment
 from repro.sim.experiment import ExperimentConfig, build_system, run_trials
 from repro.sim.results import ExperimentResult, timed_experiment
 
@@ -79,6 +80,14 @@ def _flooding_trial(config: ExperimentConfig, seed: int) -> Dict[str, float]:
     }
 
 
+@register_experiment(
+    EXPERIMENT_ID,
+    title=TITLE,
+    claim=CLAIM,
+    quick=quick_config,
+    full=full_config,
+    trial=_protocol_trial,
+)
 def run(config: Optional[ExperimentConfig] = None, sizes=NETWORK_SIZES) -> ExperimentResult:
     """Run E8 over a network-size sweep and return its result tables."""
     base = quick_config() if config is None else config
@@ -86,7 +95,8 @@ def run(config: Optional[ExperimentConfig] = None, sizes=NETWORK_SIZES) -> Exper
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         claim=CLAIM,
-        config_summary={"sizes": list(sizes), "seeds": list(base.seeds), "items": base.items},
+        config=base,
+        config_summary={"sizes": list(sizes)},
     )
     table = ResultTable(
         title=f"{EXPERIMENT_ID}: per-node traffic vs n",

@@ -30,6 +30,7 @@ from repro.baselines.random_probe import RandomProbeSearch
 from repro.sim.experiment import ExperimentConfig, build_system, run_trials
 from repro.sim.results import ExperimentResult, timed_experiment
 from repro.experiments.common import store_items
+from repro.experiments.spec import register_experiment
 
 EXPERIMENT_ID = "E9"
 TITLE = "Committee/landmark scheme vs flooding, birthday replication, Chord and random probing"
@@ -134,6 +135,14 @@ def _trial(config: ExperimentConfig, seed: int) -> Dict[str, Dict[str, float]]:
 SCHEMES = ("paper", "flooding", "birthday", "chord", "random_probe")
 
 
+@register_experiment(
+    EXPERIMENT_ID,
+    title=TITLE,
+    claim=CLAIM,
+    quick=quick_config,
+    full=full_config,
+    trial=_trial,
+)
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Run E9 and return its result tables."""
     config = quick_config() if config is None else config
@@ -141,12 +150,8 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         claim=CLAIM,
-        config_summary={
-            "n": config.n,
-            "churn_fraction": config.churn_fraction,
-            "horizon_rounds": config.measure_rounds,
-            "seeds": list(config.seeds),
-        },
+        config=config,
+        config_summary={"schemes": list(SCHEMES)},
     )
     table = ResultTable(
         title=f"{EXPERIMENT_ID}: schemes after {config.measure_rounds} rounds at churn fraction "

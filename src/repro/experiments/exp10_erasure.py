@@ -18,6 +18,7 @@ from repro.analysis.stats import mean_ci
 from repro.analysis.tables import ResultTable
 from repro.core.params import ProtocolParameters
 from repro.experiments.common import run_storage_trial
+from repro.experiments.spec import register_experiment
 from repro.sim.experiment import ExperimentConfig
 from repro.sim.results import ExperimentResult, timed_experiment
 from repro.sim.runner import GridSpec, Sweep
@@ -30,6 +31,9 @@ CLAIM = (
 )
 
 ITEM_SIZES = (256, 1024, 4096)
+
+#: Default sweep grid: item size x storage mode (run(item_sizes=...) can override).
+GRID = GridSpec.product({"item_size": ITEM_SIZES, "storage_mode": ("replicate", "erasure")})
 
 
 def quick_config(workers: int = 1) -> ExperimentConfig:
@@ -60,6 +64,15 @@ def _trial(config: ExperimentConfig, seed: int) -> Dict[str, float]:
     }
 
 
+@register_experiment(
+    EXPERIMENT_ID,
+    title=TITLE,
+    claim=CLAIM,
+    quick=quick_config,
+    full=full_config,
+    trial=_trial,
+    grid=GRID,
+)
 def run(config: Optional[ExperimentConfig] = None, item_sizes=ITEM_SIZES) -> ExperimentResult:
     """Run E10 and return its result tables."""
     base = quick_config() if config is None else config
@@ -68,10 +81,9 @@ def run(config: Optional[ExperimentConfig] = None, item_sizes=ITEM_SIZES) -> Exp
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         claim=CLAIM,
+        config=base,
         config_summary={
-            "n": base.n,
-            "churn_fraction": base.churn_fraction,
-            "seeds": list(base.seeds),
+            "item_sizes": list(item_sizes),
             "L": params.erasure_total_pieces,
             "K": params.erasure_required_pieces,
         },

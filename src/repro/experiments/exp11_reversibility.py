@@ -17,6 +17,7 @@ import numpy as np
 from repro.analysis.stats import mean_ci
 from repro.analysis.tables import ResultTable
 from repro.experiments.common import run_soup_only
+from repro.experiments.spec import register_experiment
 from repro.sim.experiment import ExperimentConfig
 from repro.sim.results import ExperimentResult, timed_experiment
 from repro.sim.runner import GridSpec, Sweep
@@ -30,6 +31,14 @@ CLAIM = (
 )
 
 CHURN_FRACTIONS = (0.0, 0.05, 0.1)
+
+#: Default sweep grid: one cell per churn fraction, paired with its adversary kind.
+GRID = GridSpec.from_cells(
+    [
+        {"churn_fraction": fraction, "adversary": "none" if fraction == 0 else "uniform"}
+        for fraction in CHURN_FRACTIONS
+    ]
+)
 
 
 def quick_config(workers: int = 1) -> ExperimentConfig:
@@ -56,6 +65,15 @@ def _trial(config: ExperimentConfig, seed: int, walks_per_source: int = 8) -> Di
     }
 
 
+@register_experiment(
+    EXPERIMENT_ID,
+    title=TITLE,
+    claim=CLAIM,
+    quick=quick_config,
+    full=full_config,
+    trial=_trial,
+    grid=GRID,
+)
 def run(config: Optional[ExperimentConfig] = None, walks_per_source: int = 8) -> ExperimentResult:
     """Run E11 and return its result tables."""
     config = quick_config() if config is None else config
@@ -63,7 +81,8 @@ def run(config: Optional[ExperimentConfig] = None, walks_per_source: int = 8) ->
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         claim=CLAIM,
-        config_summary={"n": config.n, "seeds": list(config.seeds), "walks_per_source": walks_per_source},
+        config=config,
+        config_summary={"walks_per_source": walks_per_source},
     )
     table = ResultTable(
         title=f"{EXPERIMENT_ID}: origin uniformity of surviving walks (n={config.n})",
@@ -76,13 +95,7 @@ def run(config: Optional[ExperimentConfig] = None, walks_per_source: int = 8) ->
         ],
     )
     with timed_experiment(result):
-        grid = GridSpec.from_cells(
-            [
-                {"churn_fraction": fraction, "adversary": "none" if fraction == 0 else "uniform"}
-                for fraction in CHURN_FRACTIONS
-            ]
-        )
-        sweep = Sweep(config, grid, partial(_trial, walks_per_source=walks_per_source)).run()
+        sweep = Sweep(config, GRID, partial(_trial, walks_per_source=walks_per_source)).run()
         for fraction, cell in zip(CHURN_FRACTIONS, sweep):
             trials = cell.trials
             table.add_row(

@@ -18,6 +18,7 @@ import numpy as np
 from repro.analysis.stats import mean_ci
 from repro.analysis.tables import ResultTable
 from repro.experiments.common import store_items
+from repro.experiments.spec import register_experiment
 from repro.sim.experiment import ExperimentConfig, build_system
 from repro.sim.results import ExperimentResult, timed_experiment
 from repro.sim.runner import GridSpec, Sweep
@@ -30,6 +31,9 @@ CLAIM = (
 )
 
 CHURN_FRACTIONS = (0.02, 0.05)
+
+#: Default sweep grid: churn fraction x adversary kind.
+GRID = GridSpec.product({"churn_fraction": CHURN_FRACTIONS, "adversary": ("uniform", "adaptive")})
 
 
 def quick_config(workers: int = 1) -> ExperimentConfig:
@@ -62,6 +66,15 @@ def _trial(config: ExperimentConfig, seed: int) -> Dict[str, float]:
     }
 
 
+@register_experiment(
+    EXPERIMENT_ID,
+    title=TITLE,
+    claim=CLAIM,
+    quick=quick_config,
+    full=full_config,
+    trial=_trial,
+    grid=GRID,
+)
 def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
     """Run E12 and return its result tables."""
     config = quick_config() if config is None else config
@@ -69,11 +82,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         claim=CLAIM,
-        config_summary={
-            "n": config.n,
-            "horizon_rounds": config.measure_rounds,
-            "seeds": list(config.seeds),
-        },
+        config=config,
     )
     table = ResultTable(
         title=f"{EXPERIMENT_ID}: oblivious vs adaptive adversary at equal churn rate (n={config.n})",
@@ -87,10 +96,7 @@ def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
         ],
     )
     with timed_experiment(result):
-        grid = GridSpec.product(
-            {"churn_fraction": CHURN_FRACTIONS, "adversary": ("uniform", "adaptive")}
-        )
-        for cell in Sweep(config, grid, _trial).run():
+        for cell in Sweep(config, GRID, _trial).run():
             overrides = cell.cell.override_dict()
             fraction, adversary = overrides["churn_fraction"], overrides["adversary"]
             trials = cell.trials

@@ -4,10 +4,12 @@ Usage::
 
     python -m repro.experiments.generate_experiments_md [--full] [--output PATH]
 
-Runs every experiment (quick configuration by default, ``--full`` for the
-larger ones), collects their Markdown reports, and writes the claims-vs-
-measured document.  The file checked into the repository was produced by the
-quick configuration so it can be regenerated in a couple of minutes.
+Runs every registered experiment (quick configuration by default, ``--full``
+for the larger ones) through its :class:`~repro.experiments.spec.
+ExperimentSpec`, collects their Markdown reports, and writes the
+claims-vs-measured document.  The file checked into the repository was
+produced by the quick configuration so it can be regenerated in a couple of
+minutes.
 """
 
 from __future__ import annotations
@@ -17,7 +19,7 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
-from repro.experiments.registry import EXPERIMENTS, all_experiments
+from repro.experiments.registry import all_experiments, get_experiment
 
 __all__ = ["generate", "main"]
 
@@ -30,7 +32,8 @@ therefore records, for every provable claim, the experiment that exercises it
 on our simulator and the measured result.  Regenerate it with
 ``python -m repro.experiments.generate_experiments_md`` (add ``--full`` for
 the larger configurations) or rerun individual experiments with
-``repro-experiment E<k> [--full]``.
+``repro-experiment run E<k> [--full] [--json-out DIR]`` (the old positional
+form still works; ``resume DIR`` finishes an interrupted ``--json-out`` run).
 
 **How to read the numbers.**  The theorems are asymptotic ("with high
 probability", constants such as ``4 n / ln^{1+d} n``) and several are vacuous
@@ -51,13 +54,12 @@ functional Theta(sqrt(n)) size directly (see DESIGN.md, "Substitutions").
 
 
 def generate(full: bool = False, experiment_ids: Optional[List[str]] = None) -> str:
-    """Run the experiments and return the Markdown document."""
+    """Run the experiments through their specs and return the Markdown document."""
     parts = [HEADER]
     for eid in experiment_ids or all_experiments():
-        module = EXPERIMENTS[eid]
-        config = module.full_config() if full else module.quick_config()
+        spec = get_experiment(eid)
         start = time.time()
-        result = module.run(config)
+        result = spec.run(spec.config(full=full))
         parts.append(result.to_markdown())
         parts.append("")
         print(f"{eid} finished in {time.time() - start:.1f}s", flush=True)

@@ -1,60 +1,67 @@
-"""Experiment registry and command-line entry point.
+"""Experiment registry façade and command-line entry point.
 
-Maps experiment ids (``E1`` .. ``E12``) to their modules and provides:
+Experiments register themselves via :func:`repro.experiments.spec.
+register_experiment`; importing :mod:`repro.experiments` pulls in every
+``expNN_*`` module, which populates the registry as a side effect of the
+decorators.  This module exposes the registry programmatically
+(:func:`get_experiment` / :func:`all_experiments` / :func:`run_experiment`,
+all operating on :class:`~repro.experiments.spec.ExperimentSpec` objects) and
+installs :func:`main` as the ``repro-experiment`` console script::
 
-* :func:`get_experiment` / :func:`all_experiments` for programmatic access;
-* :func:`run_experiment` which runs one experiment in quick or full mode;
-* :func:`main`, installed as the ``repro-experiment`` console script::
+    repro-experiment run E5                       # quick configuration
+    repro-experiment run E5 --full --workers 4    # EXPERIMENTS.md configuration
+    repro-experiment run E5 --set n=1024 --set adversary=burst --seeds 0..9
+    repro-experiment run E5 --json-out results/   # persist per-cell artifacts
+    repro-experiment resume results/E5-<stamp>    # finish an interrupted run
+    repro-experiment all                          # every experiment + summary footer
+    repro-experiment list                         # ids, titles and paper claims
 
-      repro-experiment E5            # quick configuration
-      repro-experiment E5 --full     # EXPERIMENTS.md configuration
-      repro-experiment all           # every experiment, quick mode
-      repro-experiment list          # what exists
+    repro-experiment E5 --full                    # legacy positional form (shimmed)
+
+``--json-out`` creates a run directory managed by :class:`~repro.sim.store.
+ResultStore`: a ``manifest.json`` recording the invocation, one JSON artifact
+per completed sweep cell, and the final ``result.json`` (an
+:class:`~repro.sim.results.ExperimentResult` document).  ``resume`` re-invokes
+the same experiment against that directory; completed cells are loaded from
+disk and only the missing ones are computed.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import re
 import sys
-from types import ModuleType
-from typing import Dict, List, Optional
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
 
-from repro.experiments import (
-    exp01_soup_mixing,
-    exp02_walk_survival,
-    exp03_committee,
-    exp04_landmarks,
-    exp05_storage_availability,
-    exp06_retrieval,
-    exp07_churn_sweep,
-    exp08_message_complexity,
-    exp09_baselines,
-    exp10_erasure,
-    exp11_reversibility,
-    exp12_adaptive_ablation,
-)
+import repro.experiments  # noqa: F401  - imports every expNN module, populating the registry
+from repro.experiments.spec import REGISTRY, ExperimentSpec, registered_ids
 from repro.sim.results import ExperimentResult
+from repro.sim.store import ResultStore, use_store
 
-__all__ = ["EXPERIMENTS", "get_experiment", "all_experiments", "run_experiment", "main"]
+__all__ = [
+    "EXPERIMENTS",
+    "get_experiment",
+    "all_experiments",
+    "run_experiment",
+    "parse_seed_spec",
+    "parse_set_overrides",
+    "main",
+]
 
-EXPERIMENTS: Dict[str, ModuleType] = {
-    "E1": exp01_soup_mixing,
-    "E2": exp02_walk_survival,
-    "E3": exp03_committee,
-    "E4": exp04_landmarks,
-    "E5": exp05_storage_availability,
-    "E6": exp06_retrieval,
-    "E7": exp07_churn_sweep,
-    "E8": exp08_message_complexity,
-    "E9": exp09_baselines,
-    "E10": exp10_erasure,
-    "E11": exp11_reversibility,
-    "E12": exp12_adaptive_ablation,
-}
+#: The registry, keyed by experiment id.  Kept under the historical name so
+#: ``registry.EXPERIMENTS["E5"]`` keeps working; values are now
+#: :class:`ExperimentSpec` objects rather than bare modules.
+EXPERIMENTS: Dict[str, ExperimentSpec] = REGISTRY
+
+_SUBCOMMANDS = ("run", "resume", "list", "all")
+_LEGACY_ID = re.compile(r"^[eE]\d+$")
 
 
-def get_experiment(experiment_id: str) -> ModuleType:
-    """Return the module implementing ``experiment_id`` (case-insensitive)."""
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Return the :class:`ExperimentSpec` for ``experiment_id`` (case-insensitive)."""
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}")
@@ -63,45 +70,280 @@ def get_experiment(experiment_id: str) -> ModuleType:
 
 def all_experiments() -> List[str]:
     """All experiment ids in numeric order."""
-    return sorted(EXPERIMENTS, key=lambda e: int(e[1:]))
+    return registered_ids()
 
 
-def run_experiment(experiment_id: str, full: bool = False, workers: int = 1) -> ExperimentResult:
-    """Run one experiment in quick (default) or full mode on ``workers`` processes."""
-    module = get_experiment(experiment_id)
-    config = module.full_config(workers=workers) if full else module.quick_config(workers=workers)
-    return module.run(config)
+def run_experiment(
+    experiment_id: str,
+    full: bool = False,
+    workers: int = 1,
+    overrides: Optional[Dict[str, Any]] = None,
+    seeds: Optional[Sequence[int]] = None,
+    store: Optional[ResultStore] = None,
+) -> ExperimentResult:
+    """Run one experiment through its spec and return its result.
+
+    ``overrides`` are :class:`~repro.sim.experiment.ExperimentConfig` field
+    replacements applied on top of the quick/full preset; ``seeds`` replaces
+    the preset's seed list.  When ``store`` is given the run is persisted
+    cell-by-cell (and resumed from whatever the store already holds), and the
+    final report is written as ``result.json``.
+    """
+    spec = get_experiment(experiment_id)
+    config = spec.config(full=full, workers=workers)
+    if overrides:
+        config = config.with_overrides(**overrides)
+    if seeds is not None:
+        config = config.with_overrides(seeds=tuple(int(seed) for seed in seeds))
+    with use_store(store):
+        result = spec.run(config)
+    if store is not None:
+        store.save_result(result)
+    return result
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """Console entry point (``repro-experiment``)."""
+# ---------------------------------------------------------------------- CLI parsing
+def parse_seed_spec(spec: str) -> List[int]:
+    """Parse a ``--seeds`` argument: ``"0..9"`` (inclusive range) or ``"0,3,5"``."""
+    text = spec.strip()
+    if ".." in text:
+        lo_text, _, hi_text = text.partition("..")
+        lo, hi = int(lo_text), int(hi_text)
+        if hi < lo:
+            raise ValueError(f"empty seed range {spec!r}")
+        return list(range(lo, hi + 1))
+    return [int(part) for part in text.split(",") if part.strip() != ""]
+
+
+def parse_set_overrides(assignments: Sequence[str]) -> Dict[str, Any]:
+    """Parse repeated ``--set key=value`` flags into a config-override dict.
+
+    Values are decoded as JSON when possible (``1024`` -> int, ``0.1`` ->
+    float, ``true`` -> bool, ``[0, 1]`` -> list) and fall back to plain
+    strings (``burst`` stays ``"burst"``).
+    """
+    overrides: Dict[str, Any] = {}
+    for assignment in assignments:
+        key, sep, raw = assignment.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ValueError(f"--set expects key=value, got {assignment!r}")
+        try:
+            value: Any = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        if key == "seeds" and isinstance(value, list):
+            value = tuple(int(seed) for seed in value)
+        overrides[key] = value
+    return overrides
+
+
+def _shim_legacy_argv(argv: List[str]) -> List[str]:
+    """Rewrite pre-subcommand invocations onto the subcommand grammar.
+
+    The old single-parser CLI accepted flags in any position, so both
+    ``repro-experiment E5 --full`` and ``repro-experiment --markdown E5`` (or
+    ``--full all``) were valid.  Find the first positional token, skipping
+    flags (and the value of flags that take one); an experiment id becomes
+    ``run`` + original argv, and a displaced subcommand word is moved to the
+    front.  Modern invocations (subcommand first) pass through untouched.
+    """
+    if not argv or argv[0] in _SUBCOMMANDS:
+        return argv
+    value_flags = {"--workers", "--json-out", "--seeds", "--set"}
+    index = 0
+    while index < len(argv):
+        token = argv[index]
+        if token.startswith("-"):
+            index += 2 if token in value_flags else 1
+            continue
+        if _LEGACY_ID.match(token):
+            return ["run"] + argv
+        if token in _SUBCOMMANDS:
+            return [token] + argv[:index] + argv[index + 1 :]
+        break
+    return argv
+
+
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiment",
         description="Run the reproduction experiments for 'Storage and Search in Dynamic P2P Networks'.",
     )
-    parser.add_argument("experiment", help="experiment id (E1..E12), 'all', or 'list'")
-    parser.add_argument("--full", action="store_true", help="use the full (slow) configuration")
-    parser.add_argument("--markdown", action="store_true", help="emit Markdown instead of plain text")
-    parser.add_argument(
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--full", action="store_true", help="use the full (slow) configuration")
+        p.add_argument("--markdown", action="store_true", help="emit Markdown instead of plain text")
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="worker processes for the Monte-Carlo trials (seed-deterministic; 1 = sequential)",
+        )
+        p.add_argument(
+            "--json-out",
+            metavar="DIR",
+            default=None,
+            help="persist per-cell artifacts and result.json under DIR/<id>-<stamp>/",
+        )
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="experiment id (E1..E12)")
+    add_common(run_parser)
+    run_parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override an ExperimentConfig field (repeatable), e.g. --set n=1024 --set adversary=burst",
+    )
+    run_parser.add_argument(
+        "--seeds",
+        default=None,
+        metavar="SPEC",
+        help="replace the preset seeds: '0..9' (inclusive) or '0,3,5'",
+    )
+
+    all_parser = sub.add_parser("all", help="run every experiment and print a timing summary")
+    add_common(all_parser)
+
+    sub.add_parser("list", help="list experiment ids, titles and paper claims")
+
+    resume_parser = sub.add_parser("resume", help="resume an interrupted --json-out run directory")
+    resume_parser.add_argument("run_dir", help="run directory created by 'run --json-out'")
+    resume_parser.add_argument("--markdown", action="store_true", help="emit Markdown instead of plain text")
+    resume_parser.add_argument(
         "--workers",
         type=int,
-        default=1,
-        help="worker processes for the Monte-Carlo trials (seed-deterministic; 1 = sequential)",
+        default=None,
+        help="override the worker count recorded in the manifest",
     )
-    args = parser.parse_args(argv)
+    return parser
 
-    if args.experiment.lower() == "list":
-        for experiment_id in all_experiments():
-            module = EXPERIMENTS[experiment_id]
-            print(f"{experiment_id}: {module.TITLE}")
-        return 0
 
-    targets = all_experiments() if args.experiment.lower() == "all" else [args.experiment]
-    for experiment_id in targets:
-        result = run_experiment(experiment_id, full=args.full, workers=args.workers)
-        print(result.to_markdown() if args.markdown else result.to_text())
-        print()
+def _make_run_dir(json_out: str, experiment_id: str) -> Path:
+    """A fresh run directory DIR/<id>-<stamp>[-k] that does not exist yet."""
+    base = Path(json_out)
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    candidate = base / f"{experiment_id}-{stamp}"
+    suffix = 1
+    while candidate.exists():
+        suffix += 1
+        candidate = base / f"{experiment_id}-{stamp}-{suffix}"
+    return candidate
+
+
+def _create_store(
+    json_out: str,
+    experiment_id: str,
+    full: bool,
+    workers: int,
+    overrides: Dict[str, Any],
+    seeds: Optional[Sequence[int]],
+) -> ResultStore:
+    run_dir = _make_run_dir(json_out, experiment_id)
+    manifest = {
+        "experiment": experiment_id,
+        "full": bool(full),
+        "workers": int(workers),
+        "overrides": overrides,
+        "seeds": None if seeds is None else [int(seed) for seed in seeds],
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    return ResultStore.create(run_dir, manifest)
+
+
+def _print_result(result: ExperimentResult, markdown: bool) -> None:
+    print(result.to_markdown() if markdown else result.to_text())
+    print()
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    experiment_id = args.experiment.upper()
+    try:
+        overrides = parse_set_overrides(args.overrides)
+        seeds = None if args.seeds is None else parse_seed_spec(args.seeds)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    store = None
+    if args.json_out is not None:
+        store = _create_store(args.json_out, experiment_id, args.full, args.workers, overrides, seeds)
+    result = run_experiment(
+        experiment_id,
+        full=args.full,
+        workers=args.workers,
+        overrides=overrides,
+        seeds=seeds,
+        store=store,
+    )
+    _print_result(result, args.markdown)
+    if store is not None:
+        print(f"results written to {store.root}")
     return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    store = ResultStore.open(Path(args.run_dir))
+    manifest = store.manifest()
+    workers = manifest.get("workers", 1) if args.workers is None else args.workers
+    result = run_experiment(
+        manifest["experiment"],
+        full=bool(manifest.get("full", False)),
+        workers=workers,
+        overrides=manifest.get("overrides") or {},
+        seeds=manifest.get("seeds"),
+        store=store,
+    )
+    _print_result(result, args.markdown)
+    print(f"results written to {store.root}")
+    return 0
+
+
+def _cmd_list() -> int:
+    for experiment_id in all_experiments():
+        spec = EXPERIMENTS[experiment_id]
+        print(f"{experiment_id}: {spec.title}")
+        print(f"    claim: {spec.claim}")
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    timings: List[tuple] = []
+    for experiment_id in all_experiments():
+        store = None
+        if args.json_out is not None:
+            store = _create_store(args.json_out, experiment_id, args.full, args.workers, {}, None)
+        result = run_experiment(
+            experiment_id, full=args.full, workers=args.workers, store=store
+        )
+        _print_result(result, args.markdown)
+        timings.append((experiment_id, result.elapsed_seconds))
+    width = max(len(eid) for eid, _ in timings)
+    print("summary:")
+    for experiment_id, elapsed in timings:
+        print(f"  {experiment_id.ljust(width)}  {elapsed:8.2f}s")
+    total = sum(elapsed for _, elapsed in timings)
+    print(f"  {'total'.ljust(width)}  {total:8.2f}s  ({len(timings)} experiments)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Console entry point (``repro-experiment``)."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    argv = _shim_legacy_argv(argv)
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "resume":
+        return _cmd_resume(args)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "all":
+        return _cmd_all(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 
 if __name__ == "__main__":  # pragma: no cover

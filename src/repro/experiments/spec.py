@@ -1,0 +1,158 @@
+"""First-class experiment specifications and the decorator-based registry.
+
+Historically each ``expNN_*`` module was an informal duck type -- ad-hoc
+``TITLE`` / ``quick_config()`` / ``full_config()`` / ``run()`` symbols wired
+into a hardcoded dict in ``registry.py``.  This module makes experiments
+first-class: an :class:`ExperimentSpec` bundles everything the harness needs
+to run, sweep, persist and document one experiment, and modules register
+themselves by decorating their ``run`` function::
+
+    @register_experiment(
+        "E5",
+        title=TITLE,
+        claim=CLAIM,
+        quick=quick_config,
+        full=full_config,
+        trial=_trial,
+        grid=GRID,
+    )
+    def run(config=None):
+        ...
+
+The registry (:data:`REGISTRY`) is keyed by upper-case experiment id;
+``repro.experiments.registry`` exposes it through :func:`get_experiment`,
+:func:`run_experiment` and the ``repro-experiment`` CLI, all of which work
+uniformly over specs instead of duck-typed modules.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from dataclasses import dataclass, field
+from types import ModuleType
+from typing import Any, Callable, Dict, Optional
+
+from repro.sim.experiment import ExperimentConfig
+from repro.sim.results import ExperimentResult
+from repro.sim.runner import GridSpec
+
+__all__ = ["ExperimentSpec", "register_experiment", "REGISTRY", "registered_ids"]
+
+_ID_PATTERN = re.compile(r"^E\d+$")
+
+#: The global experiment registry, keyed by upper-case id ("E1" .. "E12").
+REGISTRY: Dict[str, "ExperimentSpec"] = {}
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one experiment.
+
+    Attributes
+    ----------
+    experiment_id:
+        Canonical id (``"E5"``).
+    title / claim:
+        Human-readable title and the paper claim the experiment exercises.
+    run_fn:
+        The experiment body: ``run_fn(config) -> ExperimentResult``.
+    quick / full:
+        Config presets: ``quick(workers=1) -> ExperimentConfig`` for
+        benchmarks/CI, ``full(workers=1)`` for EXPERIMENTS.md numbers.
+    trial:
+        The per-seed trial callable (``None`` for experiments whose run body
+        is not a single trial map, e.g. multi-scheme comparisons).
+    grid:
+        The default sweep grid: a :class:`~repro.sim.runner.GridSpec`, a
+        callable ``grid(config) -> GridSpec`` for config-dependent grids, or
+        ``None`` when the experiment does not sweep.
+    module:
+        The defining module (handy for docs and benchmarks).
+    """
+
+    experiment_id: str
+    title: str
+    claim: str
+    run_fn: Callable[..., ExperimentResult]
+    quick: Callable[..., ExperimentConfig]
+    full: Callable[..., ExperimentConfig]
+    trial: Optional[Callable[..., Dict[str, Any]]] = None
+    grid: Optional[Any] = None
+    module: Optional[ModuleType] = field(default=None, compare=False, repr=False)
+
+    # ------------------------------------------------------------------ configs
+    def config(self, full: bool = False, workers: int = 1) -> ExperimentConfig:
+        """The quick or full preset config with the ``workers`` knob applied."""
+        preset = self.full if full else self.quick
+        return preset(workers=workers)
+
+    def grid_for(self, config: ExperimentConfig) -> Optional[GridSpec]:
+        """Resolve the default grid for ``config`` (None when the spec has none)."""
+        if self.grid is None:
+            return None
+        if isinstance(self.grid, GridSpec):
+            return self.grid
+        return self.grid(config)
+
+    # ------------------------------------------------------------------ running
+    def run(self, config: Optional[ExperimentConfig] = None, **kwargs: Any) -> ExperimentResult:
+        """Run the experiment (quick preset when ``config`` is None)."""
+        return self.run_fn(self.config() if config is None else config, **kwargs)
+
+    @property
+    def number(self) -> int:
+        """The numeric part of the id, for ordering."""
+        return int(self.experiment_id[1:])
+
+
+def register_experiment(
+    experiment_id: str,
+    *,
+    title: str,
+    claim: str,
+    quick: Callable[..., ExperimentConfig],
+    full: Callable[..., ExperimentConfig],
+    trial: Optional[Callable[..., Dict[str, Any]]] = None,
+    grid: Optional[Any] = None,
+) -> Callable[[Callable[..., ExperimentResult]], Callable[..., ExperimentResult]]:
+    """Class the decorated ``run`` function as experiment ``experiment_id``.
+
+    Builds an :class:`ExperimentSpec` from the decorator arguments plus the
+    decorated function, installs it in :data:`REGISTRY`, and attaches it to
+    the function as ``run.spec``.  Re-registering an id from a *different*
+    module is an error (two experiments claiming the same id); re-running the
+    same module (``importlib.reload``) replaces the spec silently.
+    """
+    key = experiment_id.upper()
+    if not _ID_PATTERN.match(key):
+        raise ValueError(f"experiment id must look like 'E<number>', got {experiment_id!r}")
+
+    def decorate(run_fn: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
+        existing = REGISTRY.get(key)
+        if existing is not None and existing.run_fn.__module__ != run_fn.__module__:
+            raise ValueError(
+                f"experiment {key} already registered by {existing.run_fn.__module__}; "
+                f"refusing duplicate from {run_fn.__module__}"
+            )
+        spec = ExperimentSpec(
+            experiment_id=key,
+            title=title,
+            claim=claim,
+            run_fn=run_fn,
+            quick=quick,
+            full=full,
+            trial=trial,
+            grid=grid,
+            module=sys.modules.get(run_fn.__module__),
+        )
+        REGISTRY[key] = spec
+        run_fn.spec = spec  # type: ignore[attr-defined]
+        return run_fn
+
+    return decorate
+
+
+def registered_ids() -> list:
+    """All registered experiment ids in numeric order."""
+    return sorted(REGISTRY, key=lambda eid: int(eid[1:]))

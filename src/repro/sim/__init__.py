@@ -1,4 +1,10 @@
-"""Simulation harness: experiment configs, Monte-Carlo runner, sweeps, metrics, results."""
+"""Simulation harness: experiment configs, Monte-Carlo runner, sweeps, metrics, results.
+
+Everything an experiment produces is serializable (``to_json``/``from_json``
+on configs, trials, cells, sweeps and results) and :class:`~repro.sim.store.
+ResultStore` persists per-cell artifacts under a run directory so sweeps can
+be killed and resumed (``repro-experiment resume <run-dir>``).
+"""
 
 from repro.sim.experiment import (
     ExperimentConfig,
@@ -7,6 +13,7 @@ from repro.sim.experiment import (
     build_system,
     default_warmup,
     resolve_churn_rate,
+    resolved_params,
     run_trials,
 )
 from repro.sim.metrics import MetricsCollector, RoundMetrics
@@ -20,6 +27,7 @@ from repro.sim.runner import (
     TrialRunner,
     WorkerError,
 )
+from repro.sim.store import ResultStore, active_store, use_store
 
 __all__ = [
     "ExperimentConfig",
@@ -28,6 +36,7 @@ __all__ = [
     "build_system",
     "default_warmup",
     "resolve_churn_rate",
+    "resolved_params",
     "run_trials",
     "MetricsCollector",
     "RoundMetrics",
@@ -40,4 +49,7 @@ __all__ = [
     "CellResult",
     "SweepResult",
     "WorkerError",
+    "ResultStore",
+    "active_store",
+    "use_store",
 ]

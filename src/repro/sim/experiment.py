@@ -15,12 +15,18 @@ All twelve experiments (E1-E12, see DESIGN.md) share the same scaffolding:
 
 Experiments keep their own logic (what to measure, which table to print) in
 ``repro.experiments.expNN_*``; this module only owns the shared plumbing.
+
+:class:`ExperimentConfig` and :class:`TrialResult` round-trip through JSON
+(``to_json``/``from_json``), which is what lets :class:`repro.sim.store.
+ResultStore` persist per-cell artifacts and resume interrupted runs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, List, Optional, Sequence
+import json
+from dataclasses import dataclass, field, fields, replace
+from functools import lru_cache
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.params import ProtocolParameters
 from repro.core.protocol import P2PStorageSystem
@@ -34,9 +40,19 @@ from repro.net.churn import (
     paper_churn_limit,
 )
 from repro.util.rng import SplitRng
+from repro.util.serialization import dumps_artifact, jsonify
 from repro.util.validation import check_choice
 
-__all__ = ["ExperimentConfig", "TrialResult", "build_adversary", "build_system", "run_trials", "resolve_churn_rate"]
+__all__ = [
+    "ExperimentConfig",
+    "TrialResult",
+    "build_adversary",
+    "build_system",
+    "default_warmup",
+    "resolved_params",
+    "run_trials",
+    "resolve_churn_rate",
+]
 
 ADVERSARY_KINDS = ("none", "uniform", "sweep", "burst", "adaptive")
 
@@ -116,6 +132,64 @@ class ExperimentConfig:
         """Copy with fields replaced (used by sweeps)."""
         return replace(self, **kwargs)
 
+    # ------------------------------------------------------------------ serialization
+    def to_json_dict(self) -> Dict[str, Any]:
+        """All fields as plain JSON data (seeds become a list)."""
+        return {f.name: jsonify(getattr(self, f.name)) for f in fields(self)}
+
+    def to_json(self) -> str:
+        """JSON document for on-disk artifacts."""
+        return dumps_artifact(self.to_json_dict())
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "ExperimentConfig":
+        """Rebuild a config from :meth:`to_json_dict` output.
+
+        Unknown keys are rejected (they would silently change semantics);
+        ``seeds`` is normalised back to a tuple so round-tripped configs
+        compare equal to the originals.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown ExperimentConfig fields {sorted(unknown)}; known: {sorted(known)}")
+        payload = dict(data)
+        if "seeds" in payload:
+            payload["seeds"] = tuple(int(seed) for seed in payload["seeds"])
+        if "param_overrides" in payload:
+            payload["param_overrides"] = dict(payload["param_overrides"])
+        return cls(**payload)
+
+    @classmethod
+    def from_json(cls, document: str) -> "ExperimentConfig":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_json_dict(json.loads(document))
+
+    def summary_dict(self) -> Dict[str, Any]:
+        """The fields that differ from the dataclass defaults (plus ``name``).
+
+        This is what experiment reports render as their ``config:`` line --
+        compact enough to read, complete enough to reproduce the run
+        together with the defaults documented on the class.
+        """
+        import dataclasses
+
+        summary: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "name":
+                summary["name"] = value
+                continue
+            if f.default is not dataclasses.MISSING:
+                default = f.default
+            elif f.default_factory is not dataclasses.MISSING:
+                default = f.default_factory()
+            else:  # pragma: no cover - every field has a default today
+                default = dataclasses.MISSING
+            if value != default:
+                summary[f.name] = value
+        return jsonify(summary)
+
 
 def resolve_churn_rate(config: ExperimentConfig) -> int:
     """Absolute churn per round: explicit rate, or fraction of the paper's limit."""
@@ -189,6 +263,32 @@ class TrialResult:
     payload: Dict[str, Any]
     elapsed_seconds: float
 
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Plain-data form (payload normalised via :func:`repro.util.serialization.jsonify`)."""
+        return {
+            "seed": int(self.seed),
+            "payload": jsonify(self.payload),
+            "elapsed_seconds": float(self.elapsed_seconds),
+        }
+
+    def to_json(self) -> str:
+        """JSON document for on-disk artifacts."""
+        return dumps_artifact(self.to_json_dict())
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "TrialResult":
+        """Rebuild a trial result from :meth:`to_json_dict` output."""
+        return cls(
+            seed=int(data["seed"]),
+            payload=dict(data["payload"]),
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+        )
+
+    @classmethod
+    def from_json(cls, document: str) -> "TrialResult":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_json_dict(json.loads(document))
+
 
 def run_trials(
     config: ExperimentConfig,
@@ -202,16 +302,46 @@ def run_trials(
     trials run on a process pool (see :class:`repro.sim.runner.TrialRunner`).
     Results are returned in seed order either way, and parallel payloads are
     byte-identical to sequential ones.
+
+    When a :class:`~repro.sim.store.ResultStore` is active (via
+    :func:`repro.sim.store.use_store` or the ``repro-experiment --json-out``
+    CLI), the whole seed batch is treated as one persisted cell: a completed
+    batch is loaded from disk instead of re-run, and a fresh batch is written
+    as a per-cell artifact so the run can be resumed later.
     """
     from repro.sim.runner import TrialRunner  # local import: runner imports this module
+    from repro.sim.store import active_store  # local import: store imports this module
 
+    seeds = config.seeds if seeds is None else tuple(seeds)
+    store = active_store()
+    if store is not None:
+        key = store.cell_key(trial, config, seeds)
+        cached = store.load_trials(key)
+        if cached is not None:
+            return cached
     runner = TrialRunner(workers=config.workers if workers is None else workers)
-    return runner.run(config, trial, seeds=seeds)
+    results = runner.run(config, trial, seeds=seeds)
+    if store is not None:
+        store.save_cell(key, trial=trial, config=config, seeds=seeds, trials=results)
+    return results
+
+
+@lru_cache(maxsize=256)
+def _cached_params(n: int, delta: float, override_items: Tuple[Tuple[str, Any], ...]) -> ProtocolParameters:
+    """Resolve :class:`ProtocolParameters` once per distinct (n, delta, overrides)."""
+    return ProtocolParameters.for_network(n, delta=delta, **dict(override_items))
+
+
+def resolved_params(config: ExperimentConfig) -> ProtocolParameters:
+    """The protocol parameters implied by ``config`` (cached; parameters are immutable)."""
+    try:
+        return _cached_params(config.n, config.delta, tuple(sorted(config.param_overrides.items())))
+    except TypeError:  # unhashable override value: resolve without the cache
+        return ProtocolParameters.for_network(config.n, delta=config.delta, **config.param_overrides)
 
 
 def default_warmup(config: ExperimentConfig) -> int:
     """Warm-up rounds: one walk length plus two unless overridden."""
     if config.warmup_rounds is not None:
         return config.warmup_rounds
-    params = ProtocolParameters.for_network(config.n, delta=config.delta, **config.param_overrides)
-    return params.walk_length + 2
+    return resolved_params(config).walk_length + 2

@@ -1,32 +1,61 @@
 """Experiment result containers.
 
 An :class:`ExperimentResult` bundles everything one experiment run produced:
-the configuration(s) it was run with, its result tables, free-text findings,
-and wall-clock timing.  The experiment registry uses it to print a uniform
-report and EXPERIMENTS.md is generated from the same objects, so the numbers
-in the documentation always come from code that can be re-run.
+the configuration it was run with (a real :class:`~repro.sim.experiment.
+ExperimentConfig`, plus a dict of experiment-specific derived settings), its
+result tables, free-text findings, and wall-clock timing.  The experiment
+registry uses it to print a uniform report and EXPERIMENTS.md is generated
+from the same objects, so the numbers in the documentation always come from
+code that can be re-run.
+
+Results are durable: :meth:`ExperimentResult.to_json` /
+:meth:`ExperimentResult.from_json` round-trip the whole report (config,
+tables, findings) through JSON, and the ``repro-experiment run --json-out``
+CLI writes exactly that document as ``result.json`` in the run directory.
 """
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.analysis.tables import ResultTable
+from repro.sim.experiment import ExperimentConfig
+from repro.util.serialization import dumps_artifact, dumps_compact, jsonify
 
 __all__ = ["ExperimentResult", "timed_experiment"]
 
 
 @dataclass
 class ExperimentResult:
-    """Everything produced by one experiment run."""
+    """Everything produced by one experiment run.
+
+    Attributes
+    ----------
+    experiment_id / title / claim:
+        Identity of the experiment and the paper claim it exercises.
+    tables:
+        The measured result tables.
+    findings:
+        One-sentence measured findings.
+    config:
+        The :class:`ExperimentConfig` the run used (``None`` only for
+        hand-assembled results); rendered via its JSON summary.
+    config_summary:
+        Experiment-specific *derived* settings that are not plain config
+        fields (paper bounds, sweep axes, erasure parameters, ...).
+    elapsed_seconds:
+        Wall-clock duration stamped by :class:`timed_experiment`.
+    """
 
     experiment_id: str
     title: str
     claim: str
     tables: List[ResultTable] = field(default_factory=list)
     findings: List[str] = field(default_factory=list)
+    config: Optional[ExperimentConfig] = None
     config_summary: Dict[str, Any] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
 
@@ -39,15 +68,30 @@ class ExperimentResult:
         self.findings.append(finding)
 
     # ------------------------------------------------------------------ rendering
+    def config_text(self) -> str:
+        """The ``config:`` line, rendered from the config's JSON serialization."""
+        if self.config is not None:
+            return dumps_compact(self.config.summary_dict())
+        return dumps_compact(self.config_summary)
+
+    def derived_text(self) -> Optional[str]:
+        """The derived-settings line (None when there is nothing beyond the config)."""
+        if self.config is not None and self.config_summary:
+            return dumps_compact(self.config_summary)
+        return None
+
     def to_text(self) -> str:
         """Terminal-friendly report."""
         lines = [
             f"{self.experiment_id}: {self.title}",
             f"claim: {self.claim}",
-            f"config: {self.config_summary}",
-            f"elapsed: {self.elapsed_seconds:.2f}s",
-            "",
+            f"config: {self.config_text()}",
         ]
+        derived = self.derived_text()
+        if derived is not None:
+            lines.append(f"derived: {derived}")
+        lines.append(f"elapsed: {self.elapsed_seconds:.2f}s")
+        lines.append("")
         for table in self.tables:
             lines.append(table.to_text())
             lines.append("")
@@ -58,12 +102,16 @@ class ExperimentResult:
 
     def to_markdown(self) -> str:
         """Markdown report (used to assemble EXPERIMENTS.md)."""
+        config_line = f"*Configuration:* `{self.config_text()}`"
+        derived = self.derived_text()
+        if derived is not None:
+            config_line += f"  \n*Derived:* `{derived}`"
         lines = [
             f"## {self.experiment_id}: {self.title}",
             "",
             f"**Paper claim.** {self.claim}",
             "",
-            f"*Configuration:* `{self.config_summary}`  \n*Elapsed:* {self.elapsed_seconds:.2f}s",
+            f"{config_line}  \n*Elapsed:* {self.elapsed_seconds:.2f}s",
             "",
         ]
         for table in self.tables:
@@ -73,6 +121,44 @@ class ExperimentResult:
             lines.append("**Measured findings.**")
             lines.extend(f"- {finding}" for finding in self.findings)
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------ serialization
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Plain-data form of the whole report."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "claim": self.claim,
+            "config": None if self.config is None else self.config.to_json_dict(),
+            "config_summary": jsonify(self.config_summary),
+            "tables": [table.to_json_dict() for table in self.tables],
+            "findings": list(self.findings),
+            "elapsed_seconds": float(self.elapsed_seconds),
+        }
+
+    def to_json(self) -> str:
+        """JSON document for on-disk artifacts (``result.json``)."""
+        return dumps_artifact(self.to_json_dict())
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+        """Rebuild a report from :meth:`to_json_dict` output."""
+        config = data.get("config")
+        return cls(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            claim=data["claim"],
+            tables=[ResultTable.from_json_dict(t) for t in data.get("tables", [])],
+            findings=list(data.get("findings", [])),
+            config=None if config is None else ExperimentConfig.from_json_dict(config),
+            config_summary=dict(data.get("config_summary", {})),
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+        )
+
+    @classmethod
+    def from_json(cls, document: str) -> "ExperimentResult":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_json_dict(json.loads(document))
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.to_text()

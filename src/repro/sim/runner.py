@@ -19,6 +19,10 @@ worker pool:
   :meth:`ExperimentConfig.with_overrides`.
 * :class:`Sweep` fans *all* (cell, seed) tasks of a grid into one pool and
   regroups the results per cell, with progress logging and per-cell timing.
+  When a :class:`~repro.sim.store.ResultStore` is active, completed cells are
+  loaded from the run directory instead of re-run, making sweeps resumable
+  (``repro-experiment resume <run-dir>``).  :class:`SweepCell`,
+  :class:`CellResult` and :class:`SweepResult` all round-trip through JSON.
 
 Errors raised inside a worker process are re-raised in the parent as
 :class:`WorkerError` carrying the offending config name, seed and the remote
@@ -37,6 +41,7 @@ from dataclasses import dataclass, fields
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.sim.experiment import ExperimentConfig, TrialResult
+from repro.util.serialization import dumps_artifact, jsonify
 from repro.util.simlog import get_logger
 
 __all__ = [
@@ -321,6 +326,23 @@ class SweepCell:
         """The overrides as a plain dict."""
         return dict(self.overrides)
 
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Plain-data form (override order preserved)."""
+        return {
+            "index": int(self.index),
+            "overrides": [[key, jsonify(value)] for key, value in self.overrides],
+            "config": self.config.to_json_dict(),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "SweepCell":
+        """Rebuild a cell from :meth:`to_json_dict` output."""
+        return cls(
+            index=int(data["index"]),
+            overrides=tuple((key, value) for key, value in data.get("overrides", [])),
+            config=ExperimentConfig.from_json_dict(data["config"]),
+        )
+
 
 @dataclass(frozen=True)
 class CellResult:
@@ -337,6 +359,21 @@ class CellResult:
     def payloads(self) -> List[Dict[str, Any]]:
         """The payload dict of every trial, in seed order."""
         return [t.payload for t in self.trials]
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Plain-data form of the cell and its trials."""
+        return {
+            "cell": self.cell.to_json_dict(),
+            "trials": [trial.to_json_dict() for trial in self.trials],
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "CellResult":
+        """Rebuild a cell result from :meth:`to_json_dict` output."""
+        return cls(
+            cell=SweepCell.from_json_dict(data["cell"]),
+            trials=[TrialResult.from_json_dict(t) for t in data.get("trials", [])],
+        )
 
 
 @dataclass(frozen=True)
@@ -356,6 +393,32 @@ class SweepResult:
 
     def __len__(self) -> int:
         return len(self.cells)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Plain-data form of the whole sweep."""
+        return {
+            "cells": [cell.to_json_dict() for cell in self.cells],
+            "elapsed_seconds": float(self.elapsed_seconds),
+        }
+
+    def to_json(self) -> str:
+        """JSON document for on-disk artifacts."""
+        return dumps_artifact(self.to_json_dict())
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "SweepResult":
+        """Rebuild a sweep result from :meth:`to_json_dict` output."""
+        return cls(
+            cells=[CellResult.from_json_dict(cell) for cell in data.get("cells", [])],
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+        )
+
+    @classmethod
+    def from_json(cls, document: str) -> "SweepResult":
+        """Inverse of :meth:`to_json`."""
+        import json
+
+        return cls.from_json_dict(json.loads(document))
 
 
 class Sweep:
@@ -393,30 +456,71 @@ class Sweep:
             )
         ]
 
-    def run(self, runner: Optional[TrialRunner] = None) -> SweepResult:
-        """Run every (cell, seed) task through ``runner`` (default: base.workers)."""
+    def run(self, runner: Optional[TrialRunner] = None, store: Optional[Any] = None) -> SweepResult:
+        """Run every (cell, seed) task through ``runner`` (default: base.workers).
+
+        When ``store`` is given -- or a :class:`~repro.sim.store.ResultStore`
+        is active via :func:`repro.sim.store.use_store` -- completed cells are
+        loaded from the run directory and skipped; only the missing cells are
+        fanned into the pool, and each one is persisted as soon as its trials
+        finish.  A sweep killed mid-run therefore resumes where it stopped and
+        produces the same payloads an uninterrupted run would have.
+        """
+        from repro.sim.store import active_store  # local import: store imports this module
+
         runner = TrialRunner(workers=self.base.workers) if runner is None else runner
+        store = active_store() if store is None else store
         cells = self.cells()
-        total_tasks = sum(len(c.config.seeds) for c in cells)
+        start = time.perf_counter()
+
+        loaded: Dict[int, List[TrialResult]] = {}
+        keys: Dict[int, str] = {}
+        pending: List[SweepCell] = []
+        for cell in cells:
+            if store is None:
+                pending.append(cell)
+                continue
+            key = store.cell_key(self.trial, cell.config, cell.config.seeds)
+            keys[cell.index] = key
+            cached = store.load_trials(key)
+            if cached is None:
+                pending.append(cell)
+            else:
+                loaded[cell.index] = cached
+        total_tasks = sum(len(c.config.seeds) for c in pending)
         _logger.info(
-            "sweep %s: %d cells x seeds = %d trials on %d worker(s)",
+            "sweep %s: %d cells (%d cached) x seeds = %d trials on %d worker(s)",
             self.base.name,
             len(cells),
+            len(loaded),
             total_tasks,
             runner.workers,
         )
-        start = time.perf_counter()
-        per_cell = runner.run_cells([(c.config, c.config.seeds) for c in cells], self.trial)
+
+        per_cell = runner.run_cells([(c.config, c.config.seeds) for c in pending], self.trial)
+        for cell, trials in zip(pending, per_cell):
+            loaded[cell.index] = trials
+            if store is not None:
+                store.save_cell(
+                    keys[cell.index],
+                    trial=self.trial,
+                    config=cell.config,
+                    seeds=cell.config.seeds,
+                    trials=trials,
+                    index=cell.index,
+                    overrides=cell.override_dict(),
+                )
+
         results: List[CellResult] = []
-        for cell, trials in zip(cells, per_cell):
-            result = CellResult(cell=cell, trials=trials)
+        for cell in cells:
+            result = CellResult(cell=cell, trials=loaded[cell.index])
             _logger.info(
                 "sweep %s cell %d/%d %s: %d trial(s), %.2fs compute",
                 self.base.name,
                 cell.index + 1,
                 len(cells),
                 cell.override_dict(),
-                len(trials),
+                len(result.trials),
                 result.elapsed_seconds,
             )
             results.append(result)

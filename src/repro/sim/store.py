@@ -1,0 +1,242 @@
+"""Durable per-cell result storage and resumable runs.
+
+A :class:`ResultStore` owns one *run directory*::
+
+    <run>/
+      manifest.json         # how the run was invoked (experiment, mode, overrides)
+      result.json           # the final ExperimentResult (written when the run completes)
+      cells/<key>.json      # one artifact per completed (trial, config, seeds) cell
+
+Cells are content-addressed: the key is a hash of the trial callable's
+qualified name, the full config and the seed list, so a resumed run finds
+exactly the cells that were already computed -- regardless of grid order or
+of how many separate sweeps the experiment runs.  :class:`~repro.sim.runner.
+Sweep` and :func:`repro.sim.experiment.run_trials` both consult the *active*
+store (see :func:`use_store`): completed cells are loaded from disk and
+skipped, only missing cells hit the worker pool, and freshly computed cells
+are written as soon as they finish.  Because every trial derives all its
+randomness from its seed, the payloads a resumed run persists are
+byte-identical to an uninterrupted run's.
+
+The ``repro-experiment`` CLI builds on this: ``run E5 --json-out results/``
+creates a store and ``resume results/<run>`` re-invokes the same experiment
+against it.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence
+
+from repro.sim.experiment import ExperimentConfig, TrialResult
+from repro.util.serialization import dumps_artifact, jsonify
+from repro.util.simlog import get_logger
+
+__all__ = ["ResultStore", "use_store", "active_store", "trial_name"]
+
+_logger = get_logger("store")
+
+_ACTIVE_STORE: ContextVar[Optional["ResultStore"]] = ContextVar("repro_active_result_store", default=None)
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write via a temp file + rename so a killed process never leaves a partial artifact."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def trial_name(trial: Callable[..., Any]) -> str:
+    """A stable textual identity for a trial callable.
+
+    Module-level functions map to ``module.qualname``; :func:`functools.
+    partial` wrappers include their bound arguments so the same function
+    curried differently yields different cell keys.  Lambdas get their
+    (non-unique) qualname -- good enough for interactive use, but persisted
+    sweeps should use named module-level trials.
+    """
+    if isinstance(trial, functools.partial):
+        inner = trial_name(trial.func)
+        bound = [repr(arg) for arg in trial.args]
+        bound += [f"{key}={value!r}" for key, value in sorted(trial.keywords.items())]
+        return f"{inner}({', '.join(bound)})"
+    module = getattr(trial, "__module__", type(trial).__module__)
+    qualname = getattr(trial, "__qualname__", type(trial).__qualname__)
+    return f"{module}.{qualname}"
+
+
+class ResultStore:
+    """Per-cell experiment artifacts under one run directory.
+
+    Use :meth:`create` for a fresh run (writes ``manifest.json``) and
+    :meth:`open` to attach to an existing run for resumption.
+    """
+
+    MANIFEST_NAME = "manifest.json"
+    RESULT_NAME = "result.json"
+    CELLS_DIR = "cells"
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ lifecycle
+    @classmethod
+    def create(cls, root: Path, manifest: Optional[Mapping[str, Any]] = None) -> "ResultStore":
+        """Initialise a run directory (fails if it already holds a manifest)."""
+        store = cls(root)
+        if store.manifest_path.exists():
+            raise FileExistsError(f"run directory {store.root} already has a manifest; use ResultStore.open")
+        store.cells_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write_text(store.manifest_path, dumps_artifact(dict(manifest or {})))
+        return store
+
+    @classmethod
+    def open(cls, root: Path) -> "ResultStore":
+        """Attach to an existing run directory created by :meth:`create`."""
+        store = cls(root)
+        if not store.manifest_path.exists():
+            raise FileNotFoundError(f"{store.root} is not a result-store run directory (no manifest.json)")
+        store.cells_dir.mkdir(parents=True, exist_ok=True)
+        return store
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / self.MANIFEST_NAME
+
+    @property
+    def result_path(self) -> Path:
+        return self.root / self.RESULT_NAME
+
+    @property
+    def cells_dir(self) -> Path:
+        return self.root / self.CELLS_DIR
+
+    def manifest(self) -> Dict[str, Any]:
+        """The manifest written at :meth:`create` time."""
+        return json.loads(self.manifest_path.read_text())
+
+    # ------------------------------------------------------------------ cells
+    def cell_key(
+        self,
+        trial: Callable[..., Any],
+        config: ExperimentConfig,
+        seeds: Sequence[int],
+    ) -> str:
+        """Content hash identifying one (trial, config, seeds) cell.
+
+        ``workers`` is excluded from the identity: trials derive all their
+        randomness from their seed, so the worker count never changes
+        payloads -- resuming a run with a different ``--workers`` must still
+        find every completed cell.
+        """
+        config_identity = config.to_json_dict()
+        config_identity.pop("workers", None)
+        identity = {
+            "trial": trial_name(trial),
+            "config": config_identity,
+            "seeds": [int(seed) for seed in seeds],
+        }
+        canonical = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:20]
+
+    def cell_path(self, key: str) -> Path:
+        return self.cells_dir / f"{key}.json"
+
+    def has_cell(self, key: str) -> bool:
+        """True when the cell artifact exists on disk."""
+        return self.cell_path(key).exists()
+
+    def completed_keys(self) -> List[str]:
+        """Keys of every completed cell in this run directory."""
+        return sorted(path.stem for path in self.cells_dir.glob("*.json"))
+
+    def save_cell(
+        self,
+        key: str,
+        *,
+        trial: Callable[..., Any],
+        config: ExperimentConfig,
+        seeds: Sequence[int],
+        trials: Sequence[TrialResult],
+        index: Optional[int] = None,
+        overrides: Optional[Mapping[str, Any]] = None,
+    ) -> Path:
+        """Persist one completed cell as ``cells/<key>.json``."""
+        document = {
+            "key": key,
+            "trial": trial_name(trial),
+            "index": index,
+            "overrides": None if overrides is None else jsonify(dict(overrides)),
+            "config": config.to_json_dict(),
+            "seeds": [int(seed) for seed in seeds],
+            "trials": [trial_result.to_json_dict() for trial_result in trials],
+        }
+        path = self.cell_path(key)
+        _atomic_write_text(path, dumps_artifact(document))
+        _logger.debug("saved cell %s (%d trials) to %s", key, len(trials), path)
+        return path
+
+    def load_trials(self, key: str) -> Optional[List[TrialResult]]:
+        """The trials of a completed cell, or None when the cell is missing/corrupt."""
+        document = self.load_cell_document(key)
+        if document is None:
+            return None
+        return [TrialResult.from_json_dict(t) for t in document.get("trials", [])]
+
+    def load_cell_document(self, key: str) -> Optional[Dict[str, Any]]:
+        """The raw JSON document of a completed cell (None when missing).
+
+        Cell writes are atomic (temp file + rename), so a truncated artifact
+        should never occur; if one is found anyway (e.g. copied in by hand),
+        it is treated as missing so the cell is recomputed rather than
+        crashing the resume.
+        """
+        path = self.cell_path(key)
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text())
+        except json.JSONDecodeError:
+            _logger.warning("cell artifact %s is unreadable; treating the cell as missing", path)
+            return None
+
+    # ------------------------------------------------------------------ final result
+    def save_result(self, result: Any) -> Path:
+        """Write the final :class:`~repro.sim.results.ExperimentResult` as ``result.json``."""
+        _atomic_write_text(self.result_path, result.to_json())
+        return self.result_path
+
+    def load_result(self):
+        """Load ``result.json`` back into an :class:`~repro.sim.results.ExperimentResult`."""
+        from repro.sim.results import ExperimentResult  # local import: results imports experiment
+
+        return ExperimentResult.from_json(self.result_path.read_text())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultStore({str(self.root)!r})"
+
+
+@contextmanager
+def use_store(store: Optional[ResultStore]) -> Iterator[Optional[ResultStore]]:
+    """Make ``store`` the active store for the enclosed code (None = no-op).
+
+    :class:`~repro.sim.runner.Sweep` and :func:`repro.sim.experiment.
+    run_trials` pick the active store up automatically, so experiments do not
+    need store parameters threaded through their ``run()`` signatures.
+    """
+    token = _ACTIVE_STORE.set(store)
+    try:
+        yield store
+    finally:
+        _ACTIVE_STORE.reset(token)
+
+
+def active_store() -> Optional[ResultStore]:
+    """The store installed by the innermost :func:`use_store`, if any."""
+    return _ACTIVE_STORE.get()

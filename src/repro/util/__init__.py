@@ -3,6 +3,7 @@
 from repro.util.bitbudget import BitBudgetLedger, MessageCost
 from repro.util.datastructures import BoundedCounter, IndexedSet, RoundTimer, SlidingWindow
 from repro.util.rng import RngStream, SplitRng, derive_seed, make_rng
+from repro.util.serialization import dumps_artifact, dumps_compact, jsonify
 from repro.util.simlog import SimEvent, SimulationLog, get_logger
 from repro.util.validation import (
     check_choice,
@@ -26,6 +27,9 @@ __all__ = [
     "SplitRng",
     "derive_seed",
     "make_rng",
+    "dumps_artifact",
+    "dumps_compact",
+    "jsonify",
     "SimEvent",
     "SimulationLog",
     "get_logger",

@@ -1,0 +1,64 @@
+"""JSON plumbing shared by every serializable result object.
+
+The experiment layer persists configs, trial payloads, sweep cells and whole
+experiment reports as JSON (see ``repro.sim.store``).  Trial payloads are
+produced by numerical code, so they routinely contain numpy scalars and
+arrays; :func:`jsonify` normalises all of that into plain Python containers
+*deterministically*, which is what lets a resumed sweep write artifacts that
+are byte-identical to an uninterrupted run.
+
+Two dump flavours are provided on purpose:
+
+* :func:`dumps_compact` -- single-line, for log lines and report headers;
+* :func:`dumps_artifact` -- indented with a trailing newline, for files.
+
+Both preserve insertion order (no ``sort_keys``): the objects being dumped
+build their dicts in a deterministic order already, and keeping that order
+makes the artifacts readable in the same order as the in-memory objects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+__all__ = ["jsonify", "dumps_compact", "dumps_artifact"]
+
+
+def jsonify(value: Any) -> Any:
+    """Normalise ``value`` into plain JSON-serialisable Python data.
+
+    Handles numpy scalars/arrays, tuples (become lists) and nested
+    containers.  Anything else that JSON cannot represent raises
+    ``TypeError`` eagerly -- a payload that cannot be persisted should fail
+    at the experiment, not when someone later tries to resume a sweep.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return jsonify(value.tolist())
+    if isinstance(value, dict):
+        return {str(key): jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(item) for item in value]
+    raise TypeError(f"cannot serialise {type(value).__name__!r} value {value!r} to JSON")
+
+
+def dumps_compact(value: Any) -> str:
+    """One-line JSON used in rendered reports and log lines."""
+    return json.dumps(jsonify(value), ensure_ascii=False, separators=(", ", ": "))
+
+
+def dumps_artifact(value: Any) -> str:
+    """Deterministic indented JSON used for on-disk artifacts."""
+    return json.dumps(jsonify(value), ensure_ascii=False, indent=2) + "\n"

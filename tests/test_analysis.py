@@ -146,3 +146,54 @@ class TestResultTable:
         assert format_value(float("inf")) == "inf"
         assert format_value(0.000012345) == "1.234e-05" or "e-05" in format_value(0.000012345)
         assert format_value(3) == "3"
+
+
+class TestResultTableJson:
+    def test_round_trip_with_notes(self):
+        table = ResultTable(title="demo", columns=["a", "b"])
+        table.add_row(a=1, b=2.5)
+        table.add_note("first note")
+        table.add_note("second note")
+        restored = ResultTable.from_json(table.to_json())
+        assert restored == table
+        assert restored.notes == ["first note", "second note"]
+
+    def test_round_trip_mixed_value_types(self):
+        table = ResultTable(title="mixed", columns=["name", "count", "rate", "ok", "missing"])
+        table.add_row(name="alpha", count=3, rate=0.25, ok=True, missing=None)
+        table.add_row(name="beta", count=0, rate=1.5e-7, ok=False)
+        restored = ResultTable.from_json(table.to_json())
+        assert restored == table
+        assert restored.to_text() == table.to_text()
+        assert restored.to_markdown() == table.to_markdown()
+        # Types survive, not just renderings.
+        assert isinstance(restored.rows[0]["count"], int)
+        assert isinstance(restored.rows[0]["rate"], float)
+        assert restored.rows[0]["ok"] is True and restored.rows[0]["missing"] is None
+
+    def test_round_trip_nan_renders_identically(self):
+        table = ResultTable(title="nan", columns=["x"])
+        table.add_row(x=float("nan"))
+        restored = ResultTable.from_json(table.to_json())
+        assert restored.to_text() == table.to_text()  # nan != nan, so compare renderings
+
+    def test_round_trip_numpy_values_become_plain(self):
+        import numpy as np
+
+        table = ResultTable(title="np", columns=["x", "flag"])
+        table.add_row(x=np.float64(0.75), flag=np.bool_(False))
+        restored = ResultTable.from_json(table.to_json())
+        assert restored.rows == [{"x": 0.75, "flag": False}]
+        assert restored.to_text() == table.to_text()
+
+    def test_merge_output_round_trips(self):
+        parts = []
+        for offset in (0, 10):
+            table = ResultTable(title=f"part{offset}", columns=["a", "b"])
+            table.add_row(a=offset + 1, b=0.5)
+            table.add_note(f"note {offset}")
+            parts.append(table)
+        merged = ResultTable.merge("merged", parts)
+        restored = ResultTable.from_json(merged.to_json())
+        assert restored == merged
+        assert len(restored.rows) == 2 and len(restored.notes) == 2

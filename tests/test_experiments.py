@@ -1,10 +1,13 @@
-"""Tests for the experiment modules and registry (smoke-level: tiny configs)."""
+"""Tests for the experiment modules, spec registry and CLI (smoke-level: tiny configs)."""
 
 from __future__ import annotations
+
+import json
 
 import pytest
 
 from repro.experiments import registry
+from repro.experiments.spec import ExperimentSpec, register_experiment
 from repro.sim.experiment import ExperimentConfig
 from repro.sim.results import ExperimentResult
 
@@ -22,26 +25,122 @@ class TestRegistry:
         with pytest.raises(KeyError):
             registry.get_experiment("E99")
 
-    def test_every_module_has_interface(self):
-        for module in registry.EXPERIMENTS.values():
-            assert hasattr(module, "EXPERIMENT_ID")
-            assert hasattr(module, "TITLE") and hasattr(module, "CLAIM")
-            assert callable(module.quick_config) and callable(module.full_config)
-            assert callable(module.run)
-            quick = module.quick_config()
-            full = module.full_config()
+    def test_every_spec_is_complete(self):
+        for experiment_id, spec in registry.EXPERIMENTS.items():
+            assert isinstance(spec, ExperimentSpec)
+            assert spec.experiment_id == experiment_id
+            assert spec.title and spec.claim
+            assert callable(spec.run_fn) and callable(spec.quick) and callable(spec.full)
+            quick = spec.config()
+            full = spec.config(full=True)
             assert isinstance(quick, ExperimentConfig) and isinstance(full, ExperimentConfig)
             assert full.n >= quick.n
+            assert spec.config(workers=3).workers == 3
+            # The grid, when present, must expand against the quick config.
+            grid = spec.grid_for(quick)
+            if grid is not None:
+                assert len(grid.expand(quick)) == len(grid)
 
-    def test_main_list(self, capsys):
+    def test_spec_attached_to_run_function(self):
+        from repro.experiments import exp05_storage_availability as e5
+
+        assert e5.run.spec is registry.EXPERIMENTS["E5"]
+        assert e5.run.spec.module is e5
+
+    def test_modules_keep_legacy_symbols(self):
+        for spec in registry.EXPERIMENTS.values():
+            module = spec.module
+            assert module.EXPERIMENT_ID == spec.experiment_id
+            assert module.TITLE == spec.title and module.CLAIM == spec.claim
+
+    def test_duplicate_registration_from_other_module_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_experiment(
+                "E1",
+                title="imposter",
+                claim="imposter",
+                quick=lambda workers=1: ExperimentConfig(name="E1", n=64, workers=workers),
+                full=lambda workers=1: ExperimentConfig(name="E1", n=64, workers=workers),
+            )
+            def run(config=None):  # pragma: no cover - never runs
+                raise AssertionError
+
+    def test_bad_experiment_id_rejected(self):
+        with pytest.raises(ValueError, match="E<number>"):
+            register_experiment(
+                "X1",
+                title="t",
+                claim="c",
+                quick=lambda workers=1: None,
+                full=lambda workers=1: None,
+            )
+
+    def test_run_experiment_applies_overrides_and_seeds(self):
+        result = registry.run_experiment(
+            "E1", overrides={"n": 64, "measure_rounds": 0}, seeds=[0, 1]
+        )
+        assert isinstance(result, ExperimentResult)
+        assert result.config.n == 64
+        assert result.config.seeds == (0, 1)
+
+
+class TestCli:
+    def test_list_prints_titles_and_claims(self, capsys):
         assert registry.main(["list"]) == 0
         out = capsys.readouterr().out
         assert "E1:" in out and "E12:" in out
+        assert out.count("claim:") == 12
 
-    def test_main_runs_one_experiment(self, capsys):
-        assert registry.main(["E1"]) == 0
+    def test_run_subcommand(self, capsys):
+        assert registry.main(["run", "E1", "--set", "n=64", "--set", "measure_rounds=0"]) == 0
         out = capsys.readouterr().out
         assert "E1" in out and "tv_distance" in out
+        assert '"n": 64' in out  # config line renders from the JSON serialization
+
+    def test_legacy_positional_form_still_works(self, capsys):
+        assert registry.main(["E1", "--set", "n=64"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "tv_distance" in out
+
+    def test_legacy_flag_first_forms_shimmed(self):
+        assert registry._shim_legacy_argv(["--markdown", "E1"]) == ["run", "--markdown", "E1"]
+        assert registry._shim_legacy_argv(["--workers", "4", "E5", "--full"]) == [
+            "run", "--workers", "4", "E5", "--full",
+        ]
+        assert registry._shim_legacy_argv(["--markdown", "all"]) == ["all", "--markdown"]
+        assert registry._shim_legacy_argv(["run", "E5"]) == ["run", "E5"]
+        assert registry._shim_legacy_argv(["list"]) == ["list"]
+
+    def test_legacy_flag_first_run_executes(self, capsys):
+        assert registry.main(["--markdown", "E1", "--set", "n=64"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("## E1")
+
+    def test_seed_spec_parsing(self):
+        assert registry.parse_seed_spec("0..9") == list(range(10))
+        assert registry.parse_seed_spec("0,3,5") == [0, 3, 5]
+        assert registry.parse_seed_spec("7") == [7]
+        with pytest.raises(ValueError):
+            registry.parse_seed_spec("9..0")
+
+    def test_set_override_parsing(self):
+        overrides = registry.parse_set_overrides(
+            ["n=1024", "adversary=burst", "churn_fraction=0.1", "seeds=[0, 1]"]
+        )
+        assert overrides == {
+            "n": 1024,
+            "adversary": "burst",
+            "churn_fraction": 0.1,
+            "seeds": (0, 1),
+        }
+        with pytest.raises(ValueError, match="key=value"):
+            registry.parse_set_overrides(["oops"])
+
+    def test_run_with_seeds_flag(self, capsys):
+        assert registry.main(["run", "E1", "--set", "n=64", "--seeds", "0..1"]) == 0
+        out = capsys.readouterr().out
+        assert '"seeds": [0, 1]' in out
 
 
 class TestQuickRuns:
@@ -109,3 +208,12 @@ class TestQuickRuns:
         adversaries = {row["adversary"] for row in result.tables[0].rows}
         assert any("ADAPTIVE" in a for a in adversaries)
         assert any("oblivious" in a for a in adversaries)
+
+    def test_quick_run_result_round_trips_through_json(self):
+        from repro.experiments import exp01_soup_mixing as e1
+
+        result = e1.run(ExperimentConfig(name="E1", n=64, seeds=(0,), measure_rounds=0))
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored.to_text() == result.to_text()
+        assert restored.config == result.config
+        assert json.loads(result.to_json())["experiment_id"] == "E1"

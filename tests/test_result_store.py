@@ -1,0 +1,208 @@
+"""Tests for repro.sim.store: durable cell artifacts and resumable runs.
+
+The byte-identical resume test is the load-bearing one: a sweep killed
+mid-run and resumed through a :class:`ResultStore` must produce exactly the
+payloads an uninterrupted run would have produced, and the artifacts of the
+untouched (already-completed) cells must not be rewritten at all.
+"""
+
+from __future__ import annotations
+
+import json
+from functools import partial
+
+import pytest
+
+from repro.experiments import registry
+from repro.sim.experiment import ExperimentConfig, run_trials
+from repro.sim.results import ExperimentResult
+from repro.sim.runner import GridSpec, Sweep, TrialRunner
+from repro.sim.store import ResultStore, active_store, trial_name, use_store
+
+#: Module-level call log so the (picklable) trial can prove which cells ran.
+CALL_LOG = []
+
+
+def _logging_trial(config: ExperimentConfig, seed: int) -> dict:
+    CALL_LOG.append((config.churn_rate, seed))
+    return {"seed": seed, "rate": config.churn_rate, "flag": seed % 2 == 0}
+
+
+GRID = GridSpec.product({"churn_rate": (0, 2, 4)})
+BASE = ExperimentConfig(name="T-store", n=64, seeds=(0, 1))
+
+
+class TestResultStoreBasics:
+    def test_create_then_open(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {"experiment": "E1"})
+        assert store.manifest() == {"experiment": "E1"}
+        reopened = ResultStore.open(tmp_path / "run")
+        assert reopened.manifest() == {"experiment": "E1"}
+
+    def test_create_refuses_existing_manifest(self, tmp_path):
+        ResultStore.create(tmp_path / "run", {})
+        with pytest.raises(FileExistsError):
+            ResultStore.create(tmp_path / "run", {})
+
+    def test_open_requires_manifest(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ResultStore.open(tmp_path / "nope")
+
+    def test_cell_key_sensitivity(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        key = store.cell_key(_logging_trial, BASE, (0, 1))
+        assert key == store.cell_key(_logging_trial, BASE, (0, 1))
+        assert key != store.cell_key(_logging_trial, BASE, (0, 2))
+        assert key != store.cell_key(_logging_trial, BASE.with_overrides(n=128), (0, 1))
+        curried = partial(_logging_trial, walks_per_source=8)
+        assert key != store.cell_key(curried, BASE, (0, 1))
+
+    def test_trial_name_includes_partial_arguments(self):
+        assert trial_name(_logging_trial).endswith("_logging_trial")
+        name = trial_name(partial(_logging_trial, walks_per_source=8))
+        assert "walks_per_source=8" in name
+
+    def test_use_store_scopes_the_active_store(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        assert active_store() is None
+        with use_store(store):
+            assert active_store() is store
+            with use_store(None):
+                assert active_store() is None
+        assert active_store() is None
+
+    def test_missing_cell_loads_none(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        assert store.load_trials("deadbeef") is None
+        assert store.load_cell_document("deadbeef") is None
+        assert not store.has_cell("deadbeef")
+
+    def test_workers_excluded_from_cell_identity(self, tmp_path):
+        """Resuming with a different --workers must still find every completed cell."""
+        store = ResultStore.create(tmp_path / "run", {})
+        key4 = store.cell_key(_logging_trial, BASE.with_overrides(workers=4), (0, 1))
+        key8 = store.cell_key(_logging_trial, BASE.with_overrides(workers=8), (0, 1))
+        assert key4 == key8 == store.cell_key(_logging_trial, BASE, (0, 1))
+
+    def test_truncated_cell_artifact_treated_as_missing(self, tmp_path):
+        """A partial write (hard kill mid-flush) must be recomputed, not crash resume."""
+        store = ResultStore.create(tmp_path / "run", {})
+        sweep = Sweep(BASE, GRID, _logging_trial)
+        first = sweep.run(TrialRunner(workers=1), store=store)
+        victim = store.completed_keys()[0]
+        truncated = store.cell_path(victim).read_text()[:40]
+        store.cell_path(victim).write_text(truncated)
+        assert store.load_trials(victim) is None
+        second = sweep.run(TrialRunner(workers=1), store=store)
+        assert [c.payloads() for c in second] == [c.payloads() for c in first]
+        # The corrupt artifact was rewritten whole.
+        assert store.load_trials(victim) is not None
+
+    def test_cell_writes_leave_no_temp_files(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        Sweep(BASE, GRID, _logging_trial).run(TrialRunner(workers=1), store=store)
+        assert not list(store.root.rglob("*.tmp"))
+        assert len(store.completed_keys()) == len(GRID)
+
+
+class TestSweepResume:
+    def test_sweep_persists_one_artifact_per_cell(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        Sweep(BASE, GRID, _logging_trial).run(TrialRunner(workers=1), store=store)
+        assert len(store.completed_keys()) == len(GRID)
+        document = store.load_cell_document(store.completed_keys()[0])
+        assert set(document) >= {"key", "trial", "config", "seeds", "trials"}
+
+    def test_resumed_sweep_skips_completed_cells(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        sweep = Sweep(BASE, GRID, _logging_trial)
+        first = sweep.run(TrialRunner(workers=1), store=store)
+        # Drop one completed cell, as if the run had been killed mid-sweep.
+        victim = store.cell_key(_logging_trial, BASE.with_overrides(churn_rate=2), BASE.seeds)
+        store.cell_path(victim).unlink()
+        CALL_LOG.clear()
+        second = sweep.run(TrialRunner(workers=1), store=store)
+        # Only the missing cell was recomputed...
+        assert CALL_LOG == [(2, 0), (2, 1)]
+        # ... and the assembled results are payload-identical to the first run.
+        assert [c.payloads() for c in second] == [c.payloads() for c in first]
+        assert [c.cell for c in second] == [c.cell for c in first]
+
+    def test_killed_and_resumed_run_is_byte_identical(self, tmp_path):
+        """ISSUE 2 acceptance: resumed payload artifacts == uninterrupted run's."""
+        fresh_store = ResultStore.create(tmp_path / "fresh", {})
+        Sweep(BASE, GRID, _logging_trial).run(TrialRunner(workers=1), store=fresh_store)
+
+        # Simulate a run killed after the first cell: a prefix of the fresh
+        # run's artifacts exists, the rest were never written.
+        killed_store = ResultStore.create(tmp_path / "killed", {})
+        first_key = fresh_store.cell_key(_logging_trial, BASE.with_overrides(churn_rate=0), BASE.seeds)
+        killed_store.cell_path(first_key).write_bytes(fresh_store.cell_path(first_key).read_bytes())
+
+        Sweep(BASE, GRID, _logging_trial).run(TrialRunner(workers=1), store=killed_store)
+
+        assert killed_store.completed_keys() == fresh_store.completed_keys()
+        for key in fresh_store.completed_keys():
+            fresh_doc = json.loads(fresh_store.cell_path(key).read_text())
+            resumed_doc = json.loads(killed_store.cell_path(key).read_text())
+            fresh_payloads = json.dumps([t["payload"] for t in fresh_doc["trials"]])
+            resumed_payloads = json.dumps([t["payload"] for t in resumed_doc["trials"]])
+            assert fresh_payloads.encode() == resumed_payloads.encode()
+        # The pre-existing artifact must not have been rewritten at all.
+        assert killed_store.cell_path(first_key).read_bytes() == fresh_store.cell_path(first_key).read_bytes()
+
+    def test_run_trials_uses_active_store(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        with use_store(store):
+            first = run_trials(BASE, _logging_trial)
+        assert len(store.completed_keys()) == 1
+        CALL_LOG.clear()
+        with use_store(store):
+            second = run_trials(BASE, _logging_trial)
+        assert CALL_LOG == []  # loaded from disk, not recomputed
+        assert [t.payload for t in second] == [t.payload for t in first]
+
+
+class TestCliJsonOutAndResume:
+    def _tiny_e7(self):
+        return ["--set", "n=64", "--set", "measure_rounds=5", "--set", "items=1", "--seeds", "0..0"]
+
+    def test_run_json_out_artifacts_round_trip(self, tmp_path, capsys):
+        """ISSUE 2 acceptance: run E7 --json-out round-trips with equal tables."""
+        assert registry.main(["run", "E7", "--json-out", str(tmp_path)] + self._tiny_e7()) == 0
+        capsys.readouterr()
+        run_dirs = list(tmp_path.glob("E7-*"))
+        assert len(run_dirs) == 1
+        store = ResultStore.open(run_dirs[0])
+        assert store.manifest()["experiment"] == "E7"
+        assert store.completed_keys()  # per-cell artifacts exist
+        restored = ExperimentResult.from_json(store.result_path.read_text())
+        rerun = registry.run_experiment(
+            "E7",
+            overrides={"n": 64, "measure_rounds": 5, "items": 1},
+            seeds=[0],
+        )
+        assert [t.to_text() for t in restored.tables] == [t.to_text() for t in rerun.tables]
+        assert restored.findings == rerun.findings
+
+    def test_cli_resume_completes_interrupted_run(self, tmp_path, capsys):
+        assert registry.main(["run", "E7", "--json-out", str(tmp_path)] + self._tiny_e7()) == 0
+        capsys.readouterr()
+        run_dir = next(tmp_path.glob("E7-*"))
+        store = ResultStore.open(run_dir)
+        fresh_result = store.result_path.read_text()
+        keys = store.completed_keys()
+        surviving = keys[0]
+        surviving_bytes = store.cell_path(surviving).read_bytes()
+        for key in keys[1:]:
+            store.cell_path(key).unlink()
+        store.result_path.unlink()
+
+        assert registry.main(["resume", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "results written to" in out
+        assert store.completed_keys() == keys
+        assert store.cell_path(surviving).read_bytes() == surviving_bytes
+        restored = ExperimentResult.from_json(store.result_path.read_text())
+        original = ExperimentResult.from_json(fresh_result)
+        assert [t.to_text() for t in restored.tables] == [t.to_text() for t in original.tables]

@@ -2,16 +2,22 @@
 
 from __future__ import annotations
 
+import json
+
+import numpy as np
 import pytest
 
 from repro.analysis.tables import ResultTable
 from repro.net.churn import AdaptiveAdversary, NoChurn, UniformRandomChurn, paper_churn_limit
 from repro.sim.experiment import (
     ExperimentConfig,
+    TrialResult,
+    _cached_params,
     build_adversary,
     build_system,
     default_warmup,
     resolve_churn_rate,
+    resolved_params,
     run_trials,
 )
 from repro.sim.metrics import MetricsCollector
@@ -53,6 +59,58 @@ class TestExperimentConfig:
     def test_default_warmup_positive(self):
         assert default_warmup(ExperimentConfig(name="T", n=64)) > 2
         assert default_warmup(ExperimentConfig(name="T", n=64, warmup_rounds=5)) == 5
+
+    def test_default_warmup_caches_resolved_params(self):
+        _cached_params.cache_clear()
+        config = ExperimentConfig(name="T", n=64, param_overrides={"degree": 6})
+        first = default_warmup(config)
+        hits_before = _cached_params.cache_info().hits
+        # A second call with an equal (but distinct) config reuses the cache.
+        second = default_warmup(ExperimentConfig(name="T2", n=64, param_overrides={"degree": 6}))
+        assert first == second
+        assert _cached_params.cache_info().hits == hits_before + 1
+        assert resolved_params(config) is resolved_params(config)
+
+    def test_config_json_round_trip(self):
+        config = ExperimentConfig(
+            name="T",
+            n=128,
+            seeds=(0, 5),
+            adversary="burst",
+            churn_rate=3,
+            param_overrides={"degree": 6},
+        )
+        assert ExperimentConfig.from_json(config.to_json()) == config
+        data = config.to_json_dict()
+        assert data["seeds"] == [0, 5] and data["param_overrides"] == {"degree": 6}
+
+    def test_config_from_json_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown"):
+            ExperimentConfig.from_json_dict({"name": "T", "n": 64, "bogus": 1})
+
+    def test_summary_dict_lists_only_non_defaults(self):
+        summary = ExperimentConfig(name="T", n=128, adversary="burst").summary_dict()
+        assert summary == {"name": "T", "n": 128, "adversary": "burst"}
+
+
+class TestTrialResultSerialization:
+    def test_round_trip(self):
+        trial = TrialResult(seed=3, payload={"x": 1.5, "flags": [True, False]}, elapsed_seconds=0.25)
+        assert TrialResult.from_json(trial.to_json()) == trial
+
+    def test_numpy_payload_normalised(self):
+        trial = TrialResult(
+            seed=0,
+            payload={"f": np.float64(0.5), "i": np.int64(7), "b": np.bool_(True), "a": np.arange(3)},
+            elapsed_seconds=0.0,
+        )
+        data = json.loads(trial.to_json())
+        assert data["payload"] == {"f": 0.5, "i": 7, "b": True, "a": [0, 1, 2]}
+
+    def test_unserialisable_payload_rejected(self):
+        trial = TrialResult(seed=0, payload={"obj": object()}, elapsed_seconds=0.0)
+        with pytest.raises(TypeError, match="cannot serialise"):
+            trial.to_json()
 
 
 class TestBuilders:
@@ -117,6 +175,30 @@ class TestExperimentResult:
         md = result.to_markdown()
         assert "E0" in text and "it works" in text
         assert md.startswith("## E0") and "**Paper claim.**" in md
+
+    def test_config_line_renders_from_serialization(self):
+        config = ExperimentConfig(name="E0", n=128, adversary="burst")
+        result = ExperimentResult(
+            experiment_id="E0", title="demo", claim="c", config=config, config_summary={"extra": 7}
+        )
+        text = result.to_text()
+        assert 'config: {"name": "E0", "n": 128, "adversary": "burst"}' in text
+        assert 'derived: {"extra": 7}' in text
+
+    def test_json_round_trip_preserves_rendering(self):
+        config = ExperimentConfig(name="E0", n=64, seeds=(0, 1))
+        result = ExperimentResult(
+            experiment_id="E0", title="demo", claim="c", config=config, config_summary={"k": 1}
+        )
+        table = ResultTable(title="t", columns=["x", "y"])
+        table.add_row(x=1, y=0.5)
+        table.add_note("a note")
+        result.add_table(table)
+        result.add_finding("finding")
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored.to_text() == result.to_text()
+        assert restored.to_markdown() == result.to_markdown()
+        assert restored.config == config
 
     def test_timed_experiment(self):
         result = ExperimentResult(experiment_id="E0", title="demo", claim="c")

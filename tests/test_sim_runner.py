@@ -20,6 +20,8 @@ from repro.sim.runner import (
     CellResult,
     GridSpec,
     Sweep,
+    SweepCell,
+    SweepResult,
     TrialRunner,
     WorkerError,
 )
@@ -199,6 +201,40 @@ class TestSweep:
         for cell_seq, cell_par in zip(sequential, parallel):
             assert cell_seq.cell == cell_par.cell
             assert _payload_bytes(cell_seq.trials) == _payload_bytes(cell_par.trials)
+
+
+class TestSweepSerialization:
+    def test_sweep_result_round_trips_through_json(self):
+        base = ExperimentConfig(name="T", n=64, seeds=(0, 1))
+        grid = GridSpec.from_cells(
+            [{"churn_rate": 0, "adversary": "none"}, {"churn_rate": 3, "adversary": "uniform"}]
+        )
+        result = Sweep(base, grid, _echo_trial).run(TrialRunner(workers=1))
+        restored = SweepResult.from_json(result.to_json())
+        assert len(restored) == len(result)
+        for cell_restored, cell_original in zip(restored, result):
+            assert cell_restored.cell == cell_original.cell
+            assert cell_restored.payloads() == cell_original.payloads()
+        # Re-serialising the restored object is byte-stable.
+        assert restored.to_json() == result.to_json()
+
+    def test_sweep_cell_round_trip_preserves_override_order(self):
+        cell = SweepCell(
+            index=2,
+            overrides=(("churn_rate", 5), ("adversary", "uniform")),
+            config=ExperimentConfig(name="T", n=64, churn_rate=5),
+        )
+        restored = SweepCell.from_json_dict(cell.to_json_dict())
+        assert restored == cell
+        assert restored.override_dict() == {"churn_rate": 5, "adversary": "uniform"}
+
+    def test_cell_result_round_trip(self):
+        base = ExperimentConfig(name="T", n=64, seeds=(0,))
+        result = Sweep(base, GridSpec.product({"churn_rate": (1,)}), _echo_trial).run()
+        cell = result.cells[0]
+        restored = CellResult.from_json_dict(cell.to_json_dict())
+        assert restored.cell == cell.cell
+        assert restored.payloads() == cell.payloads()
 
 
 class TestSeedDeterminism:
