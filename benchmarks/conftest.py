@@ -19,11 +19,17 @@ Environment knobs:
   are seed-deterministic, so the knob only changes timing);
 * ``REPRO_BENCH_JSON_DIR=path`` writes each benchmarked experiment's full
   :class:`~repro.sim.results.ExperimentResult` as ``<id>.json`` under that
-  directory (CI uploads these as workflow artifacts).
+  directory (CI uploads these as workflow artifacts);
+* ``REPRO_BENCH_SUMMARY=BENCH_pr3.json`` additionally writes a compact
+  one-file summary of every benchmark that ran (name, mean/min seconds,
+  extra_info) into ``REPRO_BENCH_JSON_DIR``.  The repo keeps the current
+  baseline committed at the root (``BENCH_pr3.json``) so successive PRs have
+  a perf trajectory to compare against.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -44,6 +50,35 @@ def _json_dir() -> Path | None:
     """Artifact directory from $REPRO_BENCH_JSON_DIR (None = don't persist)."""
     value = os.environ.get("REPRO_BENCH_JSON_DIR", "").strip()
     return Path(value) if value else None
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the one-file benchmark summary if $REPRO_BENCH_SUMMARY asks for it."""
+    summary_name = os.environ.get("REPRO_BENCH_SUMMARY", "").strip()
+    json_dir = _json_dir()
+    if not summary_name or json_dir is None:
+        return
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    entries = []
+    for bench in bench_session.benchmarks:  # pytest_benchmark Metadata objects
+        if bench.has_error:
+            continue
+        entries.append(
+            {
+                "name": bench.name,
+                "group": bench.group,
+                "mean_seconds": float(bench.stats.mean),
+                "min_seconds": float(bench.stats.min),
+                "rounds": int(bench.stats.rounds),
+                "extra_info": dict(bench.extra_info),
+            }
+        )
+    if not entries:
+        return
+    json_dir.mkdir(parents=True, exist_ok=True)
+    (json_dir / summary_name).write_text(json.dumps({"benchmarks": entries}, indent=2) + "\n")
 
 
 def run_experiment_benchmark(benchmark, module, workers=None, **run_kwargs):

@@ -14,7 +14,8 @@ from repro.core.erasure import InformationDispersal
 from repro.core.protocol import P2PStorageSystem
 from repro.net.topology import RegularTopology
 from repro.util.rng import RngStream
-from repro.walks.soup import WalkSoup
+from repro.walks.sampler import NodeSampler
+from repro.walks.soup import SampleDelivery, WalkSoup
 from repro.net.network import DynamicNetwork
 
 
@@ -53,6 +54,45 @@ def test_soup_round_benchmark(benchmark):
 
     delivery = benchmark(one_round)
     assert delivery is not None
+
+
+def _sampler_round_delivery(n, walks_per_node, round_index, rng):
+    """A synthetic full round of walk deliveries over an n-node network."""
+    size = n * walks_per_node
+    return SampleDelivery(
+        round_index=round_index,
+        destination_uids=rng.integers(0, n, size=size).astype(np.int64),
+        source_uids=rng.integers(0, n, size=size).astype(np.int64),
+        birth_rounds=np.full(size, max(0, round_index - 15), dtype=np.int32),
+    )
+
+
+def test_sampler_ingest_benchmark(benchmark):
+    """Columnar ingest + expiry of one n=4096 round (32k delivered walks)."""
+    rng = np.random.default_rng(11)
+    net = DynamicNetwork(4096, degree=8, adversary_rng=RngStream(11))
+    delivery = _sampler_round_delivery(4096, 8, round_index=0, rng=rng)
+
+    def ingest_round():
+        sampler = NodeSampler(net, retention=4)
+        recorded = sampler.ingest(delivery)
+        sampler.expire(0)
+        return recorded
+
+    recorded = benchmark(ingest_round)
+    assert recorded == 4096 * 8
+
+
+def test_sampler_window_query_benchmark(benchmark):
+    """Materialising every node's sample window from one ingested round."""
+    rng = np.random.default_rng(12)
+    net = DynamicNetwork(4096, degree=8, adversary_rng=RngStream(12))
+    sampler = NodeSampler(net, retention=4)
+    sampler.ingest(_sampler_round_delivery(4096, 8, round_index=0, rng=rng))
+
+    windows = benchmark(lambda: sampler.sources_by_destination(0, alive_only=True))
+    # With 8 random deliveries per node a handful of nodes may receive none.
+    assert len(windows) > 4000
 
 
 def test_ida_encode_decode_benchmark(benchmark):

@@ -252,7 +252,8 @@ class Committee:
 
         # Round r / r+1 of Algorithm 1: members exchange the number of walk
         # samples each received (a clique's worth of tiny messages).
-        counts = {m: ctx.sampler.sample_count(m, round_index=round_index) for m in survivors}
+        count_column = ctx.sampler.sample_counts(survivors, round_index=round_index)
+        counts = {m: int(c) for m, c in zip(survivors, count_column)}
         for member in survivors:
             ctx.charge(member, ids=1 + len(survivors))
 

@@ -28,6 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
+import numpy as np
+
 from repro.core.committee import Committee
 from repro.core.context import ProtocolContext
 from repro.util.datastructures import RoundTimer
@@ -99,18 +101,33 @@ class LandmarkSet:
         self.total_recruited = 0
 
     # ------------------------------------------------------------------ queries
+    def _active_mask(self, round_index: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(uids, mask)`` over all records: alive and not yet expired.
+
+        One bulk :meth:`~repro.net.network.DynamicNetwork.alive_mask` call
+        replaces a liveness probe per record (this runs for every landmark of
+        every pending operation every round).  uids keep the records' dict
+        insertion order, which downstream probe loops rely on.
+        """
+        n = len(self._records)
+        uids = np.fromiter(self._records.keys(), dtype=np.int64, count=n)
+        expires = np.fromiter(
+            (rec.expires_round for rec in self._records.values()), dtype=np.int64, count=n
+        )
+        mask = (round_index < expires) & self.ctx.network.alive_mask(uids)
+        return uids, mask
+
     def active_landmarks(self, round_index: Optional[int] = None) -> List[int]:
         """uids of landmarks that are alive and not yet expired."""
         r = self.ctx.round_index if round_index is None else round_index
-        return [
-            uid
-            for uid, rec in self._records.items()
-            if rec.active(r, self.ctx.is_alive(uid))
-        ]
+        uids, mask = self._active_mask(r)
+        return uids[mask].tolist()
 
     def active_count(self, round_index: Optional[int] = None) -> int:
         """Number of currently active landmarks."""
-        return len(self.active_landmarks(round_index))
+        r = self.ctx.round_index if round_index is None else round_index
+        _, mask = self._active_mask(r)
+        return int(np.count_nonzero(mask))
 
     def is_landmark(self, uid: int, round_index: Optional[int] = None) -> bool:
         """Whether ``uid`` is an active landmark of this set."""
@@ -218,12 +235,8 @@ class LandmarkSet:
 
     def _expire_stale(self, round_index: int) -> None:
         """Drop records of expired or dead landmarks to bound memory."""
-        stale = [
-            uid
-            for uid, rec in self._records.items()
-            if not rec.active(round_index, self.ctx.is_alive(uid))
-        ]
-        for uid in stale:
+        uids, mask = self._active_mask(round_index)
+        for uid in uids[~mask].tolist():
             del self._records[uid]
 
     # ------------------------------------------------------------------ analysis helpers

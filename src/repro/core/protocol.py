@@ -165,14 +165,14 @@ class P2PStorageSystem:
         self.retrieval.step(report.round_index)
         self.network.end_round()
 
-        available = sum(1 for i in self.storage.item_ids if self.storage.is_available(i))
+        available = self.storage.available_count()
         summary = RoundSummary(
             round_index=report.round_index,
             churned=report.count,
             walks_delivered=delivery.count,
             walks_in_flight=self.soup.in_flight,
             items_available=available,
-            items_total=len(self.storage.item_ids),
+            items_total=len(self.storage.items),
             retrievals_pending=len(self.retrieval.pending_operations()),
             retrievals_succeeded=sum(1 for op in self.retrieval.operations.values() if op.succeeded),
         )
@@ -239,10 +239,10 @@ class P2PStorageSystem:
     # ------------------------------------------------------------------ reporting
     def availability(self) -> float:
         """Fraction of stored items whose data is currently recoverable."""
-        ids = self.storage.item_ids
-        if not ids:
+        total = len(self.storage.items)
+        if not total:
             return 1.0
-        return sum(1 for i in ids if self.storage.is_available(i)) / len(ids)
+        return self.storage.available_count() / total
 
     def findability(self) -> float:
         """Fraction of stored items that are available and advertised by landmarks."""

@@ -139,6 +139,9 @@ class RetrievalService:
             probers.append(op.requester_uid)
 
         for prober in probers:
+            # Per-prober window lookup: a cached searchsorted against the
+            # round's column, so each round pays only for the probers' own
+            # samples rather than grouping every node's window.
             samples = ctx.sampler.sample_sources(prober, round_index=round_index, alive_only=True)
             for target in samples:
                 # LookupProbe from the search landmark to the sampled node.

@@ -27,6 +27,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.committee import Committee
 from repro.core.context import ProtocolContext
 from repro.core.erasure import InformationDispersal, Piece
@@ -289,6 +291,41 @@ class StorageService:
         coder = item.coder
         assert coder is not None
         return self.replica_count(item_id) >= coder.required_pieces
+
+    def available_count(self) -> int:
+        """Number of stored items whose data is currently recoverable.
+
+        Vectorised equivalent of ``sum(is_available(i) for i in item_ids)``:
+        every item's holder (or piece-holder) uids are concatenated into one
+        flat array, liveness is one bulk
+        :meth:`~repro.net.network.DynamicNetwork.alive_mask` call, and the
+        per-item alive counts come out of a single ``add.reduceat``.  Called
+        once per round by the engine's :class:`RoundSummary` accounting.
+        """
+        pools: List[np.ndarray] = []
+        starts: List[int] = []
+        thresholds: List[int] = []
+        offset = 0
+        for item in self.items.values():
+            if item.lost:
+                continue
+            pool = item.holders if item.mode == "replicate" else item.pieces
+            if not pool:
+                continue
+            uids = np.fromiter(pool, dtype=np.int64, count=len(pool))
+            pools.append(uids)
+            starts.append(offset)
+            offset += uids.size
+            if item.mode == "replicate":
+                thresholds.append(1)
+            else:
+                assert item.coder is not None
+                thresholds.append(item.coder.required_pieces)
+        if not pools:
+            return 0
+        alive = self.ctx.network.alive_mask(np.concatenate(pools)).astype(np.int64)
+        counts = np.add.reduceat(alive, np.asarray(starts, dtype=np.int64))
+        return int(np.count_nonzero(counts >= np.asarray(thresholds, dtype=np.int64)))
 
     def is_findable(self, item_id: int) -> bool:
         """Available *and* advertised by at least one active storage landmark."""

@@ -110,6 +110,10 @@ class DynamicNetwork:
         self._mailboxes: Dict[int, List[Message]] = {}
         self._in_round = False
         self._total_churned = 0
+        # Lazily maintained argsort of _slot_uid, shared by the bulk uid
+        # lookups (slots_of_uids / alive_mask); invalidated on churn.
+        self._uid_order_cache: Optional[np.ndarray] = None
+        self._sorted_uid_cache: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ lifecycle
     def begin_round(self) -> ChurnReport:
@@ -134,6 +138,9 @@ class DynamicNetwork:
             self._uid_slot.pop(int(old_uid), None)
             self._mailboxes.pop(int(old_uid), None)
         self._slot_uid[slots] = churned_in
+        if slots.size:
+            self._uid_order_cache = None
+            self._sorted_uid_cache = None
         for slot, new_uid in zip(slots, churned_in):
             self._uid_slot[int(new_uid)] = int(slot)
             self._uid_birth_round[int(new_uid)] = self.round_index
@@ -218,23 +225,49 @@ class DynamicNetwork:
         """Vectorised lookup of the uids occupying an array of slots."""
         return self._slot_uid[np.asarray(slots, dtype=np.int64)]
 
+    def _uid_sort(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(order, sorted_uids)`` for the current slot->uid table (cached per round)."""
+        if self._uid_order_cache is None:
+            self._uid_order_cache = np.argsort(self._slot_uid, kind="stable")
+            self._sorted_uid_cache = self._slot_uid[self._uid_order_cache]
+        return self._uid_order_cache, self._sorted_uid_cache
+
+    def _find_uids(self, uids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(sorted_positions, found_mask)`` of ``uids`` in the slot->uid table.
+
+        One ``searchsorted`` against the cached uid sort; ``sorted_positions``
+        indexes into the sort order and is only meaningful where
+        ``found_mask`` is True.
+        """
+        _, sorted_uids = self._uid_sort()
+        idx = np.searchsorted(sorted_uids, uids)
+        idx_clipped = np.minimum(idx, sorted_uids.size - 1)
+        return idx_clipped, sorted_uids[idx_clipped] == uids
+
     def slots_of_uids(self, uids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Vectorised uid -> slot lookup: ``(slots, alive_mask)``.
 
         ``slots[i]`` is the slot of ``uids[i]`` where ``alive_mask[i]`` is
-        True and undefined otherwise.  One sort of the slot->uid array plus a
-        ``searchsorted`` replaces a Python-level dict probe per uid; duplicate
-        query uids are allowed.
+        True and undefined otherwise.  One (cached) sort of the slot->uid
+        array plus a ``searchsorted`` replaces a Python-level dict probe per
+        uid; duplicate query uids are allowed.
         """
         uids = np.asarray(uids, dtype=np.int64)
         if uids.size == 0:
             return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
-        order = np.argsort(self._slot_uid, kind="stable")
-        sorted_uids = self._slot_uid[order]
-        idx = np.searchsorted(sorted_uids, uids)
-        idx_clipped = np.minimum(idx, sorted_uids.size - 1)
-        alive = sorted_uids[idx_clipped] == uids
-        return order[idx_clipped], alive
+        idx_clipped, alive = self._find_uids(uids)
+        return self._uid_sort()[0][idx_clipped], alive
+
+    def alive_mask(self, uids: np.ndarray) -> np.ndarray:
+        """Vectorised liveness test: ``mask[i]`` iff ``uids[i]`` occupies a slot.
+
+        The bulk counterpart of :meth:`is_alive`, used by the columnar
+        sampling plane to filter whole delivery columns in one pass.
+        """
+        uids = np.asarray(uids, dtype=np.int64)
+        if uids.size == 0:
+            return np.empty(0, dtype=bool)
+        return self._find_uids(uids)[1]
 
     def slots_of(self, uids: Sequence[int]) -> List[int]:
         """Slots of the uids that are still alive (dead uids are skipped)."""

@@ -1,0 +1,93 @@
+"""Vectorised group-by for flat integer-keyed columns.
+
+The walk soup hands deliveries around as struct-of-arrays batches (parallel
+``destination_uids`` / ``source_uids`` / ``birth_rounds`` columns).  Several
+consumers -- the columnar :class:`repro.walks.sampler.NodeSampler`, the
+``SampleDelivery.by_destination`` view -- need the same operation: group row
+indices by an integer key column without a Python-level loop over rows.
+
+:class:`GroupIndex` does it once per column with a single stable ``argsort``
+plus ``np.unique`` boundary extraction; every per-key lookup afterwards is a
+``searchsorted`` and an array slice.  Stability matters: within one key the
+original row order (delivery order) is preserved, which the protocols rely on
+for seed-identical sample draws.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = ["GroupIndex", "group_lists_by_key"]
+
+
+class GroupIndex:
+    """Row indices of a flat array grouped by an integer key column.
+
+    Built with one stable ``argsort``; ``rows_of`` / ``counts_of`` then answer
+    per-key queries with ``searchsorted`` instead of Python dict probes.
+    """
+
+    __slots__ = ("order", "keys", "starts", "ends")
+
+    def __init__(self, key_column: np.ndarray) -> None:
+        keys = np.asarray(key_column)
+        self.order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[self.order]
+        self.keys, self.starts = np.unique(sorted_keys, return_index=True)
+        if self.keys.size:
+            self.ends = np.append(self.starts[1:], sorted_keys.size)
+        else:
+            self.ends = self.starts
+
+    @property
+    def n_groups(self) -> int:
+        """Number of distinct keys."""
+        return int(self.keys.size)
+
+    def counts(self) -> np.ndarray:
+        """Group sizes, aligned with :attr:`keys`."""
+        return self.ends - self.starts
+
+    def rows_of(self, key: int) -> np.ndarray:
+        """Original row indices of ``key``'s group, in original row order."""
+        i = int(np.searchsorted(self.keys, key))
+        if i >= self.keys.size or self.keys[i] != key:
+            return np.empty(0, dtype=self.order.dtype)
+        return self.order[self.starts[i] : self.ends[i]]
+
+    def counts_of(self, query_keys: np.ndarray) -> np.ndarray:
+        """Group size of each key in ``query_keys`` (0 for absent keys)."""
+        query = np.asarray(query_keys, dtype=self.keys.dtype if self.keys.size else np.int64)
+        if query.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if self.keys.size == 0:
+            return np.zeros(query.size, dtype=np.int64)
+        idx = np.searchsorted(self.keys, query)
+        idx_clipped = np.minimum(idx, self.keys.size - 1)
+        found = self.keys[idx_clipped] == query
+        out = np.where(found, (self.ends - self.starts)[idx_clipped], 0)
+        return out.astype(np.int64)
+
+
+def group_lists_by_key(key_column: np.ndarray, value_column: np.ndarray) -> Dict[int, List[int]]:
+    """Group ``value_column`` entries by ``key_column`` into a dict of lists.
+
+    Keys appear in first-occurrence order (matching the dict a Python
+    ``setdefault`` loop over the rows would build); values within one key keep
+    their original row order.
+    """
+    keys = np.asarray(key_column)
+    if keys.size == 0:
+        return {}
+    index = GroupIndex(keys)
+    values = np.asarray(value_column)
+    # First-occurrence order of each key among the original rows.
+    first_rows = np.empty(index.n_groups, dtype=np.int64)
+    np.minimum.reduceat(index.order, index.starts, out=first_rows)
+    out: Dict[int, List[int]] = {}
+    for g in np.argsort(first_rows, kind="stable"):
+        rows = index.order[index.starts[g] : index.ends[g]]
+        out[int(index.keys[g])] = values[rows].tolist()
+    return out

@@ -170,8 +170,23 @@ def total_variation_from_uniform(
     pop = np.asarray(list(population), dtype=np.int64)
     n = int(pop.size)
     if isinstance(counts, dict):
-        count_arr = np.array([counts.get(int(u), 0) for u in pop], dtype=np.float64)
-        extra = sum(v for k, v in counts.items() if int(k) not in set(pop.tolist()))
+        # Vectorised dict lookup: sort the dict's keys once, then resolve the
+        # whole population (and the out-of-population "extra" mass) with
+        # searchsorted instead of a Python probe per uid.
+        keys = np.fromiter(counts.keys(), dtype=np.int64, count=len(counts))
+        values = np.fromiter(counts.values(), dtype=np.float64, count=len(counts))
+        if keys.size == 0:
+            count_arr = np.zeros(n, dtype=np.float64)
+            extra = 0.0
+        else:
+            order = np.argsort(keys)
+            keys = keys[order]
+            values = values[order]
+            idx = np.searchsorted(keys, pop)
+            idx_clipped = np.minimum(idx, keys.size - 1)
+            found = keys[idx_clipped] == pop
+            count_arr = np.where(found, values[idx_clipped], 0.0)
+            extra = float(values[~np.isin(keys, pop)].sum())
     else:
         count_arr = np.asarray(counts, dtype=np.float64)
         extra = 0

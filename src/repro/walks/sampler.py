@@ -15,20 +15,37 @@ ask:
 Samples expire after ``retention`` rounds (the protocols only ever use the
 current or immediately preceding round's samples) and all state of a churned
 node is dropped, so memory stays O(n * retention * samples-per-round).
+
+Storage is **columnar**: the soup already delivers each round as flat
+``(dest_uid, src_uid, birth_round)`` arrays, and the sampler keeps them that
+way -- one :class:`_RoundColumn` per retained round.  Ingestion is a single
+bulk :meth:`repro.net.network.DynamicNetwork.alive_mask` filter, expiry drops
+whole round columns, and per-uid windows are materialised lazily through an
+argsort-based :class:`repro.util.grouping.GroupIndex` only when a protocol
+actually asks.  A destination that is churned out *after* its samples were
+ingested is masked at query time instead of eagerly scrubbed from every
+column (queries for a dead uid return empty either way, and churn only
+happens at the start of a round, before ingestion, so the two schemes are
+observationally identical); its rows leave memory when their round column
+expires.  No Python-level loop ever touches an individual sample; the boxed
+:class:`ReceivedSample` objects of :meth:`NodeSampler.samples_of` are a thin
+compatibility view built on demand.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.net.network import DynamicNetwork
+from repro.util.grouping import GroupIndex
 from repro.walks.soup import SampleDelivery
 
 __all__ = ["ReceivedSample", "NodeSampler"]
+
+_EMPTY_INT64 = np.empty(0, dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -44,8 +61,48 @@ class ReceivedSample:
         return current_round - self.delivered_round
 
 
+class _RoundColumn:
+    """One retained round's deliveries as parallel flat arrays.
+
+    ``dest`` / ``src`` / ``birth`` keep the delivery order of the round; the
+    destination grouping (:class:`GroupIndex`) is built lazily on first query
+    and invalidated whenever the column is appended to.
+    Within one destination the original delivery order is preserved (the
+    grouping sort is stable), which keeps seeded sample draws byte-identical
+    to the historical per-uid-window implementation.
+    """
+
+    __slots__ = ("dest", "src", "birth", "_index")
+
+    def __init__(self, dest: np.ndarray, src: np.ndarray, birth: np.ndarray) -> None:
+        self.dest = dest
+        self.src = src
+        self.birth = birth
+        self._index: Optional[GroupIndex] = None
+
+    @property
+    def size(self) -> int:
+        return int(self.dest.size)
+
+    def append(self, dest: np.ndarray, src: np.ndarray, birth: np.ndarray) -> None:
+        self.dest = np.concatenate([self.dest, dest])
+        self.src = np.concatenate([self.src, src])
+        self.birth = np.concatenate([self.birth, birth])
+        self._index = None
+
+    @property
+    def index(self) -> GroupIndex:
+        if self._index is None:
+            self._index = GroupIndex(self.dest)
+        return self._index
+
+    def rows_of(self, uid: int) -> np.ndarray:
+        """Row indices of ``uid``'s deliveries, in delivery order."""
+        return self.index.rows_of(uid)
+
+
 class NodeSampler:
-    """Per-node windows of recently delivered walk samples.
+    """Per-node windows of recently delivered walk samples (struct-of-arrays).
 
     Parameters
     ----------
@@ -60,8 +117,9 @@ class NodeSampler:
             raise ValueError("retention must be positive")
         self.network = network
         self.retention = retention
-        # uid -> delivered_round -> list of ReceivedSample
-        self._samples: Dict[int, Dict[int, List[ReceivedSample]]] = defaultdict(dict)
+        # round -> column of that round's (alive-at-ingest) deliveries.
+        self._columns: Dict[int, _RoundColumn] = {}
+        self._sorted_rounds: Optional[List[int]] = None
         self._last_round_ingested = -1
 
     # ------------------------------------------------------------------ ingestion
@@ -73,34 +131,81 @@ class NodeSampler:
         """
         round_index = delivery.round_index
         self._last_round_ingested = max(self._last_round_ingested, round_index)
-        recorded = 0
-        for dest, src, birth in zip(
-            delivery.destination_uids.tolist(),
-            delivery.source_uids.tolist(),
-            delivery.birth_rounds.tolist(),
-        ):
-            if not self.network.is_alive(int(dest)):
-                continue
-            bucket = self._samples[int(dest)].setdefault(round_index, [])
-            bucket.append(
-                ReceivedSample(source_uid=int(src), birth_round=int(birth), delivered_round=round_index)
-            )
-            recorded += 1
+        dest = np.asarray(delivery.destination_uids, dtype=np.int64)
+        if dest.size == 0:
+            return 0
+        alive = self.network.alive_mask(dest)
+        recorded = int(np.count_nonzero(alive))
+        if recorded == 0:
+            return 0
+        if recorded != dest.size:
+            dest = dest[alive]
+            src = np.asarray(delivery.source_uids, dtype=np.int64)[alive]
+            birth = np.asarray(delivery.birth_rounds)[alive]
+        else:
+            src = np.asarray(delivery.source_uids, dtype=np.int64)
+            birth = np.asarray(delivery.birth_rounds)
+        column = self._columns.get(round_index)
+        if column is None:
+            self._columns[round_index] = _RoundColumn(dest, src, birth.astype(np.int64))
+            self._sorted_rounds = None
+        else:
+            column.append(dest, src, birth.astype(np.int64))
         return recorded
 
     def expire(self, current_round: int) -> None:
-        """Drop samples older than ``retention`` rounds and state of dead nodes."""
+        """Drop samples older than ``retention`` rounds.
+
+        Dead destinations are masked at query time (see the module note), so
+        expiry is pure ring-buffer maintenance: whole round columns fall off
+        the back, no per-sample work.
+        """
         cutoff = current_round - self.retention
-        dead: List[int] = []
-        for uid, rounds in self._samples.items():
-            if not self.network.is_alive(uid):
-                dead.append(uid)
-                continue
-            stale = [r for r in rounds if r < cutoff]
-            for r in stale:
-                del rounds[r]
-        for uid in dead:
-            del self._samples[uid]
+        stale = [r for r in self._columns if r < cutoff]
+        for r in stale:
+            del self._columns[r]
+        if stale:
+            self._sorted_rounds = None
+
+    # ------------------------------------------------------------------ query plumbing
+    def _rounds(self) -> List[int]:
+        """Retained rounds in ascending order (cached)."""
+        if self._sorted_rounds is None:
+            self._sorted_rounds = sorted(self._columns)
+        return self._sorted_rounds
+
+    def _query_columns(
+        self, round_index: Optional[int] = None, max_age: Optional[int] = None
+    ) -> List[_RoundColumn]:
+        """Retained columns matching a (round_index | max_age) window, round-ascending."""
+        if round_index is not None:
+            column = self._columns.get(round_index)
+            return [column] if column is not None else []
+        rounds = self._rounds()
+        if max_age is not None:
+            floor = self._last_round_ingested - max_age
+            rounds = [r for r in rounds if r >= floor]
+        return [self._columns[r] for r in rounds]
+
+    def _sources_in_window(
+        self, uid: int, round_index: Optional[int] = None, max_age: Optional[int] = None
+    ) -> np.ndarray:
+        """Source uids of ``uid``'s samples in the window, in delivery order.
+
+        Empty for a churned-out ``uid``: a dead node's window is gone.
+        """
+        if not self.network.is_alive(uid):
+            return _EMPTY_INT64
+        parts = []
+        for column in self._query_columns(round_index, max_age):
+            rows = column.rows_of(int(uid))
+            if rows.size:
+                parts.append(column.src[rows])
+        if not parts:
+            return _EMPTY_INT64
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)
 
     # ------------------------------------------------------------------ queries
     def samples_of(
@@ -114,27 +219,56 @@ class NodeSampler:
         With ``round_index`` set, only that round's deliveries are returned;
         with ``max_age`` set, all samples delivered within the last
         ``max_age`` rounds (relative to the most recent ingested round).
+        This is the boxed compatibility view; bulk consumers should use
+        :meth:`sample_counts` / :meth:`sources_by_destination` instead.
         """
-        rounds = self._samples.get(int(uid))
-        if not rounds:
-            return []
-        if round_index is not None:
-            return list(rounds.get(round_index, []))
-        if max_age is None:
-            out: List[ReceivedSample] = []
-            for bucket in rounds.values():
-                out.extend(bucket)
+        out: List[ReceivedSample] = []
+        if not self.network.is_alive(uid):
             return out
-        cutoff = self._last_round_ingested - max_age
-        out = []
-        for r, bucket in rounds.items():
-            if r >= cutoff:
-                out.extend(bucket)
+        if round_index is not None:
+            column = self._columns.get(round_index)
+            if column is None:
+                return out
+            rows = column.rows_of(int(uid))
+            for src, birth in zip(column.src[rows].tolist(), column.birth[rows].tolist()):
+                out.append(
+                    ReceivedSample(source_uid=int(src), birth_round=int(birth), delivered_round=round_index)
+                )
+            return out
+        floor = None if max_age is None else self._last_round_ingested - max_age
+        for r in sorted(self._columns):
+            if floor is not None and r < floor:
+                continue
+            column = self._columns[r]
+            rows = column.rows_of(int(uid))
+            for src, birth in zip(column.src[rows].tolist(), column.birth[rows].tolist()):
+                out.append(ReceivedSample(source_uid=int(src), birth_round=int(birth), delivered_round=r))
         return out
 
     def sample_count(self, uid: int, round_index: Optional[int] = None) -> int:
         """Number of samples ``uid`` received (optionally in one round)."""
-        return len(self.samples_of(uid, round_index=round_index))
+        if not self.network.is_alive(uid):
+            return 0
+        total = 0
+        for column in self._query_columns(round_index):
+            total += int(column.rows_of(int(uid)).size)
+        return total
+
+    def sample_counts(self, uids: Sequence[int], round_index: Optional[int] = None) -> np.ndarray:
+        """Bulk :meth:`sample_count`: samples received by each uid in ``uids``.
+
+        One ``searchsorted`` against each retained column's grouping replaces
+        a per-uid Python probe (used by the committee leader election's
+        walk-count exchange).
+        """
+        query = np.asarray(uids, dtype=np.int64)
+        totals = np.zeros(query.size, dtype=np.int64)
+        columns = self._query_columns(round_index)
+        for column in columns:
+            totals += column.index.counts_of(query)
+        if columns and totals.any():
+            totals[~self.network.alive_mask(query)] = 0
+        return totals
 
     def sample_sources(
         self,
@@ -144,12 +278,38 @@ class NodeSampler:
         max_age: Optional[int] = None,
     ) -> List[int]:
         """Source uids of the samples ``uid`` received, optionally filtered to alive sources."""
-        sources = [
-            s.source_uid for s in self.samples_of(uid, round_index=round_index, max_age=max_age)
-        ]
+        sources = self._sources_in_window(uid, round_index=round_index, max_age=max_age)
+        if alive_only and sources.size:
+            sources = sources[self.network.alive_mask(sources)]
+        return sources.tolist()
+
+    def sources_by_destination(
+        self, round_index: int, alive_only: bool = True
+    ) -> Dict[int, np.ndarray]:
+        """All of one round's sample windows at once: dest uid -> source uids.
+
+        The per-destination arrays keep delivery order; with ``alive_only``
+        dead sources are filtered out (one bulk ``alive_mask`` over the whole
+        column).  For consumers that need most nodes' windows in one round;
+        callers touching only a few destinations should prefer per-uid
+        :meth:`sample_sources` (a cached ``searchsorted`` per query).
+        """
+        column = self._columns.get(round_index)
+        if column is None or column.size == 0:
+            return {}
+        index = column.index
+        ordered_src = column.src[index.order]
+        dest_alive = self.network.alive_mask(index.keys)
         if alive_only:
-            sources = [s for s in sources if self.network.is_alive(s)]
-        return sources
+            ordered_alive = self.network.alive_mask(ordered_src)
+        out: Dict[int, np.ndarray] = {}
+        for g in np.nonzero(dest_alive)[0]:
+            start, end = index.starts[g], index.ends[g]
+            srcs = ordered_src[start:end]
+            if alive_only:
+                srcs = srcs[ordered_alive[start:end]]
+            out[int(index.keys[g])] = srcs
+        return out
 
     def draw_distinct_sources(
         self,
@@ -166,32 +326,42 @@ class NodeSampler:
         landmark tree ("select 2 unused nodes among their own samples").
         Returns fewer than ``k`` if the node has not received enough distinct
         usable samples -- callers must handle short draws.
+
+        The candidate pool is ordered by first occurrence in the window
+        (vectorised dedup), matching the historical iteration order so seeded
+        draws are unchanged.
         """
-        excluded = set(int(e) for e in exclude) if exclude else set()
-        pool: List[int] = []
-        seen: set[int] = set()
-        for source in self.sample_sources(
-            uid, round_index=round_index, alive_only=True, max_age=max_age
-        ):
-            if source in seen or source in excluded or source == uid:
-                continue
-            seen.add(source)
-            pool.append(source)
-        if len(pool) <= k:
-            return pool
-        idx = rng.choice(len(pool), size=k, replace=False)
-        return [pool[int(i)] for i in idx]
+        sources = self._sources_in_window(uid, round_index=round_index, max_age=max_age)
+        if sources.size:
+            sources = sources[self.network.alive_mask(sources)]
+        if sources.size:
+            keep = sources != int(uid)
+            if exclude:
+                keep &= ~np.isin(sources, np.asarray(list(exclude), dtype=np.int64))
+            sources = sources[keep]
+        if sources.size == 0:
+            return []
+        _, first_idx = np.unique(sources, return_index=True)
+        first_idx.sort()
+        pool = sources[first_idx]
+        if pool.size <= k:
+            return pool.tolist()
+        idx = rng.choice(pool.size, size=k, replace=False)
+        return pool[idx].tolist()
 
     # ------------------------------------------------------------------ stats
     def nodes_with_samples(self, round_index: Optional[int] = None) -> int:
         """How many alive nodes hold at least one sample (optionally from one round)."""
-        count = 0
-        for uid in self._samples:
-            if not self.network.is_alive(uid):
-                continue
-            if self.sample_count(uid, round_index=round_index) > 0:
-                count += 1
-        return count
+        columns = self._query_columns(round_index)
+        if not columns:
+            return 0
+        if len(columns) == 1:
+            dests = columns[0].index.keys
+        else:
+            dests = np.unique(np.concatenate([c.index.keys for c in columns]))
+        if dests.size == 0:
+            return 0
+        return int(np.count_nonzero(self.network.alive_mask(dests)))
 
     @property
     def last_round_ingested(self) -> int:

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.net.network import ChurnReport, DynamicNetwork
+from repro.util.grouping import group_lists_by_key
 from repro.util.rng import RngStream
 from repro.util.validation import check_positive_int
 
@@ -63,10 +64,7 @@ class SampleDelivery:
 
     def by_destination(self) -> Dict[int, List[int]]:
         """Group delivered source uids by destination uid (dict of lists)."""
-        out: Dict[int, List[int]] = {}
-        for dest, src in zip(self.destination_uids.tolist(), self.source_uids.tolist()):
-            out.setdefault(int(dest), []).append(int(src))
-        return out
+        return group_lists_by_key(self.destination_uids, self.source_uids)
 
 
 @dataclass

@@ -209,3 +209,17 @@ class TestBulkSlotLookup:
         slots, alive = net.slots_of_uids(query)
         assert alive.all()
         assert np.array_equal(net.uids_at(slots), query)
+
+    def test_alive_mask_matches_is_alive(self):
+        adversary = UniformRandomChurn(32, 4, np.random.default_rng(9))
+        net = make_network(adversary=adversary)
+        for _ in range(5):
+            net.begin_round()
+            net.end_round()
+            query = np.array([0, 31, 7, 1000, 7, 50, 3], dtype=np.int64)
+            mask = net.alive_mask(query)
+            assert mask.tolist() == [net.is_alive(int(u)) for u in query.tolist()]
+
+    def test_alive_mask_empty(self):
+        net = make_network()
+        assert net.alive_mask(np.empty(0, dtype=np.int64)).size == 0

@@ -1,0 +1,56 @@
+"""Tests for repro.util.grouping."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.grouping import GroupIndex, group_lists_by_key
+
+
+class TestGroupIndex:
+    def test_rows_preserve_original_order(self):
+        keys = np.asarray([5, 2, 5, 9, 2, 5], dtype=np.int64)
+        index = GroupIndex(keys)
+        assert index.n_groups == 3
+        assert index.rows_of(5).tolist() == [0, 2, 5]
+        assert index.rows_of(2).tolist() == [1, 4]
+        assert index.rows_of(9).tolist() == [3]
+
+    def test_rows_of_absent_key(self):
+        index = GroupIndex(np.asarray([1, 2, 3], dtype=np.int64))
+        assert index.rows_of(0).size == 0
+        assert index.rows_of(7).size == 0
+
+    def test_counts_align_with_keys(self):
+        index = GroupIndex(np.asarray([4, 4, 1, 4], dtype=np.int64))
+        assert index.keys.tolist() == [1, 4]
+        assert index.counts().tolist() == [1, 3]
+
+    def test_counts_of_mixed_present_and_absent(self):
+        index = GroupIndex(np.asarray([3, 3, 8], dtype=np.int64))
+        query = np.asarray([8, 0, 3, 99], dtype=np.int64)
+        assert index.counts_of(query).tolist() == [1, 0, 2, 0]
+
+    def test_empty_column(self):
+        index = GroupIndex(np.empty(0, dtype=np.int64))
+        assert index.n_groups == 0
+        assert index.rows_of(1).size == 0
+        assert index.counts_of(np.asarray([1, 2])).tolist() == [0, 0]
+        assert index.counts_of(np.empty(0, dtype=np.int64)).size == 0
+
+
+class TestGroupListsByKey:
+    def test_matches_setdefault_loop(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 12, size=200)
+        values = rng.integers(0, 1000, size=200)
+        expected: dict[int, list[int]] = {}
+        for k, v in zip(keys.tolist(), values.tolist()):
+            expected.setdefault(int(k), []).append(int(v))
+        grouped = group_lists_by_key(keys, values)
+        assert grouped == expected
+        # First-occurrence key order, exactly like the dict the loop builds.
+        assert list(grouped) == list(expected)
+
+    def test_empty(self):
+        assert group_lists_by_key(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)) == {}

@@ -119,3 +119,233 @@ class TestQueries:
     def test_invalid_retention(self):
         with pytest.raises(ValueError):
             NodeSampler(make_net(), retention=0)
+
+
+class TestBulkQueries:
+    def test_sample_counts_matches_scalar(self):
+        net = make_net()
+        sampler = NodeSampler(net)
+        sampler.ingest(delivery([1, 1, 2, 5], [9, 8, 7, 6], round_index=0))
+        sampler.ingest(delivery([1, 5], [3, 4], round_index=1))
+        uids = [0, 1, 2, 5, 31]
+        for r in (None, 0, 1, 2):
+            bulk = sampler.sample_counts(uids, round_index=r)
+            assert bulk.tolist() == [sampler.sample_count(u, round_index=r) for u in uids]
+
+    def test_sample_counts_zero_for_dead_uid(self):
+        adv = ScheduledChurn({0: [2]}, n_slots=32)
+        net = make_net(adversary=adv)
+        sampler = NodeSampler(net)
+        sampler.ingest(delivery([1, 2], [9, 8], round_index=0))
+        net.begin_round()  # churns uid 2 out
+        net.end_round()
+        assert sampler.sample_counts([1, 2], round_index=0).tolist() == [1, 0]
+
+    def test_sources_by_destination_matches_per_uid(self):
+        adv = ScheduledChurn({0: [9]}, n_slots=32)
+        net = make_net(adversary=adv)
+        sampler = NodeSampler(net)
+        sampler.ingest(delivery([1, 2, 1, 3], [9, 10, 11, 9], round_index=0))
+        net.begin_round()  # churns source uid 9 out
+        net.end_round()
+        for alive_only in (True, False):
+            grouped = sampler.sources_by_destination(0, alive_only=alive_only)
+            expected = {
+                u: sampler.sample_sources(u, round_index=0, alive_only=alive_only)
+                for u in (1, 2, 3)
+            }
+            assert {u: v.tolist() for u, v in grouped.items()} == expected
+
+    def test_sources_by_destination_empty_round(self):
+        sampler = NodeSampler(make_net())
+        assert sampler.sources_by_destination(3) == {}
+
+
+class _ReferenceSampler:
+    """The pre-columnar per-node-window implementation, kept as a test oracle.
+
+    Verbatim semantics of the seed's dict-of-lists ``NodeSampler`` (uid ->
+    round -> list of ``ReceivedSample``); the columnar rewrite must be
+    observationally identical to it through the engine's round protocol
+    (churn, then ingest, then expire, then queries).
+    """
+
+    def __init__(self, network, retention=4):
+        self.network = network
+        self.retention = retention
+        self._samples = {}
+        self._last_round_ingested = -1
+
+    def ingest(self, delivery):
+        round_index = delivery.round_index
+        self._last_round_ingested = max(self._last_round_ingested, round_index)
+        recorded = 0
+        for dest, src, birth in zip(
+            delivery.destination_uids.tolist(),
+            delivery.source_uids.tolist(),
+            delivery.birth_rounds.tolist(),
+        ):
+            if not self.network.is_alive(int(dest)):
+                continue
+            bucket = self._samples.setdefault(int(dest), {}).setdefault(round_index, [])
+            bucket.append(
+                ReceivedSample(source_uid=int(src), birth_round=int(birth), delivered_round=round_index)
+            )
+            recorded += 1
+        return recorded
+
+    def expire(self, current_round):
+        cutoff = current_round - self.retention
+        dead = []
+        for uid, rounds in self._samples.items():
+            if not self.network.is_alive(uid):
+                dead.append(uid)
+                continue
+            for r in [r for r in rounds if r < cutoff]:
+                del rounds[r]
+        for uid in dead:
+            del self._samples[uid]
+
+    def samples_of(self, uid, round_index=None, max_age=None):
+        rounds = self._samples.get(int(uid))
+        if not rounds:
+            return []
+        if round_index is not None:
+            return list(rounds.get(round_index, []))
+        if max_age is None:
+            return [s for bucket in rounds.values() for s in bucket]
+        cutoff = self._last_round_ingested - max_age
+        return [s for r, bucket in rounds.items() if r >= cutoff for s in bucket]
+
+    def sample_count(self, uid, round_index=None):
+        return len(self.samples_of(uid, round_index=round_index))
+
+    def sample_sources(self, uid, round_index=None, alive_only=True, max_age=None):
+        sources = [
+            s.source_uid for s in self.samples_of(uid, round_index=round_index, max_age=max_age)
+        ]
+        if alive_only:
+            sources = [s for s in sources if self.network.is_alive(s)]
+        return sources
+
+    def draw_distinct_sources(self, uid, k, rng, exclude=None, round_index=None, max_age=None):
+        excluded = set(int(e) for e in exclude) if exclude else set()
+        pool, seen = [], set()
+        for source in self.sample_sources(uid, round_index=round_index, max_age=max_age):
+            if source in seen or source in excluded or source == uid:
+                continue
+            seen.add(source)
+            pool.append(source)
+        if len(pool) <= k:
+            return pool
+        idx = rng.choice(len(pool), size=k, replace=False)
+        return [pool[int(i)] for i in idx]
+
+    def nodes_with_samples(self, round_index=None):
+        return sum(
+            1
+            for uid in self._samples
+            if self.network.is_alive(uid) and self.sample_count(uid, round_index=round_index) > 0
+        )
+
+
+class TestColumnarEquivalence:
+    """The columnar sampler is byte-identical to the reference per-uid windows."""
+
+    N = 48
+    RETENTION = 3
+
+    def _run_scenario(self, schedule, rounds, empty_rounds=(), seed=0):
+        """Drive both samplers through identical churn + delivery streams.
+
+        Every round follows the engine's ordering (churn -> ingest -> expire)
+        and cross-checks the full query surface over all slots' uids.
+        """
+        gen = np.random.default_rng(seed)
+        adv_a = ScheduledChurn(schedule, n_slots=self.N) if schedule else None
+        adv_b = ScheduledChurn(schedule, n_slots=self.N) if schedule else None
+        net_a = DynamicNetwork(self.N, degree=4, adversary=adv_a, adversary_rng=RngStream(7))
+        net_b = DynamicNetwork(self.N, degree=4, adversary=adv_b, adversary_rng=RngStream(7))
+        columnar = NodeSampler(net_a, retention=self.RETENTION)
+        reference = _ReferenceSampler(net_b, retention=self.RETENTION)
+
+        ever_seen = set(net_a.alive_uids().tolist())
+        for r in range(rounds):
+            net_a.begin_round()
+            report = net_b.begin_round()
+            assert net_a.alive_uids().tolist() == net_b.alive_uids().tolist()
+            alive = net_a.alive_uids()
+            ever_seen.update(alive.tolist())
+            if r in empty_rounds:
+                batches = [delivery([], [], round_index=r)]
+            else:
+                size = int(gen.integers(1, 4 * self.N))
+                # Some destinations are drawn from ever-seen uids so dead
+                # destinations appear in the stream and must be dropped.
+                dests = gen.choice(np.asarray(sorted(ever_seen)), size=size)
+                srcs = gen.choice(np.asarray(sorted(ever_seen)), size=size)
+                births = gen.integers(0, r + 1, size=size)
+                batch = SampleDelivery(
+                    round_index=r,
+                    destination_uids=dests.astype(np.int64),
+                    source_uids=srcs.astype(np.int64),
+                    birth_rounds=births.astype(np.int32),
+                )
+                # Occasionally split the round into two ingests to cover the
+                # column-append path.
+                if size > 1 and gen.integers(0, 2):
+                    cut = size // 2
+                    batches = [
+                        SampleDelivery(r, dests[:cut], srcs[:cut], births[:cut].astype(np.int32)),
+                        SampleDelivery(r, dests[cut:], srcs[cut:], births[cut:].astype(np.int32)),
+                    ]
+                else:
+                    batches = [batch]
+            for batch in batches:
+                assert columnar.ingest(batch) == reference.ingest(batch)
+            columnar.expire(r)
+            reference.expire(r)
+            net_a.end_round()
+            net_b.end_round()
+            self._check_equivalence(columnar, reference, sorted(ever_seen), r)
+
+    def _check_equivalence(self, columnar, reference, uids, r):
+        assert columnar.last_round_ingested == reference._last_round_ingested
+        for round_index in (None, r, r - 1, r - self.RETENTION - 1):
+            assert columnar.nodes_with_samples(round_index) == reference.nodes_with_samples(
+                round_index
+            )
+            bulk = columnar.sample_counts(uids, round_index=round_index)
+            assert bulk.tolist() == [
+                reference.sample_count(u, round_index=round_index) for u in uids
+            ]
+        for uid in uids:
+            assert columnar.samples_of(uid) == reference.samples_of(uid)
+            assert columnar.samples_of(uid, round_index=r) == reference.samples_of(
+                uid, round_index=r
+            )
+            assert columnar.samples_of(uid, max_age=1) == reference.samples_of(uid, max_age=1)
+            assert columnar.sample_count(uid) == reference.sample_count(uid)
+            for alive_only in (True, False):
+                assert columnar.sample_sources(
+                    uid, round_index=r, alive_only=alive_only
+                ) == reference.sample_sources(uid, round_index=r, alive_only=alive_only)
+            draw_a = columnar.draw_distinct_sources(
+                uid, 3, np.random.default_rng(uid), exclude=[uids[0]]
+            )
+            draw_b = reference.draw_distinct_sources(
+                uid, 3, np.random.default_rng(uid), exclude=[uids[0]]
+            )
+            assert draw_a == draw_b
+
+    def test_no_churn(self):
+        self._run_scenario(schedule={}, rounds=8, seed=1)
+
+    def test_churn_drops_dead_destinations(self):
+        # Heavy scripted churn: slots rotate through new uids, so the delivery
+        # stream constantly addresses dead uids and queries hit churned nodes.
+        schedule = {r: [(5 * r + i) % self.N for i in range(5)] for r in range(1, 10)}
+        self._run_scenario(schedule=schedule, rounds=10, seed=2)
+
+    def test_retention_cutoff_and_empty_rounds(self):
+        self._run_scenario(schedule={3: [0, 1, 2]}, rounds=9, empty_rounds={2, 3, 6}, seed=3)
