@@ -20,11 +20,12 @@ Environment knobs:
 * ``REPRO_BENCH_JSON_DIR=path`` writes each benchmarked experiment's full
   :class:`~repro.sim.results.ExperimentResult` as ``<id>.json`` under that
   directory (CI uploads these as workflow artifacts);
-* ``REPRO_BENCH_SUMMARY=BENCH_pr3.json`` additionally writes a compact
+* ``REPRO_BENCH_SUMMARY=BENCH_pr4.json`` additionally writes a compact
   one-file summary of every benchmark that ran (name, mean/min seconds,
   extra_info) into ``REPRO_BENCH_JSON_DIR``.  The repo keeps the current
-  baseline committed at the root (``BENCH_pr3.json``) so successive PRs have
-  a perf trajectory to compare against.
+  baseline committed at the root (``BENCH_pr4.json``; earlier PRs' baselines
+  stay alongside it) so successive PRs have a perf trajectory to compare
+  against.
 """
 
 from __future__ import annotations

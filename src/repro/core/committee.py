@@ -40,10 +40,13 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.context import ProtocolContext
 from repro.util.datastructures import RoundTimer
+from repro.walks.sampler import NodeSampler
 
-__all__ = ["CommitteeEvent", "Committee"]
+__all__ = ["CommitteeEvent", "Committee", "RefreshPlan", "plan_refreshes"]
 
 _committee_id_counter = itertools.count(1)
 
@@ -58,6 +61,96 @@ class CommitteeEvent:
     generation: int
     member_count: int
     details: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class RefreshPlan:
+    """The deterministic inputs of one committee refresh, computed in bulk.
+
+    Everything a refresh derives *before* touching the RNG -- the surviving
+    roster, the walk-count exchange, the elected leader and the leader's
+    candidate pool -- is a pure query against the network/sampler state at
+    the start of the round.  :func:`plan_refreshes` therefore computes these
+    for every committee refreshing in the same round with a handful of bulk
+    sampler/network calls; the refresh itself then only consumes the RNG (in
+    the original per-committee order, keeping payloads byte-identical to
+    unbatched execution) and applies the roster change.
+    """
+
+    survivors: List[int]
+    counts: Dict[int, int]
+    leader: Optional[int]
+    pool: Optional[np.ndarray]
+
+
+def plan_refreshes(
+    ctx: ProtocolContext, committees: Sequence["Committee"], round_index: int
+) -> Dict[int, RefreshPlan]:
+    """Batch the sampler/network queries of every refresh due this round.
+
+    Returns ``committee_id -> RefreshPlan``.  The ROADMAP named the per-call
+    ``draw_distinct_sources`` work the top remaining sampler cost after PR 3;
+    batching turns N refreshing committees' worth of liveness scans, count
+    exchanges and candidate-pool gathers into:
+
+    * one ``alive_mask`` over every roster (survivor detection),
+    * one ``sample_counts`` call over every survivor (leader election), and
+    * one ``distinct_source_pools`` gather over every leader (recruit pools).
+    """
+    plans: Dict[int, RefreshPlan] = {}
+    if not committees:
+        return plans
+
+    # --- survivors: one liveness pass over the concatenation of all rosters.
+    rosters = [committee.members for committee in committees]
+    boundaries = np.cumsum([0] + [len(r) for r in rosters])
+    all_members = np.asarray(
+        [member for roster in rosters for member in roster], dtype=np.int64
+    )
+    alive = ctx.network.alive_mask(all_members) if all_members.size else np.empty(0, dtype=bool)
+    survivors_per: List[List[int]] = []
+    for i, roster in enumerate(rosters):
+        mask = alive[boundaries[i] : boundaries[i + 1]]
+        survivors_per.append([m for m, ok in zip(roster, mask) if ok])
+
+    # --- counts: one walk-count exchange over every survivor at once.
+    flat_survivors = [m for survivors in survivors_per for m in survivors]
+    count_boundaries = np.cumsum([0] + [len(s) for s in survivors_per])
+    counts_column = (
+        ctx.sampler.sample_counts(flat_survivors, round_index=round_index)
+        if flat_survivors
+        else np.empty(0, dtype=np.int64)
+    )
+
+    # --- leaders, then their candidate pools in one bulk gather.
+    leaders: List[int] = []
+    leader_slot: List[Optional[int]] = []
+    counts_per: List[Dict[int, int]] = []
+    for i, survivors in enumerate(survivors_per):
+        counts = {
+            m: int(c)
+            for m, c in zip(survivors, counts_column[count_boundaries[i] : count_boundaries[i + 1]])
+        }
+        counts_per.append(counts)
+        if survivors:
+            leader = max(survivors, key=lambda m: (counts[m], -m))
+            leader_slot.append(len(leaders))
+            leaders.append(leader)
+        else:
+            leader_slot.append(None)
+    pools = ctx.sampler.distinct_source_pools(
+        leaders, max_age=ctx.params.committee_refresh_period
+    )
+
+    for i, committee in enumerate(committees):
+        slot = leader_slot[i]
+        plans[committee.committee_id] = RefreshPlan(
+            survivors=survivors_per[i],
+            counts=counts_per[i],
+            leader=None if slot is None else leaders[slot],
+            pool=None if slot is None else pools[slot],
+        )
+    return plans
 
 
 class Committee:
@@ -201,17 +294,31 @@ class Committee:
         return int(uid) in self.members
 
     # ------------------------------------------------------------------ per-round driver
-    def step(self, round_index: int) -> Optional[CommitteeEvent]:
+    def refresh_due(self, round_index: int) -> bool:
+        """Whether :meth:`step` would run a refresh this round.
+
+        Owners driving many committees (the storage service) use this to
+        collect the round's refreshing committees and batch their sampler
+        queries via :func:`plan_refreshes` before stepping them.
+        """
+        return (
+            not self.dissolved
+            and self._timer.fires_at(round_index)
+            and round_index != self.created_round
+        )
+
+    def step(self, round_index: int, plan: Optional[RefreshPlan] = None) -> Optional[CommitteeEvent]:
         """Run one round of committee maintenance.
 
         Only does real work on refresh rounds (every ``committee_refresh_period``
-        rounds after creation).  Returns the event generated, if any.
+        rounds after creation).  Returns the event generated, if any.  ``plan``
+        optionally supplies this committee's pre-batched :class:`RefreshPlan`
+        (see :func:`plan_refreshes`); without one the same queries run inline,
+        with identical results.
         """
-        if self.dissolved:
+        if not self.refresh_due(round_index):
             return None
-        if not self._timer.fires_at(round_index) or round_index == self.created_round:
-            return None
-        return self._refresh(round_index)
+        return self._refresh(round_index, plan)
 
     def dissolve(self, round_index: int) -> None:
         """Dissolve the committee (used by completed search operations)."""
@@ -229,11 +336,20 @@ class Committee:
         self.ctx.record("committee", "dissolved", committee_id=self.committee_id)
 
     # ------------------------------------------------------------------ refresh internals
-    def _refresh(self, round_index: int) -> CommitteeEvent:
-        """Re-form the committee from the leader's fresh samples (Algorithm 1 maintenance)."""
+    def _refresh(self, round_index: int, plan: Optional[RefreshPlan] = None) -> CommitteeEvent:
+        """Re-form the committee from the leader's fresh samples (Algorithm 1 maintenance).
+
+        All pure queries (survivors, counts, leader, candidate pool) come from
+        ``plan`` -- either the batched one handed in by the owner or a
+        single-committee plan computed here.  Only the seeded recruit draw
+        touches the RNG, in the same order as the historical per-committee
+        code, so batched and unbatched execution are byte-identical.
+        """
         ctx = self.ctx
         params = ctx.params
-        survivors = self.alive_members()
+        if plan is None:
+            plan = plan_refreshes(ctx, [self], round_index)[self.committee_id]
+        survivors = plan.survivors
 
         if not survivors:
             self.dissolved = True
@@ -252,23 +368,18 @@ class Committee:
 
         # Round r / r+1 of Algorithm 1: members exchange the number of walk
         # samples each received (a clique's worth of tiny messages).
-        count_column = ctx.sampler.sample_counts(survivors, round_index=round_index)
-        counts = {m: int(c) for m, c in zip(survivors, count_column)}
+        counts = plan.counts
         for member in survivors:
             ctx.charge(member, ids=1 + len(survivors))
 
         # Leader c_r: most samples, ties broken by uid (deterministic and
         # "unanimous" because the counts are common knowledge).
-        leader = max(survivors, key=lambda m: (counts[m], -m))
+        leader = plan.leader
+        assert leader is not None  # survivors is non-empty
 
         # Round r+2: the leader invites committee_size of the samples it
         # received this refresh window to form the new committee.
-        recruits = ctx.sampler.draw_distinct_sources(
-            leader,
-            params.committee_size,
-            ctx.rng.generator,
-            max_age=params.committee_refresh_period,
-        )
+        recruits = NodeSampler.draw_from_pool(plan.pool, params.committee_size, ctx.rng.generator)
         if len(recruits) < max(2, params.committee_size // 2):
             # Not enough fresh samples to hand over safely: keep the current
             # generation in place (topped up with whatever recruits exist)

@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.committee import Committee
+from repro.core.committee import Committee, plan_refreshes
 from repro.core.context import ProtocolContext
 from repro.core.erasure import InformationDispersal, Piece
 from repro.core.landmarks import LandmarkSet
@@ -188,11 +188,20 @@ class StorageService:
 
     # ------------------------------------------------------------------ per-round driver
     def step(self, round_index: int) -> None:
-        """Run one round of maintenance for every stored item."""
-        for item in self.items.values():
-            if item.lost:
-                continue
-            item.committee.step(round_index)
+        """Run one round of maintenance for every stored item.
+
+        All committee refreshes due this round are *planned* first in one
+        batch (:func:`repro.core.committee.plan_refreshes`: one liveness
+        pass, one count exchange, one candidate-pool gather for every
+        refreshing committee) and then executed per item in the original
+        order, so RNG consumption -- and therefore every payload -- is
+        byte-identical to unbatched stepping.
+        """
+        live_items = [item for item in self.items.values() if not item.lost]
+        due = [item.committee for item in live_items if item.committee.refresh_due(round_index)]
+        plans = plan_refreshes(self.ctx, due, round_index) if due else {}
+        for item in live_items:
+            item.committee.step(round_index, plan=plans.get(item.committee.committee_id))
             item.landmarks.step(round_index)
             self._check_loss(item, round_index)
 

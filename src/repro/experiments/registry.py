@@ -16,7 +16,18 @@ installs :func:`main` as the ``repro-experiment`` console script::
     repro-experiment all                          # every experiment + summary footer
     repro-experiment list                         # ids, titles and paper claims
 
+    repro-experiment dispatch E7 --json-out results/   # create a shared run dir, run nothing
+    repro-experiment worker results/E7-<stamp>         # join as a worker (run N of these)
+    repro-experiment status results/E7-<stamp>         # progress, claims, worker heartbeats
+
     repro-experiment E5 --full                    # legacy positional form (shimmed)
+
+``dispatch``/``worker``/``status`` are the distributed execution surface
+(see :mod:`repro.sim.dispatch` and docs/DISTRIBUTED.md): ``dispatch`` only
+creates the run directory and manifest; any number of ``worker`` processes
+-- started on one host or on several hosts sharing the directory -- then
+claim and compute the missing cells cooperatively, each writing the same
+final ``result.json`` a single-process ``run`` would have produced.
 
 ``--json-out`` creates a run directory managed by :class:`~repro.sim.store.
 ResultStore`: a ``manifest.json`` recording the invocation, one JSON artifact
@@ -38,6 +49,12 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import repro.experiments  # noqa: F401  - imports every expNN module, populating the registry
 from repro.experiments.spec import REGISTRY, ExperimentSpec, registered_ids
+from repro.sim.dispatch import (
+    DEFAULT_CHUNK_SEEDS,
+    DEFAULT_MIN_TRIALS_PER_TASK,
+    DispatchWorker,
+    use_dispatcher,
+)
 from repro.sim.results import ExperimentResult
 from repro.sim.store import ResultStore, use_store
 
@@ -56,7 +73,7 @@ __all__ = [
 #: :class:`ExperimentSpec` objects rather than bare modules.
 EXPERIMENTS: Dict[str, ExperimentSpec] = REGISTRY
 
-_SUBCOMMANDS = ("run", "resume", "list", "all")
+_SUBCOMMANDS = ("run", "resume", "list", "all", "dispatch", "worker", "status")
 _LEGACY_ID = re.compile(r"^[eE]\d+$")
 
 
@@ -220,6 +237,107 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the worker count recorded in the manifest",
     )
+
+    dispatch_parser = sub.add_parser(
+        "dispatch",
+        help="create a shared run directory for distributed workers (runs nothing itself)",
+    )
+    dispatch_parser.add_argument("experiment", help="experiment id (E1..E12)")
+    add_common(dispatch_parser)
+    dispatch_parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override an ExperimentConfig field (repeatable)",
+    )
+    dispatch_parser.add_argument(
+        "--seeds",
+        default=None,
+        metavar="SPEC",
+        help="replace the preset seeds: '0..9' (inclusive) or '0,3,5'",
+    )
+    dispatch_parser.add_argument(
+        "--chunk-seeds",
+        type=int,
+        default=DEFAULT_CHUNK_SEEDS,
+        metavar="N",
+        help="recorded in the manifest: split cells with more than N seeds into N-seed chunks "
+        f"(default {DEFAULT_CHUNK_SEEDS}); every worker must use the same value or task plans diverge",
+    )
+    dispatch_parser.add_argument(
+        "--min-task-trials",
+        type=int,
+        default=DEFAULT_MIN_TRIALS_PER_TASK,
+        metavar="N",
+        help="recorded in the manifest: batch tiny cells into tasks of at least N trials "
+        f"(default {DEFAULT_MIN_TRIALS_PER_TASK})",
+    )
+
+    worker_parser = sub.add_parser(
+        "worker",
+        help="join a dispatched run directory as a cooperating worker",
+    )
+    worker_parser.add_argument("run_dir", help="run directory created by 'dispatch' (or 'run --json-out')")
+    worker_parser.add_argument("--markdown", action="store_true", help="emit Markdown instead of plain text")
+    worker_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="local process-pool size for this worker's trials (default: manifest value)",
+    )
+    worker_parser.add_argument(
+        "--worker-id",
+        default=None,
+        help="identity used in claims/heartbeats (default: <host>-<pid>-<random>)",
+    )
+    worker_parser.add_argument(
+        "--lease",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="claim lease: a worker silent for this long is considered crashed (default 30)",
+    )
+    worker_parser.add_argument(
+        "--poll",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="sleep between scans while peers hold all remaining work (default 0.2)",
+    )
+    worker_parser.add_argument(
+        "--chunk-seeds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the manifest's chunking (default: manifest value, else 16); "
+        "workers with diverging values derive disjoint task plans and duplicate work",
+    )
+    worker_parser.add_argument(
+        "--min-task-trials",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the manifest's tiny-cell batching (default: manifest value, else 6)",
+    )
+    worker_parser.add_argument(
+        "--wait-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="give up after this long without observable progress from any worker (default: wait forever)",
+    )
+
+    status_parser = sub.add_parser("status", help="progress of a dispatched run directory")
+    status_parser.add_argument("run_dir", help="run directory created by 'dispatch' (or 'run --json-out')")
+    status_parser.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="re-print every SECONDS until result.json appears",
+    )
     return parser
 
 
@@ -242,6 +360,7 @@ def _create_store(
     workers: int,
     overrides: Dict[str, Any],
     seeds: Optional[Sequence[int]],
+    dispatch_options: Optional[Dict[str, int]] = None,
 ) -> ResultStore:
     run_dir = _make_run_dir(json_out, experiment_id)
     manifest = {
@@ -252,6 +371,10 @@ def _create_store(
         "seeds": None if seeds is None else [int(seed) for seed in seeds],
         "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
+    if dispatch_options is not None:
+        # The chunked-scheduler knobs are part of the shared task-plan
+        # identity, so they live in the manifest, not on each worker.
+        manifest["dispatch"] = {key: int(value) for key, value in dispatch_options.items()}
     return ResultStore.create(run_dir, manifest)
 
 
@@ -330,6 +453,139 @@ def _cmd_all(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dispatch(args: argparse.Namespace) -> int:
+    """Create a shared run directory + manifest; workers do the computing."""
+    if args.json_out is None:
+        print("error: dispatch requires --json-out DIR (the shared run directory location)", file=sys.stderr)
+        return 2
+    experiment_id = args.experiment.upper()
+    try:
+        get_experiment(experiment_id)
+        overrides = parse_set_overrides(args.overrides)
+        seeds = None if args.seeds is None else parse_seed_spec(args.seeds)
+        # Validate the scheduler knobs BEFORE they are baked into the
+        # manifest -- a poisoned manifest would crash every future worker.
+        if args.chunk_seeds < 1:
+            raise ValueError(f"--chunk-seeds must be >= 1, got {args.chunk_seeds}")
+        if args.min_task_trials < 1:
+            raise ValueError(f"--min-task-trials must be >= 1, got {args.min_task_trials}")
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    store = _create_store(
+        args.json_out,
+        experiment_id,
+        args.full,
+        args.workers,
+        overrides,
+        seeds,
+        dispatch_options={
+            "chunk_seeds": args.chunk_seeds,
+            "min_trials_per_task": args.min_task_trials,
+        },
+    )
+    print(f"dispatched {experiment_id} to {store.root}")
+    print(f"start workers with:  repro-experiment worker {store.root}")
+    print(f"watch progress with: repro-experiment status {store.root} --watch 2")
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Join a dispatched run as one cooperating worker."""
+    store = ResultStore.open(Path(args.run_dir))
+    manifest = store.manifest()
+    workers = manifest.get("workers", 1) if args.workers is None else args.workers
+    dispatch_kwargs = {}
+    if args.worker_id is not None:
+        dispatch_kwargs["worker_id"] = args.worker_id
+    if args.lease is not None:
+        dispatch_kwargs["lease_seconds"] = args.lease
+    if args.poll is not None:
+        dispatch_kwargs["poll_seconds"] = args.poll
+    # Scheduler knobs default to the manifest so every worker derives the
+    # same task plan; an explicit flag wins but gets a loud warning, because
+    # diverging plans silently duplicate work instead of partitioning it.
+    recorded = manifest.get("dispatch") or {}
+    for flag, manifest_key, kwarg in (
+        (args.chunk_seeds, "chunk_seeds", "chunk_seeds"),
+        (args.min_task_trials, "min_trials_per_task", "min_trials_per_task"),
+    ):
+        if flag is not None:
+            if manifest_key in recorded and int(recorded[manifest_key]) != int(flag):
+                print(
+                    f"warning: --{manifest_key.replace('_', '-')}={flag} overrides the manifest's "
+                    f"{recorded[manifest_key]}; workers with different values do not share a task plan",
+                    file=sys.stderr,
+                )
+            dispatch_kwargs[kwarg] = flag
+        elif manifest_key in recorded:
+            dispatch_kwargs[kwarg] = int(recorded[manifest_key])
+    if args.wait_timeout is not None:
+        dispatch_kwargs["wait_timeout"] = args.wait_timeout
+    worker = DispatchWorker(store, **dispatch_kwargs)
+    print(f"worker {worker.worker_id} joining {store.root}")
+    with use_dispatcher(worker):
+        result = run_experiment(
+            manifest["experiment"],
+            full=bool(manifest.get("full", False)),
+            workers=workers,
+            overrides=manifest.get("overrides") or {},
+            seeds=manifest.get("seeds"),
+            store=store,
+        )
+    _print_result(result, args.markdown)
+    print(
+        f"worker {worker.worker_id} done: computed {len(worker.computed_tasks)} task(s); "
+        f"results written to {store.root}"
+    )
+    return 0
+
+
+def _describe_claim(store: ResultStore, claim: Dict[str, Any]) -> str:
+    age = time.time() - float(claim.get("heartbeat_at", 0.0))
+    state = "EXPIRED" if store.claim_expired(claim) else "active"
+    return (
+        f"  {claim.get('task', '?')}: worker={claim.get('worker', '?')} "
+        f"heartbeat={age:.1f}s ago lease={float(claim.get('lease_seconds', 0.0)):.0f}s [{state}]"
+    )
+
+
+def _print_status(store: ResultStore) -> bool:
+    """One status snapshot; returns True when the run is complete."""
+    manifest = store.manifest()
+    cells = len(store.completed_keys())
+    chunks = len(list(store.chunks_dir.glob("*.json"))) if store.chunks_dir.exists() else 0
+    claims = store.active_claims()
+    finished = store.result_path.exists()
+    print(f"run: {store.root}  (experiment {manifest.get('experiment', '?')})")
+    print(f"  cells completed: {cells}   pending chunks: {chunks}   result.json: {'yes' if finished else 'no'}")
+    if claims:
+        print("claims:")
+        for claim in claims:
+            print(_describe_claim(store, claim))
+    workers = store.worker_records()
+    if workers:
+        print("workers:")
+        for record in workers:
+            age = time.time() - float(record.get("heartbeat_at", 0.0))
+            state = "finished" if record.get("finished") else f"computing={record.get('computing')}"
+            print(f"  {record.get('worker', '?')}: heartbeat={age:.1f}s ago {state}")
+    return finished
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    store = ResultStore.open(Path(args.run_dir))
+    if args.watch is None:
+        _print_status(store)
+        return 0
+    while True:
+        finished = _print_status(store)
+        if finished:
+            return 0
+        time.sleep(max(0.1, args.watch))
+        print()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Console entry point (``repro-experiment``)."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -343,6 +599,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list()
     if args.command == "all":
         return _cmd_all(args)
+    if args.command == "dispatch":
+        return _cmd_dispatch(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
+    if args.command == "status":
+        return _cmd_status(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -6,6 +6,15 @@ ResultStore` persists per-cell artifacts under a run directory so sweeps can
 be killed and resumed (``repro-experiment resume <run-dir>``).
 """
 
+from repro.sim.dispatch import (
+    CellSpec,
+    DispatchTask,
+    DispatchTimeout,
+    DispatchWorker,
+    active_dispatcher,
+    plan_tasks,
+    use_dispatcher,
+)
 from repro.sim.experiment import (
     ExperimentConfig,
     TrialResult,
@@ -52,4 +61,11 @@ __all__ = [
     "ResultStore",
     "active_store",
     "use_store",
+    "CellSpec",
+    "DispatchTask",
+    "DispatchTimeout",
+    "DispatchWorker",
+    "active_dispatcher",
+    "plan_tasks",
+    "use_dispatcher",
 ]

@@ -1,0 +1,555 @@
+"""Store-aware distributed sweep execution: claimable cells, leases, chunking.
+
+PR 2 made a :class:`~repro.sim.store.ResultStore` run directory resumable
+(completed cells load from disk, missing cells are recomputed).  This module
+turns the same directory into a **shared work queue** so N worker processes
+-- on one host or on several hosts sharing the directory -- cooperatively
+complete one run:
+
+* every missing sweep cell (and every *seed-chunk* of a large cell) becomes a
+  claimable :class:`DispatchTask`;
+* a worker takes a task by atomically creating ``claims/<task>.claim``
+  (``O_CREAT | O_EXCL`` -- exactly one winner), computes it with its local
+  :class:`~repro.sim.runner.TrialRunner`, writes the artifact, releases the
+  claim;
+* while computing, a background thread heartbeats the claim; a worker that
+  dies stops heartbeating, its **lease expires**, and any other worker
+  reclaims the task with an atomic-rename takeover
+  (:meth:`~repro.sim.store.ResultStore.steal_claim`);
+* the **chunked scheduler** amortises scheduling overhead in both directions:
+  cells with many seeds are split into seed-chunks so several workers share
+  one big cell, and runs with hundreds of tiny cells are batched into task
+  units of at least ``min_trials_per_task`` trials so claim-file and
+  poll-loop overhead stops dominating.
+
+Correctness does not depend on the locking being perfect.  Claims are
+*advisory*: every trial derives all randomness from its seed, artifact writes
+are atomic, and identical inputs produce identical bytes -- so the worst a
+lost race or premature lease expiry can cause is duplicated computation,
+never a wrong or torn result.  This is what makes the protocol safe on
+filesystems with weak lock semantics (NFS) and what lets ``result.json`` come
+out byte-identical to a sequential ``repro-experiment run`` (modulo
+wall-clock fields, which the ``REPRO_CANONICAL_TIMING=1`` knob zeroes).
+
+Workers do not receive a task list from a coordinator; each worker re-runs
+the *experiment body* (via the manifest, exactly like ``resume``) with a
+:class:`DispatchWorker` installed through :func:`use_dispatcher`.
+:class:`~repro.sim.runner.Sweep` and :func:`repro.sim.experiment.run_trials`
+notice the active dispatcher and route their pending cells through it, so
+every worker derives the same deterministic task plan from the same config
+and the run directory is the only coordination channel.  The CLI wires this
+up as::
+
+    repro-experiment dispatch E7 --json-out results/ --set n=512 --seeds 0..31
+    repro-experiment worker results/E7-<stamp>   # run one per host/terminal
+    repro-experiment status results/E7-<stamp>   # watch progress
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import socket
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from hashlib import sha256
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.sim.experiment import ExperimentConfig, TrialResult
+from repro.sim.store import ResultStore
+from repro.util.simlog import get_logger
+
+__all__ = [
+    "CellSpec",
+    "TaskEntry",
+    "DispatchTask",
+    "DispatchTimeout",
+    "DispatchWorker",
+    "plan_tasks",
+    "use_dispatcher",
+    "active_dispatcher",
+    "make_worker_id",
+]
+
+_logger = get_logger("dispatch")
+
+_ACTIVE_DISPATCHER: ContextVar[Optional["DispatchWorker"]] = ContextVar(
+    "repro_active_dispatcher", default=None
+)
+
+#: Cells with more seeds than this are split into seed-chunks of this size.
+DEFAULT_CHUNK_SEEDS = 16
+#: Tiny cells are batched into one task until it carries at least this many trials.
+DEFAULT_MIN_TRIALS_PER_TASK = 6
+#: A claim whose heartbeat is older than this many seconds is reclaimable.
+DEFAULT_LEASE_SECONDS = 30.0
+#: Sleep between scans while other workers hold all remaining work.
+DEFAULT_POLL_SECONDS = 0.2
+
+
+class DispatchTimeout(RuntimeError):
+    """Raised when ``wait_timeout`` elapses with incomplete cells remaining."""
+
+
+def make_worker_id() -> str:
+    """A globally unique worker identity: host, pid and a random suffix."""
+    return f"{socket.gethostname()}-{os.getpid()}-{secrets.token_hex(3)}"
+
+
+# ---------------------------------------------------------------------- task model
+@dataclass(frozen=True)
+class CellSpec:
+    """One sweep cell as the dispatcher sees it (store key + how to compute it)."""
+
+    key: str
+    config: ExperimentConfig
+    seeds: Tuple[int, ...]
+    index: Optional[int] = None
+    overrides: Optional[Mapping[str, Any]] = None
+
+
+@dataclass(frozen=True)
+class TaskEntry:
+    """One unit of computation inside a task: a whole cell or one seed-chunk.
+
+    ``chunk`` is a half-open ``(lo, hi)`` slice into the cell's seed list;
+    ``None`` means the entry covers the whole cell and writes the cell
+    artifact directly.
+    """
+
+    spec: CellSpec
+    chunk: Optional[Tuple[int, int]] = None
+
+    @property
+    def seeds(self) -> Tuple[int, ...]:
+        if self.chunk is None:
+            return self.spec.seeds
+        lo, hi = self.chunk
+        return self.spec.seeds[lo:hi]
+
+    def is_complete(self, store: ResultStore) -> bool:
+        """Whether this entry's artifact (cell or chunk) already exists."""
+        if store.has_cell(self.spec.key):
+            return True
+        if self.chunk is None:
+            return False
+        return store.has_chunk(self.spec.key, *self.chunk)
+
+
+@dataclass(frozen=True)
+class DispatchTask:
+    """One claimable unit of work: one chunk, one cell, or a batch of tiny cells."""
+
+    task_id: str
+    entries: Tuple[TaskEntry, ...] = field(default_factory=tuple)
+
+    @property
+    def trial_count(self) -> int:
+        return sum(len(entry.seeds) for entry in self.entries)
+
+    def is_complete(self, store: ResultStore) -> bool:
+        return all(entry.is_complete(store) for entry in self.entries)
+
+
+def plan_tasks(
+    specs: Sequence[CellSpec],
+    chunk_seeds: int = DEFAULT_CHUNK_SEEDS,
+    min_trials_per_task: int = DEFAULT_MIN_TRIALS_PER_TASK,
+) -> List[DispatchTask]:
+    """Deterministically partition a sweep's cells into claimable tasks.
+
+    The plan is a pure function of the cell list (never of which artifacts
+    happen to exist), so every worker -- including one that joins mid-run --
+    derives *identical* task boundaries and claim ids from the shared
+    manifest.  Three shapes come out:
+
+    * a cell with more than ``chunk_seeds`` seeds becomes one task per
+      seed-chunk (``<key>.<lo>-<hi>``), so several workers share it;
+    * consecutive tiny cells are batched until a task carries at least
+      ``min_trials_per_task`` trials (``batch-<hash of member keys>``);
+    * anything else is one task per cell (``<key>``).
+    """
+    if chunk_seeds < 1:
+        raise ValueError(f"chunk_seeds must be >= 1, got {chunk_seeds}")
+    if min_trials_per_task < 1:
+        raise ValueError(f"min_trials_per_task must be >= 1, got {min_trials_per_task}")
+    tasks: List[DispatchTask] = []
+    batch: List[TaskEntry] = []
+
+    def flush_batch() -> None:
+        if not batch:
+            return
+        if len(batch) == 1:
+            tasks.append(DispatchTask(task_id=batch[0].spec.key, entries=(batch[0],)))
+        else:
+            digest = sha256("|".join(entry.spec.key for entry in batch).encode()).hexdigest()[:20]
+            tasks.append(DispatchTask(task_id=f"batch-{digest}", entries=tuple(batch)))
+        batch.clear()
+
+    for spec in specs:
+        n_seeds = len(spec.seeds)
+        if n_seeds > chunk_seeds:
+            flush_batch()
+            for lo in range(0, n_seeds, chunk_seeds):
+                hi = min(lo + chunk_seeds, n_seeds)
+                tasks.append(
+                    DispatchTask(
+                        task_id=f"{spec.key}.{lo}-{hi}",
+                        entries=(TaskEntry(spec=spec, chunk=(lo, hi)),),
+                    )
+                )
+            continue
+        batch.append(TaskEntry(spec=spec))
+        if sum(len(entry.seeds) for entry in batch) >= min_trials_per_task:
+            flush_batch()
+    flush_batch()
+    return tasks
+
+
+# ---------------------------------------------------------------------- heartbeats
+class _Heartbeat(threading.Thread):
+    """Daemon thread refreshing the claim + worker record of the task being computed.
+
+    ``claim_lock`` serialises this thread's heartbeat writes against the main
+    thread's ``release_claim``: without it, a heartbeat that read the claim
+    just before the release could re-create the file afterwards, leaving a
+    phantom claim that ``status`` would report forever.
+    """
+
+    def __init__(
+        self, store: ResultStore, worker_id: str, interval: float, claim_lock: threading.Lock
+    ) -> None:
+        super().__init__(name=f"dispatch-heartbeat-{worker_id}", daemon=True)
+        self.store = store
+        self.worker_id = worker_id
+        self.interval = interval
+        self.claim_lock = claim_lock
+        self._lock = threading.Lock()
+        self._current_task: Optional[str] = None
+        # NB: not named _stop -- threading.Thread has a private _stop() method.
+        self._halt = threading.Event()
+
+    def set_task(self, task_id: Optional[str]) -> None:
+        with self._lock:
+            self._current_task = task_id
+
+    def stop(self) -> None:
+        self._halt.set()
+
+    def run(self) -> None:  # pragma: no cover - timing-dependent; exercised by crash tests
+        while not self._halt.wait(self.interval):
+            with self._lock:
+                task_id = self._current_task
+            try:
+                if task_id is not None:
+                    with self.claim_lock:
+                        # Re-check under the lock: the main thread may have
+                        # completed and released the task since the read above.
+                        with self._lock:
+                            still_current = self._current_task == task_id
+                        if still_current:
+                            self.store.heartbeat_claim(task_id, self.worker_id)
+                self.store.write_worker_record(self.worker_id, computing=task_id)
+            except OSError:
+                pass  # transient filesystem hiccup; next beat retries
+
+
+# ---------------------------------------------------------------------- the worker
+class DispatchWorker:
+    """Drains claimable tasks of a shared run directory until the run completes.
+
+    Parameters
+    ----------
+    store:
+        The shared :class:`~repro.sim.store.ResultStore` run directory.
+    worker_id:
+        Identity used in claims and heartbeat records (auto-generated).
+    lease_seconds:
+        A claim whose heartbeat is older than this is considered abandoned
+        and may be stolen by any worker.
+    poll_seconds:
+        Sleep between scans while every remaining task is claimed elsewhere.
+    chunk_seeds / min_trials_per_task:
+        Chunked-scheduler knobs, see :func:`plan_tasks`.
+    wait_timeout:
+        Optional cap (seconds) on how long to sit *without observing any
+        progress* -- own computes, peer task completions, or chunk merges --
+        before raising :class:`DispatchTimeout`; None waits forever.  Set it
+        comfortably above the longest single task's duration: a peer
+        computing one long task produces no observable progress until the
+        task's artifact lands.
+
+    One instance is installed per worker process via :func:`use_dispatcher`;
+    :class:`~repro.sim.runner.Sweep` then calls :meth:`execute` with the full
+    cell list of each sweep it runs.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        worker_id: Optional[str] = None,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        poll_seconds: float = DEFAULT_POLL_SECONDS,
+        chunk_seeds: int = DEFAULT_CHUNK_SEEDS,
+        min_trials_per_task: int = DEFAULT_MIN_TRIALS_PER_TASK,
+        wait_timeout: Optional[float] = None,
+    ) -> None:
+        if lease_seconds <= 0:
+            raise ValueError("lease_seconds must be positive")
+        self.store = store
+        self.worker_id = make_worker_id() if worker_id is None else worker_id
+        self.lease_seconds = float(lease_seconds)
+        self.poll_seconds = float(poll_seconds)
+        self.chunk_seeds = int(chunk_seeds)
+        self.min_trials_per_task = int(min_trials_per_task)
+        self.wait_timeout = wait_timeout
+        #: tasks this worker actually computed (entry counts; for logs/tests)
+        self.computed_tasks: List[str] = []
+        self._heartbeat: Optional[_Heartbeat] = None
+        # Serialises this process's claim writes (heartbeat thread) against
+        # claim releases (main thread); see _Heartbeat.
+        self._claim_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ public API
+    def execute(
+        self,
+        trial: Callable[[ExperimentConfig, int], Dict[str, Any]],
+        specs: Sequence[CellSpec],
+        runner: Any,
+        preloaded: Optional[Mapping[str, List[TrialResult]]] = None,
+    ) -> Dict[str, List[TrialResult]]:
+        """Cooperatively complete every cell in ``specs``; returns key -> trials.
+
+        Claims and computes whatever is unclaimed, steals expired claims of
+        crashed workers, merges finished seed-chunks into cell artifacts, and
+        polls for cells being computed by live peers.  Returns only when
+        every cell artifact exists (or raises :class:`DispatchTimeout`).
+        ``preloaded`` passes trials the caller already has in memory (e.g.
+        cells a resuming :class:`~repro.sim.runner.Sweep` loaded before
+        dispatching) so they are not re-read from disk.
+        """
+        store = self.store
+        tasks = plan_tasks(list(specs), self.chunk_seeds, self.min_trials_per_task)
+        outstanding: Dict[str, DispatchTask] = {t.task_id: t for t in tasks}
+        chunked_keys = {
+            entry.spec.key: entry.spec
+            for task in tasks
+            for entry in task.entries
+            if entry.chunk is not None
+        }
+        #: cells whose trials are already in memory (preloaded by the caller,
+        #: computed whole, or merged from chunks) -- spared the disk re-read.
+        local: Dict[str, List[TrialResult]] = dict(preloaded or {})
+        #: seed-chunks this worker computed, kept for in-memory merging.
+        chunk_cache: Dict[Tuple[str, int, int], List[TrialResult]] = {}
+        self._start_heartbeat()
+        idle_since: Optional[float] = None
+        try:
+            while True:
+                progressed = False
+                for task in list(outstanding.values()):
+                    if task.is_complete(store):
+                        # A peer finished it: observable progress, so the
+                        # wait_timeout idle clock must reset -- a healthy run
+                        # where one worker holds most claims must never trip
+                        # the timeout of the workers watching it.
+                        del outstanding[task.task_id]
+                        progressed = True
+                        continue
+                    if store.try_claim(task.task_id, self.worker_id, self.lease_seconds) or (
+                        self._claim_is_stale(task.task_id)
+                        and store.steal_claim(task.task_id, self.worker_id, self.lease_seconds)
+                    ):
+                        try:
+                            self._execute_task(task, trial, runner, local, chunk_cache)
+                        finally:
+                            with self._claim_lock:
+                                store.release_claim(task.task_id, self.worker_id)
+                        del outstanding[task.task_id]
+                        progressed = True
+                merged = self._merge_ready_cells(trial, chunked_keys, local, chunk_cache)
+                progressed = progressed or merged
+                if self._all_cells_complete(specs):
+                    break
+                if progressed:
+                    idle_since = None
+                    continue
+                now = time.monotonic()
+                idle_since = now if idle_since is None else idle_since
+                if self.wait_timeout is not None and now - idle_since > self.wait_timeout:
+                    missing = [s.key for s in specs if not store.has_cell(s.key)]
+                    raise DispatchTimeout(
+                        f"worker {self.worker_id} waited {self.wait_timeout:.1f}s with "
+                        f"{len(missing)} cell(s) still incomplete: {missing[:4]}..."
+                    )
+                time.sleep(self.poll_seconds)
+        finally:
+            self._stop_heartbeat()
+        out: Dict[str, List[TrialResult]] = {}
+        for spec in specs:
+            trials = local.get(spec.key)
+            if trials is None:  # computed by a peer: load its artifact
+                trials = store.load_trials(spec.key)
+            if trials is None:  # pragma: no cover - only a hand-corrupted artifact
+                raise RuntimeError(f"cell {spec.key} vanished after dispatch completed")
+            out[spec.key] = trials
+        return out
+
+    # ------------------------------------------------------------------ internals
+    def _claim_is_stale(self, task_id: str) -> bool:
+        claim = self.store.read_claim(task_id)
+        return claim is not None and self.store.claim_expired(claim)
+
+    def _execute_task(
+        self,
+        task: DispatchTask,
+        trial: Callable[..., Any],
+        runner: Any,
+        local: Dict[str, List[TrialResult]],
+        chunk_cache: Dict[Tuple[str, int, int], List[TrialResult]],
+    ) -> None:
+        """Compute every incomplete entry of a claimed task and persist it.
+
+        Freshly computed trials also land in ``local``/``chunk_cache`` so the
+        final result assembly (and chunk merging) reuses the in-memory
+        objects instead of re-parsing this worker's own artifacts.
+        """
+        beat = self._heartbeat
+        if beat is not None:
+            beat.set_task(task.task_id)
+        computed_any = False
+        try:
+            for entry in task.entries:
+                if entry.is_complete(self.store):
+                    continue
+                computed_any = True
+                spec = entry.spec
+                trials = runner.run(spec.config, trial, seeds=entry.seeds)
+                if entry.chunk is None:
+                    self.store.save_cell(
+                        spec.key,
+                        trial=trial,
+                        config=spec.config,
+                        seeds=spec.seeds,
+                        trials=trials,
+                        index=spec.index,
+                        overrides=spec.overrides,
+                    )
+                    local[spec.key] = trials
+                else:
+                    self.store.save_chunk(
+                        spec.key, *entry.chunk, seeds=entry.seeds, trials=trials
+                    )
+                    chunk_cache[(spec.key, *entry.chunk)] = trials
+                self.store.heartbeat_claim(task.task_id, self.worker_id)
+            if computed_any:
+                self.computed_tasks.append(task.task_id)
+                _logger.info(
+                    "worker %s completed task %s (%d trials)",
+                    self.worker_id,
+                    task.task_id,
+                    task.trial_count,
+                )
+        finally:
+            if beat is not None:
+                beat.set_task(None)
+
+    def _merge_ready_cells(
+        self,
+        trial: Callable[..., Any],
+        chunked: Mapping[str, CellSpec],
+        local: Dict[str, List[TrialResult]],
+        chunk_cache: Mapping[Tuple[str, int, int], List[TrialResult]],
+    ) -> bool:
+        """Assemble cells whose seed-chunks all exist; True when one was merged.
+
+        Merging is idempotent and unclaimed on purpose: two workers merging
+        the same cell write byte-identical documents through atomic renames.
+        Chunks this worker computed itself merge from ``chunk_cache`` without
+        touching disk; only peers' chunks are read back.
+        """
+        merged = False
+        for key, spec in chunked.items():
+            if self.store.has_cell(key):
+                continue
+            ranges = [
+                (lo, min(lo + self.chunk_seeds, len(spec.seeds)))
+                for lo in range(0, len(spec.seeds), self.chunk_seeds)
+            ]
+            # Cheap existence probe first: this runs every poll iteration, so
+            # peers' multi-MB chunk artifacts must not be parsed until the
+            # whole set is actually present.
+            if not all(
+                (key, lo, hi) in chunk_cache or self.store.has_chunk(key, lo, hi)
+                for lo, hi in ranges
+            ):
+                continue
+            trials: List[TrialResult] = []
+            complete = True
+            for lo, hi in ranges:
+                chunk_trials = chunk_cache.get((key, lo, hi))
+                if chunk_trials is None:
+                    chunk_trials = self.store.load_chunk_trials(key, lo, hi)
+                if chunk_trials is None:  # deleted/corrupt between probe and load
+                    complete = False
+                    break
+                trials.extend(chunk_trials)
+            if not complete:
+                continue
+            self.store.save_cell(
+                key,
+                trial=trial,
+                config=spec.config,
+                seeds=spec.seeds,
+                trials=trials,
+                index=spec.index,
+                overrides=spec.overrides,
+            )
+            self.store.discard_chunks(key)
+            local[key] = trials
+            merged = True
+            _logger.info("worker %s merged %d chunk trials into cell %s", self.worker_id, len(trials), key)
+        return merged
+
+    def _all_cells_complete(self, specs: Sequence[CellSpec]) -> bool:
+        return all(self.store.has_cell(spec.key) for spec in specs)
+
+    def _start_heartbeat(self) -> None:
+        if self._heartbeat is not None:
+            return
+        interval = max(0.05, self.lease_seconds / 4.0)
+        self._heartbeat = _Heartbeat(self.store, self.worker_id, interval, self._claim_lock)
+        self._heartbeat.start()
+        self.store.write_worker_record(self.worker_id, computing=None)
+
+    def _stop_heartbeat(self) -> None:
+        if self._heartbeat is None:
+            return
+        self._heartbeat.stop()
+        self._heartbeat.join(timeout=2.0)
+        self._heartbeat = None
+        self.store.write_worker_record(self.worker_id, computing=None, finished=True)
+
+
+# ---------------------------------------------------------------------- context plumbing
+@contextmanager
+def use_dispatcher(worker: Optional[DispatchWorker]) -> Iterator[Optional[DispatchWorker]]:
+    """Make ``worker`` the active dispatcher for the enclosed code (None = no-op).
+
+    Mirrors :func:`repro.sim.store.use_store`: :class:`~repro.sim.runner.
+    Sweep` and :func:`repro.sim.experiment.run_trials` pick the dispatcher up
+    automatically, so experiment bodies need no dispatch plumbing.
+    """
+    token = _ACTIVE_DISPATCHER.set(worker)
+    try:
+        yield worker
+    finally:
+        _ACTIVE_DISPATCHER.reset(token)
+
+
+def active_dispatcher() -> Optional[DispatchWorker]:
+    """The dispatcher installed by the innermost :func:`use_dispatcher`, if any."""
+    return _ACTIVE_DISPATCHER.get()

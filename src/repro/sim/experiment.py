@@ -320,6 +320,15 @@ def run_trials(
         if cached is not None:
             return cached
     runner = TrialRunner(workers=config.workers if workers is None else workers)
+    if store is not None:
+        from repro.sim.dispatch import CellSpec, active_dispatcher  # local import: dispatch imports this module
+
+        dispatcher = active_dispatcher()
+        if dispatcher is not None:
+            # Distributed mode: the whole seed batch becomes claimable work
+            # (chunked across workers when the seed list is large).
+            spec = CellSpec(key=key, config=config, seeds=tuple(int(seed) for seed in seeds))
+            return dispatcher.execute(trial, [spec], runner=runner)[key]
     results = runner.run(config, trial, seeds=seeds)
     if store is not None:
         store.save_cell(key, trial=trial, config=config, seeds=seeds, trials=results)

@@ -34,10 +34,13 @@ from __future__ import annotations
 import itertools
 import os
 import pickle
+import secrets
+import tempfile
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, fields
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.sim.experiment import ExperimentConfig, TrialResult
@@ -115,6 +118,92 @@ def _is_picklable(obj: Any) -> bool:
     return True
 
 
+# ---------------------------------------------------------------------- payload spilling
+#: Default spill threshold: payloads pickling to >= this many bytes are written
+#: to a spill file instead of being shipped back through the pool pipe.
+DEFAULT_SPILL_BYTES = 4 * 1024 * 1024
+
+
+def _resolve_spill_bytes(spill_bytes: Optional[int]) -> int:
+    """The spill threshold: explicit value, else $REPRO_SPILL_BYTES, else 4 MiB (0 disables)."""
+    if spill_bytes is not None:
+        return max(0, int(spill_bytes))
+    raw = os.environ.get("REPRO_SPILL_BYTES", "").strip()
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return DEFAULT_SPILL_BYTES
+
+
+@dataclass(frozen=True)
+class _SpilledPayload:
+    """Marker shipped through the pool pipe in place of a large payload."""
+
+    path: str
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class _PickledPayload:
+    """A sub-threshold payload shipped as its (already computed) pickle.
+
+    The worker has to pickle the payload once to measure it against the
+    spill threshold; shipping those bytes -- rather than the payload object,
+    which the pool pipe would pickle *again* -- means every payload is
+    serialised exactly once regardless of size.
+    """
+
+    blob: bytes
+
+
+def _execute_task_spilling(
+    args: Tuple[Tuple["TrialFn", ExperimentConfig, int], int, str],
+) -> Tuple[int, Any, float]:
+    """Worker-side wrapper of :func:`_execute_task` that spills large payloads.
+
+    Payloads whose pickled form reaches the threshold are written to a file
+    under the spill directory (the store's run directory when one is active,
+    a temp directory otherwise) and only a :class:`_SpilledPayload` marker
+    crosses the process boundary; the parent loads and deletes the file.
+    Smaller payloads travel as the measurement pickle itself
+    (:class:`_PickledPayload`).  Payload *bytes* are unaffected either way.
+    """
+    task, threshold, spill_dir = args
+    seed, payload, elapsed = _execute_task(task)
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(blob) < threshold:
+        return seed, _PickledPayload(blob=blob), elapsed
+    path = Path(spill_dir) / f"payload-{os.getpid()}-{seed}-{secrets.token_hex(4)}.pkl"
+    path.write_bytes(blob)
+    return seed, _SpilledPayload(path=str(path), size_bytes=len(blob)), elapsed
+
+
+def _load_spilled(payload: Any) -> Any:
+    """Materialise a transported payload in the parent (removing any spill file)."""
+    if isinstance(payload, _PickledPayload):
+        return pickle.loads(payload.blob)
+    if not isinstance(payload, _SpilledPayload):
+        return payload
+    path = Path(payload.path)
+    data = pickle.loads(path.read_bytes())
+    try:
+        path.unlink()
+    except OSError:  # pragma: no cover - cleanup only
+        pass
+    return data
+
+
+def _discard_spilled(payload: Any) -> None:
+    """Delete an unconsumed spill file (error-path cleanup; loads nothing)."""
+    if isinstance(payload, _SpilledPayload):
+        try:
+            Path(payload.path).unlink()
+        except OSError:  # pragma: no cover - cleanup only
+            pass
+
+
 class TrialRunner:
     """Executes seeded trials, optionally on a process pool.
 
@@ -129,6 +218,16 @@ class TrialRunner:
     progress:
         When True, log one INFO line per completed task on the ``repro.runner``
         logger.
+    spill_bytes:
+        Payloads whose pickled form reaches this many bytes are written to a
+        spill file by the worker instead of being shipped back through the
+        pool pipe (``0`` disables spilling).  Defaults to the
+        ``REPRO_SPILL_BYTES`` environment knob, else 4 MiB.  Only affects
+        transport -- payload bytes are identical either way.
+    spill_dir:
+        Where spill files land.  Defaults to ``<run>/spill`` when a
+        :class:`~repro.sim.store.ResultStore` is active, else the system
+        temp directory.
 
     Notes
     -----
@@ -139,13 +238,21 @@ class TrialRunner:
     sequential fallback path instead.
     """
 
-    def __init__(self, workers: Optional[int] = 1, progress: bool = False) -> None:
+    def __init__(
+        self,
+        workers: Optional[int] = 1,
+        progress: bool = False,
+        spill_bytes: Optional[int] = None,
+        spill_dir: Optional[Path] = None,
+    ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
         if int(workers) < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)
         self.progress = progress
+        self.spill_bytes = _resolve_spill_bytes(spill_bytes)
+        self.spill_dir = None if spill_dir is None else Path(spill_dir)
 
     # ------------------------------------------------------------------ public API
     def run(
@@ -213,18 +320,64 @@ class TrialRunner:
             self._log_progress(i + 1, len(tasks), task)
         return results
 
+    def _resolve_spill_dir(self) -> Optional[Path]:
+        """Spill directory for this parallel map (None when spilling is disabled).
+
+        Prefers the explicit ``spill_dir``, then the active store's run
+        directory (``<run>/spill`` -- the "spill to store artifacts" path),
+        then the system temp directory.
+        """
+        if self.spill_bytes <= 0:
+            return None
+        if self.spill_dir is not None:
+            path = self.spill_dir
+        else:
+            from repro.sim.store import active_store  # local import: store imports this module
+
+            store = active_store()
+            path = store.root / "spill" if store is not None else Path(tempfile.gettempdir())
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
     def _map_parallel(self, tasks: Sequence[Tuple[TrialFn, ExperimentConfig, int]]) -> List[TrialResult]:
         slots: List[Optional[TrialResult]] = [None] * len(tasks)
         max_workers = min(self.workers, len(tasks))
         done = 0
-        with ProcessPoolExecutor(max_workers=max_workers, mp_context=_fork_context()) as pool:
-            future_to_index = {pool.submit(_execute_task, task): i for i, task in enumerate(tasks)}
-            for future in as_completed(future_to_index):
-                index = future_to_index[future]
-                seed, payload, elapsed = future.result()  # re-raises WorkerError
-                slots[index] = TrialResult(seed=seed, payload=payload, elapsed_seconds=elapsed)
-                done += 1
-                self._log_progress(done, len(tasks), tasks[index])
+        spill_dir = self._resolve_spill_dir()
+        future_to_index: Dict[Any, int] = {}
+        consumed: set = set()
+        try:
+            with ProcessPoolExecutor(max_workers=max_workers, mp_context=_fork_context()) as pool:
+                if spill_dir is None:
+                    future_to_index = {
+                        pool.submit(_execute_task, task): i for i, task in enumerate(tasks)
+                    }
+                else:
+                    future_to_index = {
+                        pool.submit(_execute_task_spilling, (task, self.spill_bytes, str(spill_dir))): i
+                        for i, task in enumerate(tasks)
+                    }
+                for future in as_completed(future_to_index):
+                    index = future_to_index[future]
+                    seed, payload, elapsed = future.result()  # re-raises WorkerError
+                    consumed.add(index)
+                    payload = _load_spilled(payload)
+                    slots[index] = TrialResult(seed=seed, payload=payload, elapsed_seconds=elapsed)
+                    done += 1
+                    self._log_progress(done, len(tasks), tasks[index])
+        finally:
+            # A failing trial aborts the collection loop above; sibling trials
+            # that already completed (the pool shutdown waits for them) may
+            # hold spill files nobody will read -- remove them.
+            if spill_dir is not None:
+                for future, index in future_to_index.items():
+                    if index in consumed or not future.done() or future.cancelled():
+                        continue
+                    try:
+                        _, payload, _ = future.result()
+                    except BaseException:  # noqa: BLE001 - that future failed too; nothing spilled
+                        continue
+                    _discard_spilled(payload)
         return [result for result in slots if result is not None]
 
     def _log_progress(self, done: int, total: int, task: Tuple[TrialFn, ExperimentConfig, int]) -> None:
@@ -465,6 +618,14 @@ class Sweep:
         fanned into the pool, and each one is persisted as soon as its trials
         finish.  A sweep killed mid-run therefore resumes where it stopped and
         produces the same payloads an uninterrupted run would have.
+
+        When additionally a :class:`~repro.sim.dispatch.DispatchWorker` is
+        active (via :func:`repro.sim.dispatch.use_dispatcher`, e.g. the
+        ``repro-experiment worker`` CLI), the missing cells are not computed
+        directly: they become claimable tasks in the shared run directory, so
+        several worker processes/hosts split the sweep and this call returns
+        once every cell's artifact exists -- with payloads identical to a
+        single-process run.
         """
         from repro.sim.store import active_store  # local import: store imports this module
 
@@ -497,19 +658,49 @@ class Sweep:
             runner.workers,
         )
 
-        per_cell = runner.run_cells([(c.config, c.config.seeds) for c in pending], self.trial)
-        for cell, trials in zip(pending, per_cell):
-            loaded[cell.index] = trials
-            if store is not None:
-                store.save_cell(
-                    keys[cell.index],
-                    trial=self.trial,
+        dispatcher = None
+        if store is not None and pending:
+            from repro.sim.dispatch import active_dispatcher  # local import: dispatch imports this module
+
+            dispatcher = active_dispatcher()
+        if dispatcher is not None:
+            from repro.sim.dispatch import CellSpec
+
+            # The dispatcher plans over the FULL cell list (not just this
+            # worker's pending view) so every cooperating worker derives
+            # identical task boundaries and claim ids.
+            specs = [
+                CellSpec(
+                    key=keys[cell.index],
                     config=cell.config,
-                    seeds=cell.config.seeds,
-                    trials=trials,
+                    seeds=tuple(int(seed) for seed in cell.config.seeds),
                     index=cell.index,
                     overrides=cell.override_dict(),
                 )
+                for cell in cells
+            ]
+            by_key = dispatcher.execute(
+                self.trial,
+                specs,
+                runner=runner,
+                preloaded={keys[index]: trials for index, trials in loaded.items()},
+            )
+            for cell in cells:
+                loaded[cell.index] = by_key[keys[cell.index]]
+        else:
+            per_cell = runner.run_cells([(c.config, c.config.seeds) for c in pending], self.trial)
+            for cell, trials in zip(pending, per_cell):
+                loaded[cell.index] = trials
+                if store is not None:
+                    store.save_cell(
+                        keys[cell.index],
+                        trial=self.trial,
+                        config=cell.config,
+                        seeds=cell.config.seeds,
+                        trials=trials,
+                        index=cell.index,
+                        overrides=cell.override_dict(),
+                    )
 
         results: List[CellResult] = []
         for cell in cells:

@@ -6,6 +6,9 @@ A :class:`ResultStore` owns one *run directory*::
       manifest.json         # how the run was invoked (experiment, mode, overrides)
       result.json           # the final ExperimentResult (written when the run completes)
       cells/<key>.json      # one artifact per completed (trial, config, seeds) cell
+      chunks/<key>.<a>-<b>.json  # partial seed-chunk artifacts of large cells
+      claims/<task>.claim   # advisory worker leases (distributed execution)
+      workers/<id>.json     # heartbeat records of the workers draining the run
 
 Cells are content-addressed: the key is a hash of the trial callable's
 qualified name, the full config and the seed list, so a resumed run finds
@@ -21,6 +24,29 @@ byte-identical to an uninterrupted run's.
 The ``repro-experiment`` CLI builds on this: ``run E5 --json-out results/``
 creates a store and ``resume results/<run>`` re-invokes the same experiment
 against it.
+
+Distributed execution (``repro.sim.dispatch``) turns the same run directory
+into a shared work queue.  The store supplies the three primitives it needs:
+
+* **claims** -- ``try_claim`` creates ``claims/<task>.claim`` with
+  ``O_CREAT | O_EXCL`` so exactly one worker wins a task; the file carries the
+  owner id and a heartbeat timestamp and is *advisory*: a lost race only
+  duplicates deterministic work, it never corrupts results (cell writes stay
+  atomic and byte-identical regardless of who computes them).
+* **leases** -- a claim expires when its heartbeat is older than its lease;
+  ``steal_claim`` reclaims an expired claim with an atomic rename so exactly
+  one of several contending workers takes over a crashed worker's task.
+* **chunks** -- large cells are split into seed-chunks persisted under
+  ``chunks/``; once every chunk of a cell exists, any worker can merge them
+  into the canonical ``cells/<key>.json`` artifact (idempotent: the merged
+  bytes are identical no matter who merges).
+
+When :func:`canonical_timing` is active (the ``REPRO_CANONICAL_TIMING=1``
+environment knob), per-trial and final-result ``elapsed_seconds`` are zeroed
+and the transport-only ``workers`` config field is pinned to 1 in the
+persisted artifacts, making ``result.json`` byte-comparable across runs that
+differ only in how they were executed (sequential, ``--workers k``, or N
+cooperating dispatch workers).
 """
 
 from __future__ import annotations
@@ -29,6 +55,8 @@ import functools
 import hashlib
 import json
 import os
+import threading
+import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from pathlib import Path
@@ -38,7 +66,13 @@ from repro.sim.experiment import ExperimentConfig, TrialResult
 from repro.util.serialization import dumps_artifact, jsonify
 from repro.util.simlog import get_logger
 
-__all__ = ["ResultStore", "use_store", "active_store", "trial_name"]
+__all__ = [
+    "ResultStore",
+    "use_store",
+    "active_store",
+    "trial_name",
+    "canonical_timing",
+]
 
 _logger = get_logger("store")
 
@@ -46,10 +80,51 @@ _ACTIVE_STORE: ContextVar[Optional["ResultStore"]] = ContextVar("repro_active_re
 
 
 def _atomic_write_text(path: Path, text: str) -> None:
-    """Write via a temp file + rename so a killed process never leaves a partial artifact."""
-    tmp = path.with_name(path.name + ".tmp")
+    """Write via a temp file + rename so a killed process never leaves a partial artifact.
+
+    The temp name includes the pid *and thread id* so concurrent writers of
+    the same target -- worker processes racing on one (deterministic,
+    byte-identical) artifact, or a worker's main thread and its heartbeat
+    thread refreshing the same claim -- never truncate or steal each other's
+    in-flight temp file; the final ``os.replace`` is atomic either way.
+    """
+    tmp = path.with_name(f"{path.name}.{os.getpid()}-{threading.get_ident()}.tmp")
     tmp.write_text(text)
     os.replace(tmp, path)
+
+
+def _strip_trial_timing(trial_docs: Sequence[Dict[str, Any]]) -> None:
+    """Zero the volatile wall-clock field of trial documents (in place).
+
+    The single point deciding what :func:`canonical_timing` removes from
+    persisted trial lists -- extend here (not at the call sites) if more
+    volatile fields ever appear, or the byte-identical dispatch guarantee
+    silently breaks.
+    """
+    for trial_doc in trial_docs:
+        trial_doc["elapsed_seconds"] = 0.0
+
+
+def _strip_config_transport(config_doc: Optional[Dict[str, Any]]) -> None:
+    """Normalise execution-transport config fields in a persisted document.
+
+    ``workers`` never changes payloads (it is already excluded from cell
+    keys); pinning it to 1 in canonical artifacts makes a ``run --workers 8``
+    byte-comparable to any number of dispatch workers.
+    """
+    if config_doc is not None and "workers" in config_doc:
+        config_doc["workers"] = 1
+
+
+def canonical_timing() -> bool:
+    """Whether artifacts should zero out wall-clock fields (``REPRO_CANONICAL_TIMING=1``).
+
+    Trial payloads are seed-deterministic but ``elapsed_seconds`` is not; this
+    knob removes the only volatile fields from persisted artifacts so a
+    distributed run's ``result.json`` can be diffed byte-for-byte against a
+    sequential run's (the dispatch tests and CI's dispatch-smoke job do).
+    """
+    return os.environ.get("REPRO_CANONICAL_TIMING", "").strip() in ("1", "true", "yes")
 
 
 def trial_name(trial: Callable[..., Any]) -> str:
@@ -81,6 +156,9 @@ class ResultStore:
     MANIFEST_NAME = "manifest.json"
     RESULT_NAME = "result.json"
     CELLS_DIR = "cells"
+    CHUNKS_DIR = "chunks"
+    CLAIMS_DIR = "claims"
+    WORKERS_DIR = "workers"
 
     def __init__(self, root: Path) -> None:
         self.root = Path(root)
@@ -116,6 +194,18 @@ class ResultStore:
     @property
     def cells_dir(self) -> Path:
         return self.root / self.CELLS_DIR
+
+    @property
+    def chunks_dir(self) -> Path:
+        return self.root / self.CHUNKS_DIR
+
+    @property
+    def claims_dir(self) -> Path:
+        return self.root / self.CLAIMS_DIR
+
+    @property
+    def workers_dir(self) -> Path:
+        return self.root / self.WORKERS_DIR
 
     def manifest(self) -> Dict[str, Any]:
         """The manifest written at :meth:`create` time."""
@@ -177,6 +267,9 @@ class ResultStore:
             "seeds": [int(seed) for seed in seeds],
             "trials": [trial_result.to_json_dict() for trial_result in trials],
         }
+        if canonical_timing():
+            _strip_trial_timing(document["trials"])
+            _strip_config_transport(document["config"])
         path = self.cell_path(key)
         _atomic_write_text(path, dumps_artifact(document))
         _logger.debug("saved cell %s (%d trials) to %s", key, len(trials), path)
@@ -206,10 +299,227 @@ class ResultStore:
             _logger.warning("cell artifact %s is unreadable; treating the cell as missing", path)
             return None
 
+    # ------------------------------------------------------------------ chunks
+    def chunk_path(self, key: str, lo: int, hi: int) -> Path:
+        """Path of the seed-chunk artifact covering seeds ``[lo, hi)`` of cell ``key``."""
+        return self.chunks_dir / f"{key}.{int(lo)}-{int(hi)}.json"
+
+    def has_chunk(self, key: str, lo: int, hi: int) -> bool:
+        """True when the chunk artifact exists on disk."""
+        return self.chunk_path(key, lo, hi).exists()
+
+    def save_chunk(
+        self,
+        key: str,
+        lo: int,
+        hi: int,
+        *,
+        seeds: Sequence[int],
+        trials: Sequence[TrialResult],
+    ) -> Path:
+        """Persist the trials of one seed-chunk of a large cell.
+
+        ``lo``/``hi`` index into the cell's seed list (half-open), not into
+        seed values; a cell with seeds ``(7, 8, 9, 10)`` chunked by 2 yields
+        chunks ``0-2`` and ``2-4``.
+        """
+        document = {
+            "key": key,
+            "lo": int(lo),
+            "hi": int(hi),
+            "seeds": [int(seed) for seed in seeds],
+            "trials": [trial_result.to_json_dict() for trial_result in trials],
+        }
+        if canonical_timing():
+            _strip_trial_timing(document["trials"])
+        self.chunks_dir.mkdir(parents=True, exist_ok=True)
+        path = self.chunk_path(key, lo, hi)
+        _atomic_write_text(path, dumps_artifact(document))
+        return path
+
+    def load_chunk_trials(self, key: str, lo: int, hi: int) -> Optional[List[TrialResult]]:
+        """Trials of one chunk, or None when missing/corrupt (same policy as cells)."""
+        path = self.chunk_path(key, lo, hi)
+        if not path.exists():
+            return None
+        try:
+            document = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            _logger.warning("chunk artifact %s is unreadable; treating the chunk as missing", path)
+            return None
+        return [TrialResult.from_json_dict(t) for t in document.get("trials", [])]
+
+    def discard_chunks(self, key: str) -> None:
+        """Delete every chunk artifact of ``key`` (after the merged cell exists)."""
+        if not self.chunks_dir.exists():
+            return
+        for path in self.chunks_dir.glob(f"{key}.*.json"):
+            try:
+                path.unlink()
+            except FileNotFoundError:  # another worker cleaned up first
+                pass
+
+    # ------------------------------------------------------------------ claims / leases
+    def claim_path(self, task_id: str) -> Path:
+        return self.claims_dir / f"{task_id}.claim"
+
+    def try_claim(self, task_id: str, worker_id: str, lease_seconds: float) -> bool:
+        """Atomically claim ``task_id`` for ``worker_id`` (O_CREAT | O_EXCL).
+
+        Returns False when another worker already holds the claim.  Claims are
+        advisory work-partitioning hints: a worker that loses every race still
+        produces correct results, it just recomputes deterministic bytes.
+        """
+        self.claims_dir.mkdir(parents=True, exist_ok=True)
+        now = time.time()
+        document = dumps_artifact(
+            {
+                "task": task_id,
+                "worker": worker_id,
+                "acquired_at": now,
+                "heartbeat_at": now,
+                "lease_seconds": float(lease_seconds),
+            }
+        )
+        try:
+            fd = os.open(self.claim_path(task_id), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, document.encode("utf-8"))
+        finally:
+            os.close(fd)
+        return True
+
+    def read_claim(self, task_id: str) -> Optional[Dict[str, Any]]:
+        """The claim document of ``task_id`` (None when unclaimed or unreadable).
+
+        An unreadable claim (caught mid-write or hand-damaged) is reported as
+        a zero-lease claim so it expires immediately and gets stolen.
+        """
+        path = self.claim_path(task_id)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError:
+            return {"task": task_id, "worker": "?", "heartbeat_at": 0.0, "lease_seconds": 0.0}
+
+    @staticmethod
+    def claim_expired(claim: Mapping[str, Any], now: Optional[float] = None) -> bool:
+        """Whether a claim's lease ran out (heartbeat older than the lease)."""
+        now = time.time() if now is None else now
+        heartbeat = float(claim.get("heartbeat_at", 0.0))
+        lease = float(claim.get("lease_seconds", 0.0))
+        return now > heartbeat + lease
+
+    def heartbeat_claim(self, task_id: str, worker_id: str) -> bool:
+        """Refresh the lease of a claim this worker owns (atomic rewrite).
+
+        Returns False without touching anything when the claim is gone or
+        owned by someone else (e.g. it expired and was stolen while a trial
+        ran long) -- the caller keeps computing, because duplicated work is
+        harmless, but it must not overwrite the thief's claim.
+        """
+        claim = self.read_claim(task_id)
+        if claim is None or claim.get("worker") != worker_id:
+            return False
+        claim["heartbeat_at"] = time.time()
+        _atomic_write_text(self.claim_path(task_id), dumps_artifact(claim))
+        return True
+
+    def release_claim(self, task_id: str, worker_id: str) -> None:
+        """Drop a claim after its task's artifacts are written (missing is fine)."""
+        claim = self.read_claim(task_id)
+        if claim is not None and claim.get("worker") != worker_id:
+            return  # stolen while we computed; the thief owns the file now
+        try:
+            self.claim_path(task_id).unlink()
+        except FileNotFoundError:
+            pass
+
+    def steal_claim(self, task_id: str, worker_id: str, lease_seconds: float) -> bool:
+        """Take over an *expired* claim left by a crashed worker.
+
+        The takeover is race-free: the expired claim file is first renamed to
+        a tombstone (``os.rename`` succeeds for exactly one contender; losers
+        get ``FileNotFoundError``) and only the winner creates a fresh claim.
+        Returns True when this worker now owns the task.
+        """
+        claim = self.read_claim(task_id)
+        if claim is None or not self.claim_expired(claim):
+            return False
+        path = self.claim_path(task_id)
+        tombstone = path.with_name(f"{path.name}.stale.{worker_id}")
+        try:
+            os.rename(path, tombstone)
+        except FileNotFoundError:
+            return False  # another worker stole (or the owner released) first
+        try:
+            tombstone.unlink()
+        except FileNotFoundError:  # pragma: no cover - nothing else touches the tombstone
+            pass
+        _logger.info(
+            "claim %s of worker %s expired (lease %.1fs); reclaimed by %s",
+            task_id,
+            claim.get("worker"),
+            float(claim.get("lease_seconds", 0.0)),
+            worker_id,
+        )
+        return self.try_claim(task_id, worker_id, lease_seconds)
+
+    def active_claims(self) -> List[Dict[str, Any]]:
+        """Every claim currently on disk (stale tombstones excluded)."""
+        if not self.claims_dir.exists():
+            return []
+        out = []
+        for path in sorted(self.claims_dir.glob("*.claim")):
+            claim = self.read_claim(path.name[: -len(".claim")])
+            if claim is not None:
+                out.append(claim)
+        return out
+
+    # ------------------------------------------------------------------ worker registry
+    def worker_path(self, worker_id: str) -> Path:
+        return self.workers_dir / f"{worker_id}.json"
+
+    def write_worker_record(self, worker_id: str, **fields: Any) -> Path:
+        """Publish/refresh this worker's heartbeat record (for ``status``)."""
+        self.workers_dir.mkdir(parents=True, exist_ok=True)
+        document = {"worker": worker_id, "heartbeat_at": time.time(), **jsonify(dict(fields))}
+        path = self.worker_path(worker_id)
+        _atomic_write_text(path, dumps_artifact(document))
+        return path
+
+    def worker_records(self) -> List[Dict[str, Any]]:
+        """All published worker records, sorted by worker id."""
+        if not self.workers_dir.exists():
+            return []
+        out = []
+        for path in sorted(self.workers_dir.glob("*.json")):
+            try:
+                out.append(json.loads(path.read_text()))
+            except (json.JSONDecodeError, FileNotFoundError):
+                continue
+        return out
+
     # ------------------------------------------------------------------ final result
     def save_result(self, result: Any) -> Path:
-        """Write the final :class:`~repro.sim.results.ExperimentResult` as ``result.json``."""
-        _atomic_write_text(self.result_path, result.to_json())
+        """Write the final :class:`~repro.sim.results.ExperimentResult` as ``result.json``.
+
+        With :func:`canonical_timing` active the volatile ``elapsed_seconds``
+        field is zeroed so concurrent workers (and a sequential reference run)
+        all write byte-identical documents.
+        """
+        if canonical_timing():
+            document = result.to_json_dict()
+            document["elapsed_seconds"] = 0.0
+            _strip_config_transport(document.get("config"))
+            _atomic_write_text(self.result_path, dumps_artifact(document))
+        else:
+            _atomic_write_text(self.result_path, result.to_json())
         return self.result_path
 
     def load_result(self):

@@ -311,6 +311,102 @@ class NodeSampler:
             out[int(index.keys[g])] = srcs
         return out
 
+    @staticmethod
+    def _dedup_pool(sources: np.ndarray) -> np.ndarray:
+        """Distinct sources ordered by first occurrence (the historical order)."""
+        _, first_idx = np.unique(sources, return_index=True)
+        first_idx.sort()
+        return sources[first_idx]
+
+    @staticmethod
+    def draw_from_pool(pool: Optional[np.ndarray], k: int, rng: np.random.Generator) -> List[int]:
+        """Draw up to ``k`` entries from a precomputed candidate pool.
+
+        Consumes the RNG exactly like :meth:`draw_distinct_sources` (one
+        ``choice`` call, and only when the pool is larger than ``k``), so a
+        caller that batches pool construction via
+        :meth:`distinct_source_pools` and then draws per-consumer in the
+        original order produces byte-identical results.
+        """
+        if pool is None or pool.size == 0:
+            return []
+        if pool.size <= k:
+            return pool.tolist()
+        idx = rng.choice(pool.size, size=k, replace=False)
+        return pool[idx].tolist()
+
+    def distinct_source_pool(
+        self,
+        uid: int,
+        exclude: Optional[Sequence[int]] = None,
+        round_index: Optional[int] = None,
+        max_age: Optional[int] = None,
+    ) -> np.ndarray:
+        """The candidate pool of :meth:`draw_distinct_sources`: distinct, alive,
+        non-self, non-excluded sources of ``uid`` in first-occurrence order."""
+        sources = self._sources_in_window(uid, round_index=round_index, max_age=max_age)
+        if sources.size:
+            sources = sources[self.network.alive_mask(sources)]
+        if sources.size:
+            keep = sources != int(uid)
+            if exclude:
+                keep &= ~np.isin(sources, np.asarray(list(exclude), dtype=np.int64))
+            sources = sources[keep]
+        if sources.size == 0:
+            return _EMPTY_INT64
+        return self._dedup_pool(sources)
+
+    def distinct_source_pools(
+        self,
+        uids: Sequence[int],
+        round_index: Optional[int] = None,
+        max_age: Optional[int] = None,
+    ) -> List[np.ndarray]:
+        """Bulk :meth:`distinct_source_pool` for many uids in one pass.
+
+        The per-round committee refresh batch (see :func:`repro.core.
+        committee.plan_refreshes`) asks for every refreshing leader's pool at
+        once: window segments of all uids are gathered column by column, a
+        *single* ``alive_mask`` call covers every gathered source, and only
+        the tiny per-uid dedup runs per consumer.  Each returned pool is
+        identical to what ``distinct_source_pool(uid, ...)`` would produce
+        (self-exclusion included; no extra ``exclude`` support -- batched
+        callers do not use it).
+        """
+        query = np.asarray(uids, dtype=np.int64)
+        if query.size == 0:
+            return []
+        columns = self._query_columns(round_index, max_age)
+        alive_uid = self.network.alive_mask(query)
+        parts: List[List[np.ndarray]] = [[] for _ in range(query.size)]
+        for column in columns:
+            index = column.index
+            if index.keys.size == 0:
+                continue
+            idx = np.searchsorted(index.keys, query)
+            idx_clipped = np.minimum(idx, index.keys.size - 1)
+            found = (index.keys[idx_clipped] == query) & alive_uid
+            for j in np.nonzero(found)[0]:
+                g = idx_clipped[j]
+                rows = index.order[index.starts[g] : index.ends[g]]
+                if rows.size:
+                    parts[j].append(column.src[rows])
+        lengths = [sum(p.size for p in uid_parts) for uid_parts in parts]
+        total = sum(lengths)
+        if total == 0:
+            return [_EMPTY_INT64 for _ in range(query.size)]
+        flat = np.concatenate([p for uid_parts in parts for p in uid_parts])
+        keep = self.network.alive_mask(flat)
+        pools: List[np.ndarray] = []
+        offset = 0
+        for j in range(query.size):
+            segment = flat[offset : offset + lengths[j]]
+            segment_keep = keep[offset : offset + lengths[j]] & (segment != query[j])
+            offset += lengths[j]
+            sources = segment[segment_keep]
+            pools.append(self._dedup_pool(sources) if sources.size else _EMPTY_INT64)
+        return pools
+
     def draw_distinct_sources(
         self,
         uid: int,
@@ -329,25 +425,12 @@ class NodeSampler:
 
         The candidate pool is ordered by first occurrence in the window
         (vectorised dedup), matching the historical iteration order so seeded
-        draws are unchanged.
+        draws are unchanged.  Consumers that need many draws in one round
+        should build the pools in bulk via :meth:`distinct_source_pools` and
+        draw with :meth:`draw_from_pool`.
         """
-        sources = self._sources_in_window(uid, round_index=round_index, max_age=max_age)
-        if sources.size:
-            sources = sources[self.network.alive_mask(sources)]
-        if sources.size:
-            keep = sources != int(uid)
-            if exclude:
-                keep &= ~np.isin(sources, np.asarray(list(exclude), dtype=np.int64))
-            sources = sources[keep]
-        if sources.size == 0:
-            return []
-        _, first_idx = np.unique(sources, return_index=True)
-        first_idx.sort()
-        pool = sources[first_idx]
-        if pool.size <= k:
-            return pool.tolist()
-        idx = rng.choice(pool.size, size=k, replace=False)
-        return pool[idx].tolist()
+        pool = self.distinct_source_pool(uid, exclude=exclude, round_index=round_index, max_age=max_age)
+        return self.draw_from_pool(pool, k, rng)
 
     # ------------------------------------------------------------------ stats
     def nodes_with_samples(self, round_index: Optional[int] = None) -> int:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.committee import Committee
+from repro.core.committee import Committee, plan_refreshes
 
 
 class TestCreation:
@@ -128,3 +128,76 @@ class TestMaintenance:
             event = committee.step(system.round_index)
         assert event is not None and event.kind == "died"
         assert committee.dissolved
+
+
+class TestBatchedRefreshPlanning:
+    """plan_refreshes batches the pure queries of a round's refreshes."""
+
+    def _due_committees(self, system, count=6):
+        committees = [
+            Committee.create(system.ctx, creator_uid=system.random_alive_node(), task="storage")
+            for _ in range(count)
+        ]
+        period = system.params.committee_refresh_period
+        created = committees[0].created_round
+        # Advance to the committees' common refresh round.
+        while not committees[0].refresh_due(system.round_index + 1):
+            system.run_round()
+            if system.round_index > created + 2 * period:  # pragma: no cover - safety
+                raise AssertionError("refresh round never arrived")
+        return committees, system.round_index + 1
+
+    def test_batched_plan_equals_per_committee_plans(self):
+        from repro.core.protocol import P2PStorageSystem
+
+        system = P2PStorageSystem(n=128, churn_rate=2, seed=17)
+        system.warm_up()
+        committees, refresh_round = self._due_committees(system)
+        batched = plan_refreshes(system.ctx, committees, refresh_round)
+        for committee in committees:
+            single = plan_refreshes(system.ctx, [committee], refresh_round)[committee.committee_id]
+            plan = batched[committee.committee_id]
+            assert plan.survivors == single.survivors == committee.alive_members()
+            assert plan.counts == single.counts
+            assert plan.leader == single.leader
+            if plan.pool is None:
+                assert single.pool is None
+            else:
+                assert plan.pool.tolist() == single.pool.tolist()
+
+    def test_planned_and_unplanned_refresh_are_identical(self):
+        """Stepping with a pre-batched plan consumes the RNG identically."""
+        from repro.core.protocol import P2PStorageSystem
+
+        def build(seed):
+            system = P2PStorageSystem(n=128, churn_rate=2, seed=seed)
+            system.warm_up()
+            return system
+
+        system_a = build(23)
+        system_b = build(23)
+        committees_a, round_a = self._due_committees(system_a, count=4)
+        committees_b, round_b = self._due_committees(system_b, count=4)
+        assert round_a == round_b
+        plans = plan_refreshes(system_a.ctx, committees_a, round_a)
+        events_a = [c.step(round_a, plan=plans[c.committee_id]) for c in committees_a]
+        events_b = [c.step(round_b) for c in committees_b]  # inline (unbatched) path
+        for committee_a, committee_b, event_a, event_b in zip(
+            committees_a, committees_b, events_a, events_b
+        ):
+            assert committee_a.members == committee_b.members
+            assert (event_a is None) == (event_b is None)
+            if event_a is not None:
+                assert event_a.kind == event_b.kind
+                assert event_a.details == event_b.details
+
+    def test_empty_roster_plan_has_no_leader(self, churn_free_system):
+        system = churn_free_system
+        committee = Committee.create(system.ctx, creator_uid=system.random_alive_node(), task="storage")
+        committee.members = [10**9]  # only a dead uid
+        plan = plan_refreshes(system.ctx, [committee], system.round_index + 1)[committee.committee_id]
+        assert plan.survivors == []
+        assert plan.leader is None and plan.pool is None
+
+    def test_plan_refreshes_empty_input(self, churn_free_system):
+        assert plan_refreshes(churn_free_system.ctx, [], 5) == {}

@@ -1,0 +1,508 @@
+"""Tests for repro.sim.dispatch: distributed claims, leases, chunking, recovery.
+
+The load-bearing tests are the ISSUE-4 acceptance ones:
+
+* two concurrent worker processes sharing one run directory complete a sweep
+  with every (cell, seed) trial computed exactly once and artifacts
+  byte-identical to a sequential run's (``REPRO_CANONICAL_TIMING=1`` zeroes
+  the only volatile fields);
+* a worker SIGKILLed mid-cell leaves an expiring lease behind; a second
+  worker steals the claim, finishes the cell, and the final artifacts are
+  byte-identical to an uninterrupted run.
+
+Claims are advisory (duplicated work is harmless), so the unit tests focus
+on the properties the protocol *does* guarantee: claim exclusivity, lease
+expiry, atomic takeover, idempotent chunk merging.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.sim.dispatch import (
+    CellSpec,
+    DispatchTimeout,
+    DispatchWorker,
+    make_worker_id,
+    plan_tasks,
+    use_dispatcher,
+)
+from repro.sim.experiment import ExperimentConfig, TrialResult, run_trials
+from repro.sim.runner import GridSpec, Sweep, TrialRunner
+from repro.sim.store import ResultStore, use_store
+
+BASE = ExperimentConfig(name="T-dispatch", n=64, seeds=(0, 1))
+GRID = GridSpec.product({"churn_rate": (0, 1, 2, 3, 4, 5)})
+
+#: One cell with many seeds, to exercise seed-chunking.
+BIG_BASE = ExperimentConfig(name="T-chunky", n=64, seeds=tuple(range(10)))
+
+
+def _logged_trial(config: ExperimentConfig, seed: int) -> dict:
+    """Deterministic trial that (optionally) appends one line per computation.
+
+    The compute log is how the race test proves "every trial computed exactly
+    once": workers run in separate processes, so the log is an O_APPEND file
+    named by the DISPATCH_TEST_LOG environment variable.
+    """
+    log_path = os.environ.get("DISPATCH_TEST_LOG")
+    if log_path:
+        fd = os.open(log_path, os.O_WRONLY | os.O_APPEND | os.O_CREAT)
+        try:
+            os.write(fd, f"{config.name}|{config.churn_rate}|{seed}\n".encode())
+        finally:
+            os.close(fd)
+    block = os.environ.get("DISPATCH_TEST_BLOCK")
+    if block and seed == 5:
+        deadline = time.monotonic() + 120.0
+        while Path(block).exists() and time.monotonic() < deadline:
+            time.sleep(0.05)
+    return {"seed": seed, "rate": config.churn_rate, "value": (seed * 31 + (config.churn_rate or 0)) % 97}
+
+
+def _spec_for(store: ResultStore, config: ExperimentConfig) -> CellSpec:
+    key = store.cell_key(_logged_trial, config, config.seeds)
+    return CellSpec(key=key, config=config, seeds=tuple(config.seeds))
+
+
+# ---------------------------------------------------------------------- planning
+class TestPlanTasks:
+    def _specs(self, store, configs):
+        return [_spec_for(store, c) for c in configs]
+
+    def test_tiny_cells_are_batched(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        specs = self._specs(store, [BASE.with_overrides(churn_rate=r) for r in range(6)])
+        tasks = plan_tasks(specs, chunk_seeds=16, min_trials_per_task=4)
+        # 6 cells x 2 seeds batched into tasks of >= 4 trials = 2 cells each.
+        assert [task.trial_count for task in tasks] == [4, 4, 4]
+        assert all(len(task.entries) == 2 for task in tasks)
+        assert all(task.task_id.startswith("batch-") for task in tasks)
+
+    def test_large_cell_is_chunked(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        spec = _spec_for(store, BIG_BASE)
+        tasks = plan_tasks([spec], chunk_seeds=3, min_trials_per_task=4)
+        assert [task.task_id.rsplit(".", 1)[1] for task in tasks] == ["0-3", "3-6", "6-9", "9-10"]
+        assert [task.entries[0].seeds for task in tasks] == [(0, 1, 2), (3, 4, 5), (6, 7, 8), (9,)]
+
+    def test_plan_is_deterministic_and_ignores_completion(self, tmp_path):
+        """Workers joining at different times must derive identical task ids."""
+        store = ResultStore.create(tmp_path / "run", {})
+        specs = self._specs(store, [BASE.with_overrides(churn_rate=r) for r in range(6)])
+        first = [t.task_id for t in plan_tasks(specs, 16, 4)]
+        # Complete a cell in between: the plan must not change.
+        store.save_cell(
+            specs[0].key,
+            trial=_logged_trial,
+            config=specs[0].config,
+            seeds=specs[0].seeds,
+            trials=[],
+        )
+        second = [t.task_id for t in plan_tasks(specs, 16, 4)]
+        assert first == second
+
+    def test_single_leftover_cell_keeps_its_key_as_task_id(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        specs = self._specs(store, [BASE.with_overrides(churn_rate=r) for r in range(3)])
+        tasks = plan_tasks(specs, chunk_seeds=16, min_trials_per_task=4)
+        assert tasks[-1].task_id == specs[-1].key  # 3rd cell doesn't fill a batch
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            plan_tasks([], chunk_seeds=0)
+        with pytest.raises(ValueError):
+            plan_tasks([], min_trials_per_task=0)
+
+
+# ---------------------------------------------------------------------- claims / leases
+class TestClaims:
+    def test_claim_is_exclusive(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        assert store.try_claim("t1", "worker-a", 30.0)
+        assert not store.try_claim("t1", "worker-b", 30.0)
+        claim = store.read_claim("t1")
+        assert claim["worker"] == "worker-a"
+        assert not store.claim_expired(claim)
+
+    def test_release_then_reclaim(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        assert store.try_claim("t1", "worker-a", 30.0)
+        store.release_claim("t1", "worker-a")
+        assert store.read_claim("t1") is None
+        assert store.try_claim("t1", "worker-b", 30.0)
+
+    def test_release_refuses_foreign_claim(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        assert store.try_claim("t1", "worker-a", 30.0)
+        store.release_claim("t1", "worker-b")  # must not delete a's claim
+        assert store.read_claim("t1")["worker"] == "worker-a"
+
+    def test_heartbeat_extends_lease(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        store.try_claim("t1", "worker-a", 0.2)
+        time.sleep(0.15)
+        assert store.heartbeat_claim("t1", "worker-a")
+        time.sleep(0.1)  # 0.25s after acquire, but only 0.1s after heartbeat
+        assert not store.claim_expired(store.read_claim("t1"))
+
+    def test_heartbeat_refuses_foreign_claim(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        store.try_claim("t1", "worker-a", 30.0)
+        assert not store.heartbeat_claim("t1", "worker-b")
+
+    def test_steal_requires_expiry(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        store.try_claim("t1", "worker-a", 30.0)
+        assert not store.steal_claim("t1", "worker-b", 30.0)
+        assert store.read_claim("t1")["worker"] == "worker-a"
+
+    def test_steal_expired_claim(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        store.try_claim("t1", "worker-a", 0.05)
+        time.sleep(0.1)
+        assert store.claim_expired(store.read_claim("t1"))
+        assert store.steal_claim("t1", "worker-b", 30.0)
+        claim = store.read_claim("t1")
+        assert claim["worker"] == "worker-b"
+        assert not store.claim_expired(claim)
+        # No tombstones left behind.
+        assert list(store.claims_dir.glob("*.stale.*")) == []
+
+    def test_unreadable_claim_expires_immediately(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        store.try_claim("t1", "worker-a", 30.0)
+        store.claim_path("t1").write_text("{ not json")
+        claim = store.read_claim("t1")
+        assert store.claim_expired(claim)
+        assert store.steal_claim("t1", "worker-b", 30.0)
+
+
+# ---------------------------------------------------------------------- chunks
+class TestChunks:
+    def _trials(self, seeds):
+        return [TrialResult(seed=s, payload={"seed": s}, elapsed_seconds=0.0) for s in seeds]
+
+    def test_chunk_round_trip(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        store.save_chunk("k1", 0, 2, seeds=(0, 1), trials=self._trials((0, 1)))
+        assert store.has_chunk("k1", 0, 2)
+        loaded = store.load_chunk_trials("k1", 0, 2)
+        assert [t.seed for t in loaded] == [0, 1]
+        assert store.load_chunk_trials("k1", 2, 4) is None
+
+    def test_discard_chunks(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        store.save_chunk("k1", 0, 2, seeds=(0, 1), trials=self._trials((0, 1)))
+        store.save_chunk("k1", 2, 4, seeds=(2, 3), trials=self._trials((2, 3)))
+        store.save_chunk("k2", 0, 2, seeds=(0, 1), trials=self._trials((0, 1)))
+        store.discard_chunks("k1")
+        assert not store.has_chunk("k1", 0, 2)
+        assert store.has_chunk("k2", 0, 2)  # other cells untouched
+
+
+# ---------------------------------------------------------------------- single-worker dispatch
+class TestDispatchSingleWorker:
+    def test_sweep_results_match_plain_run(self, tmp_path):
+        plain = Sweep(BASE, GRID, _logged_trial).run(TrialRunner(workers=1))
+
+        store = ResultStore.create(tmp_path / "run", {})
+        worker = DispatchWorker(store, lease_seconds=10.0, poll_seconds=0.05, wait_timeout=60.0)
+        with use_store(store), use_dispatcher(worker):
+            dispatched = Sweep(BASE, GRID, _logged_trial).run(TrialRunner(workers=1))
+        assert [c.payloads() for c in dispatched] == [c.payloads() for c in plain]
+        assert len(store.completed_keys()) == len(GRID)
+        assert store.active_claims() == []  # all claims released
+
+    def test_chunked_cell_is_merged(self, tmp_path):
+        plain = run_trials(BIG_BASE, _logged_trial)
+
+        store = ResultStore.create(tmp_path / "run", {})
+        worker = DispatchWorker(
+            store, lease_seconds=10.0, poll_seconds=0.05, chunk_seeds=3, wait_timeout=60.0
+        )
+        with use_store(store), use_dispatcher(worker):
+            dispatched = run_trials(BIG_BASE, _logged_trial)
+        assert [t.payload for t in dispatched] == [t.payload for t in plain]
+        assert [t.seed for t in dispatched] == list(BIG_BASE.seeds)
+        # Chunks were merged into the canonical cell artifact and cleaned up.
+        assert len(store.completed_keys()) == 1
+        assert not list(store.chunks_dir.glob("*.json"))
+        # The big cell really was split: 4 chunk tasks were computed.
+        assert len(worker.computed_tasks) == 4
+
+    def test_resume_skips_completed_cells(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        worker = DispatchWorker(store, poll_seconds=0.05, wait_timeout=60.0)
+        with use_store(store), use_dispatcher(worker):
+            Sweep(BASE, GRID, _logged_trial).run(TrialRunner(workers=1))
+        again = DispatchWorker(store, poll_seconds=0.05, wait_timeout=60.0)
+        with use_store(store), use_dispatcher(again):
+            Sweep(BASE, GRID, _logged_trial).run(TrialRunner(workers=1))
+        assert again.computed_tasks == []  # everything loaded, nothing recomputed
+
+    def test_wait_timeout_raises_when_peer_never_finishes(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        spec = _spec_for(store, BASE)
+        # A live (non-expired) foreign claim on the only task.
+        tasks = plan_tasks([spec], 16, 6)
+        assert store.try_claim(tasks[0].task_id, "immortal-peer", 3600.0)
+        worker = DispatchWorker(store, poll_seconds=0.02, wait_timeout=0.3)
+        with pytest.raises(DispatchTimeout):
+            worker.execute(_logged_trial, [spec], TrialRunner(workers=1))
+
+    def test_worker_ids_are_unique(self):
+        assert make_worker_id() != make_worker_id()
+
+
+# ---------------------------------------------------------------------- multi-process helpers
+def _drain_worker(run_dir: str, log_path: str, lease: float, block_path: str = "") -> None:
+    """Subprocess body: join ``run_dir`` as a worker and drain the sweep."""
+    os.environ["DISPATCH_TEST_LOG"] = log_path
+    os.environ["REPRO_CANONICAL_TIMING"] = "1"
+    if block_path:
+        os.environ["DISPATCH_TEST_BLOCK"] = block_path
+    store = ResultStore.open(Path(run_dir))
+    worker = DispatchWorker(
+        store,
+        lease_seconds=lease,
+        poll_seconds=0.05,
+        chunk_seeds=3,
+        min_trials_per_task=4,
+        wait_timeout=120.0,
+    )
+    with use_store(store), use_dispatcher(worker):
+        Sweep(BASE, GRID, _logged_trial).run(TrialRunner(workers=1))
+        run_trials(BIG_BASE, _logged_trial)
+
+
+def _sequential_reference(tmp_path: Path) -> ResultStore:
+    """The uninterrupted single-process run every distributed run must match."""
+    store = ResultStore.create(tmp_path / "reference", {})
+    with use_store(store):
+        Sweep(BASE, GRID, _logged_trial).run(TrialRunner(workers=1))
+        run_trials(BIG_BASE, _logged_trial)
+    return store
+
+
+def _assert_stores_byte_identical(reference: ResultStore, other: ResultStore) -> None:
+    assert other.completed_keys() == reference.completed_keys()
+    for key in reference.completed_keys():
+        assert other.cell_path(key).read_bytes() == reference.cell_path(key).read_bytes(), key
+
+
+class TestDispatchMultiProcess:
+    """ISSUE 4 acceptance: concurrent workers, races, crash recovery."""
+
+    def test_two_workers_complete_every_cell_exactly_once(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CANONICAL_TIMING", "1")
+        monkeypatch.delenv("DISPATCH_TEST_LOG", raising=False)
+        monkeypatch.delenv("DISPATCH_TEST_BLOCK", raising=False)
+        reference = _sequential_reference(tmp_path)
+
+        shared = ResultStore.create(tmp_path / "shared", {})
+        log_path = tmp_path / "compute.log"
+        ctx = multiprocessing.get_context("fork")
+        workers = [
+            ctx.Process(target=_drain_worker, args=(str(shared.root), str(log_path), 10.0))
+            for _ in range(2)
+        ]
+        for proc in workers:
+            proc.start()
+        for proc in workers:
+            proc.join(timeout=180)
+            assert proc.exitcode == 0
+
+        _assert_stores_byte_identical(reference, shared)
+        # Every (cell, seed) trial was computed exactly once across both
+        # workers: the claim protocol partitioned the work without overlap.
+        lines = log_path.read_text().splitlines()
+        expected = {f"{BASE.name}|{rate}|{seed}" for rate in range(6) for seed in (0, 1)}
+        expected |= {f"{BIG_BASE.name}|None|{seed}" for seed in range(10)}
+        assert sorted(lines) == sorted(expected)
+        assert len(lines) == len(set(lines)) == len(expected)
+        assert shared.active_claims() == []
+
+    def test_killed_worker_lease_expires_and_cell_is_reclaimed(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CANONICAL_TIMING", "1")
+        monkeypatch.delenv("DISPATCH_TEST_LOG", raising=False)
+        monkeypatch.delenv("DISPATCH_TEST_BLOCK", raising=False)
+        reference = _sequential_reference(tmp_path)
+
+        shared = ResultStore.create(tmp_path / "shared", {})
+        block_path = tmp_path / "block.sentinel"
+        block_path.write_text("")
+        log_path = tmp_path / "compute.log"
+        ctx = multiprocessing.get_context("fork")
+        victim = ctx.Process(
+            target=_drain_worker,
+            args=(str(shared.root), str(log_path), 2.0, str(block_path)),
+        )
+        victim.start()
+        # Wait until the victim is computing the BIG cell's chunk that blocks
+        # on seed 5 (chunk 3-6): its claim file appears and stays heartbeaten.
+        big_key = shared.cell_key(_logged_trial, BIG_BASE, BIG_BASE.seeds)
+        blocked_task = f"{big_key}.3-6"
+        claim = None
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            claim = shared.read_claim(blocked_task)
+            if claim is not None:
+                break
+            time.sleep(0.05)
+        assert claim is not None, "victim never claimed the blocking chunk"
+        victim_worker = claim["worker"]
+        time.sleep(0.3)  # let it actually enter the blocking trial
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=30)
+        block_path.unlink()  # a resumed computation must not block again
+
+        # The dead worker's claim is still on disk and stops heartbeating.
+        leftover = shared.read_claim(blocked_task)
+        assert leftover is not None and leftover["worker"] == victim_worker
+
+        rescuer = DispatchWorker(
+            shared,
+            lease_seconds=2.0,
+            poll_seconds=0.05,
+            chunk_seeds=3,
+            min_trials_per_task=4,
+            wait_timeout=120.0,
+        )
+        with use_store(shared), use_dispatcher(rescuer):
+            Sweep(BASE, GRID, _logged_trial).run(TrialRunner(workers=1))
+            run_trials(BIG_BASE, _logged_trial)
+
+        # The rescuer (not the victim) computed the blocked chunk...
+        assert blocked_task in rescuer.computed_tasks
+        # ... and the assembled artifacts are byte-identical to a run that
+        # was never interrupted.
+        _assert_stores_byte_identical(reference, shared)
+        assert shared.active_claims() == []
+        assert not list(shared.chunks_dir.glob("*.json"))
+
+
+class TestPeerProgressResetsWaitTimeout:
+    def test_peer_completions_count_as_progress(self, tmp_path):
+        """A worker watching a steadily-progressing peer must not time out.
+
+        Simulated peer: every cell is claimed by a live foreign worker, and a
+        background thread "completes" one claimed cell per interval, with the
+        full run taking ~3x the watcher's wait_timeout.  The watcher sees a
+        task complete within every timeout window, so it must wait it out and
+        assemble the result instead of raising DispatchTimeout.
+        """
+        import threading
+
+        store = ResultStore.create(tmp_path / "run", {})
+        specs = [
+            _spec_for(store, BASE.with_overrides(churn_rate=rate)) for rate in range(6)
+        ]
+        tasks = plan_tasks(specs, chunk_seeds=16, min_trials_per_task=1)
+        assert len(tasks) == len(specs)
+        for task in tasks:
+            assert store.try_claim(task.task_id, "steady-peer", 3600.0)
+
+        def peer_completes_cells():
+            for spec in specs:
+                time.sleep(0.25)
+                trials = TrialRunner(workers=1).run(spec.config, _logged_trial, seeds=spec.seeds)
+                store.save_cell(
+                    spec.key,
+                    trial=_logged_trial,
+                    config=spec.config,
+                    seeds=spec.seeds,
+                    trials=trials,
+                )
+
+        thread = threading.Thread(target=peer_completes_cells, daemon=True)
+        thread.start()
+        watcher = DispatchWorker(
+            store, poll_seconds=0.05, min_trials_per_task=1, wait_timeout=0.6
+        )
+        out = watcher.execute(_logged_trial, specs, TrialRunner(workers=1))
+        thread.join(timeout=10)
+        assert watcher.computed_tasks == []  # the peer did everything
+        assert sorted(out) == sorted(spec.key for spec in specs)
+
+
+class TestCliManifestKnobs:
+    def test_dispatch_records_scheduler_knobs_and_worker_reads_them(self, tmp_path, capsys):
+        """Workers must derive their task plan from the manifest, not per-CLI defaults."""
+        from repro.experiments import registry
+
+        rc = registry.main(
+            [
+                "dispatch",
+                "E7",
+                "--json-out",
+                str(tmp_path),
+                "--set",
+                "n=64",
+                "--set",
+                "measure_rounds=5",
+                "--set",
+                "items=1",
+                "--seeds",
+                "0..5",
+                "--chunk-seeds",
+                "2",
+                "--min-task-trials",
+                "3",
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        run_dir = next(tmp_path.glob("E7-*"))
+        manifest = ResultStore.open(run_dir).manifest()
+        assert manifest["dispatch"] == {"chunk_seeds": 2, "min_trials_per_task": 3}
+
+        assert registry.main(["worker", str(run_dir), "--wait-timeout", "120"]) == 0
+        capsys.readouterr()
+        store = ResultStore.open(run_dir)
+        assert store.result_path.exists()
+        # chunk_seeds=2 from the manifest really drove the plan: the 6-seed
+        # cells were chunked (chunks merged + cleaned up afterwards).
+        assert store.completed_keys()
+        assert not list(store.chunks_dir.glob("*.json"))
+
+    def test_worker_flag_override_warns(self, tmp_path, capsys):
+        from repro.experiments import registry
+
+        rc = registry.main(
+            [
+                "dispatch",
+                "E7",
+                "--json-out",
+                str(tmp_path),
+                "--set",
+                "n=64",
+                "--set",
+                "measure_rounds=5",
+                "--set",
+                "items=1",
+                "--seeds",
+                "0..1",
+            ]
+        )
+        assert rc == 0
+        run_dir = next(tmp_path.glob("E7-*"))
+        assert registry.main(["worker", str(run_dir), "--chunk-seeds", "5", "--wait-timeout", "120"]) == 0
+        captured = capsys.readouterr()
+        assert "overrides the manifest" in captured.err
+
+    def test_dispatch_rejects_invalid_scheduler_knobs(self, tmp_path, capsys):
+        from repro.experiments import registry
+
+        rc = registry.main(
+            ["dispatch", "E7", "--json-out", str(tmp_path), "--chunk-seeds", "0"]
+        )
+        assert rc == 2
+        assert "chunk-seeds" in capsys.readouterr().err
+        assert list(tmp_path.glob("E7-*")) == []  # no poisoned run directory

@@ -261,3 +261,76 @@ class TestSeedDeterminism:
         first = TrialRunner(workers=2).run(config, trial)
         second = TrialRunner(workers=2).run(config, trial)
         assert _payload_bytes(first) == _payload_bytes(second)
+
+
+def _bulky_trial(config: ExperimentConfig, seed: int) -> dict:
+    """A trial whose payload pickles well past any tiny spill threshold."""
+    return {"seed": seed, "blob": list(range(5000))}
+
+
+class TestPayloadSpilling:
+    """Large payloads travel via spill files, not the pool pipe -- same bytes."""
+
+    CONFIG = ExperimentConfig(name="T-spill", n=64, seeds=(0, 1, 2, 3))
+
+    def test_spilled_payloads_identical_to_sequential(self, tmp_path):
+        sequential = TrialRunner(workers=1).run(self.CONFIG, _bulky_trial)
+        spilled = TrialRunner(workers=2, spill_bytes=512, spill_dir=tmp_path).run(
+            self.CONFIG, _bulky_trial
+        )
+        assert [t.payload for t in spilled] == [t.payload for t in sequential]
+        # Spill files are consumed and removed by the parent.
+        assert list(tmp_path.glob("payload-*")) == []
+
+    def test_below_threshold_payloads_do_not_spill(self, tmp_path):
+        runner = TrialRunner(workers=2, spill_bytes=10**9, spill_dir=tmp_path)
+        results = runner.run(self.CONFIG, _bulky_trial)
+        assert len(results) == len(self.CONFIG.seeds)
+        assert list(tmp_path.glob("payload-*")) == []
+
+    def test_spill_disabled_with_zero_threshold(self, tmp_path):
+        runner = TrialRunner(workers=2, spill_bytes=0, spill_dir=tmp_path)
+        assert runner._resolve_spill_dir() is None
+        results = runner.run(self.CONFIG, _bulky_trial)
+        assert [t.seed for t in results] == list(self.CONFIG.seeds)
+
+    def test_env_knob_sets_threshold(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPILL_BYTES", "123")
+        assert TrialRunner(workers=2).spill_bytes == 123
+        monkeypatch.setenv("REPRO_SPILL_BYTES", "garbage")
+        from repro.sim.runner import DEFAULT_SPILL_BYTES
+
+        assert TrialRunner(workers=2).spill_bytes == DEFAULT_SPILL_BYTES
+        # Explicit argument wins over the environment.
+        monkeypatch.setenv("REPRO_SPILL_BYTES", "123")
+        assert TrialRunner(workers=2, spill_bytes=77).spill_bytes == 77
+
+    def test_spill_lands_in_active_store_run_dir(self, tmp_path):
+        """With a store active, spill files live under <run>/spill."""
+        from repro.sim.store import ResultStore, use_store
+
+        store = ResultStore.create(tmp_path / "run", {})
+        runner = TrialRunner(workers=2, spill_bytes=512)
+        with use_store(store):
+            spill_dir = runner._resolve_spill_dir()
+            results = runner.run(self.CONFIG, _bulky_trial)
+        assert spill_dir == store.root / "spill"
+        assert [t.seed for t in results] == list(self.CONFIG.seeds)
+        sequential = TrialRunner(workers=1).run(self.CONFIG, _bulky_trial)
+        assert [t.payload for t in results] == [t.payload for t in sequential]
+
+
+def _bulky_or_failing_trial(config: ExperimentConfig, seed: int) -> dict:
+    if seed == 3:
+        raise ValueError("boom")
+    return {"seed": seed, "blob": list(range(5000))}
+
+
+class TestSpillErrorCleanup:
+    def test_sibling_spill_files_removed_when_a_trial_fails(self, tmp_path):
+        """A WorkerError must not leak completed siblings' spill files."""
+        config = ExperimentConfig(name="T-spill-err", n=64, seeds=(0, 1, 2, 3))
+        runner = TrialRunner(workers=2, spill_bytes=512, spill_dir=tmp_path)
+        with pytest.raises(WorkerError):
+            runner.run(config, _bulky_or_failing_trial)
+        assert list(tmp_path.glob("payload-*")) == []

@@ -108,6 +108,27 @@ class TestQueries:
         picked = sampler.draw_distinct_sources(1, 5, rng, exclude=[2, 3])
         assert picked == [4]
 
+    def test_draw_from_pool_consumes_rng_like_draw(self):
+        net = make_net()
+        sampler = NodeSampler(net)
+        sampler.ingest(delivery([1] * 6, [2, 3, 4, 5, 6, 7], round_index=0))
+        pool = sampler.distinct_source_pool(1)
+        assert pool.tolist() == [2, 3, 4, 5, 6, 7]
+        direct = sampler.draw_distinct_sources(1, 3, np.random.default_rng(5))
+        via_pool = NodeSampler.draw_from_pool(pool, 3, np.random.default_rng(5))
+        assert direct == via_pool
+        # Short and empty pools never touch the RNG (the whole pool returns).
+        assert NodeSampler.draw_from_pool(pool, 10, None) == pool.tolist()
+        assert NodeSampler.draw_from_pool(None, 3, None) == []
+
+    def test_distinct_source_pools_batches_many_uids(self):
+        net = make_net()
+        sampler = NodeSampler(net)
+        sampler.ingest(delivery([1, 1, 2, 2, 2], [3, 3, 4, 1, 5], round_index=0))
+        sampler.ingest(delivery([2, 3], [6, 2], round_index=1))
+        pools = sampler.distinct_source_pools([1, 2, 3, 9])
+        assert [pool.tolist() for pool in pools] == [[3], [4, 1, 5, 6], [2], []]
+
     def test_nodes_with_samples(self):
         net = make_net()
         sampler = NodeSampler(net)
@@ -337,6 +358,12 @@ class TestColumnarEquivalence:
                 uid, 3, np.random.default_rng(uid), exclude=[uids[0]]
             )
             assert draw_a == draw_b
+        # The bulk pool gather must agree with the per-uid pools (and hence,
+        # via draw_from_pool, with the reference draws) for every window kind.
+        for window in ({"max_age": 2}, {"round_index": r}, {}):
+            batched = columnar.distinct_source_pools(uids, **window)
+            for uid, pool in zip(uids, batched):
+                assert pool.tolist() == columnar.distinct_source_pool(uid, **window).tolist()
 
     def test_no_churn(self):
         self._run_scenario(schedule={}, rounds=8, seed=1)
