@@ -105,3 +105,61 @@ def test_ida_encode_decode_benchmark(benchmark):
 
     recovered = benchmark(roundtrip)
     assert recovered == data
+
+
+def test_sampler_bulk_pools_benchmark(benchmark):
+    """Bulk candidate-pool gather for a 64-parent level over 4 retained rounds.
+
+    This is the landmark level pass's sampler call: one merged-window gather,
+    one alive mask over every gathered source, one exclusion-snapshot filter,
+    per-parent first-occurrence dedup.
+    """
+    rng = np.random.default_rng(21)
+    net = DynamicNetwork(4096, degree=8, adversary_rng=RngStream(21))
+    sampler = NodeSampler(net, retention=6)
+    for r in range(4):
+        sampler.ingest(_sampler_round_delivery(4096, 8, round_index=r, rng=rng))
+    parents = rng.choice(4096, size=64, replace=False).tolist()
+    exclude = set(rng.choice(4096, size=128, replace=False).tolist())
+
+    pools = benchmark(
+        lambda: sampler.distinct_source_pools(parents, max_age=6, exclude=exclude)
+    )
+    assert len(pools) == 64
+    assert sum(p.size for p in pools) > 0
+
+
+def test_landmark_build_benchmark(benchmark):
+    """One level-batched landmark tree build on a maintenance-heavy system.
+
+    Mirrors the ROADMAP's maintenance-heavy scenario shape: a warmed, churned
+    n=2048 network with stored items, building a fresh landmark set from a
+    live committee (the post-PR-4 dominant maintenance cost).
+    """
+    from repro.core.committee import Committee
+    from repro.core.landmarks import LandmarkSet
+
+    system = P2PStorageSystem(n=2048, churn_rate=16, seed=3)
+    system.warm_up()
+    for i in range(12):
+        system.store(bytes([i]) * 8)
+    for _ in range(3):
+        system.run_round()
+    round_index = system.ctx.round_index
+    committee = Committee.create(
+        system.ctx, creator_uid=system.random_alive_node(), task="storage", item_id=999
+    )
+
+    def fresh_landmarks():
+        lm = LandmarkSet(
+            system.ctx, committee=committee, item_id=999, role="storage", created_round=round_index
+        )
+        return (lm,), {}
+
+    def build(lm):
+        return lm.build(round_index)
+
+    report = benchmark.pedantic(build, setup=fresh_landmarks, rounds=20)
+    benchmark.extra_info["recruited"] = report.recruited
+    benchmark.extra_info["roots"] = report.roots
+    assert report.recruited > 0

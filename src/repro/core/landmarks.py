@@ -152,9 +152,29 @@ class LandmarkSet:
 
     # ------------------------------------------------------------------ tree construction
     def build(self, round_index: int) -> LandmarkBuildReport:
-        """Run one tree-building pass from the current committee members (Algorithm 2)."""
+        """Run one tree-building pass from the current committee members (Algorithm 2).
+
+        The tree grows **level by level**: for each depth, the candidate
+        pools of every live parent are gathered in one bulk
+        :meth:`~repro.walks.sampler.NodeSampler.distinct_source_pools` pass
+        (one ``alive_mask`` over the level's parents, one over every gathered
+        source, one ``isin`` against the shared exclusion snapshot), and only
+        the seeded per-parent draws run in a Python loop.  Because the
+        ``used`` exclusion set grows *within* a level as earlier parents
+        recruit, each parent's pre-gathered pool gets a conflict-resolution
+        pass subtracting the uids recruited since the level's snapshot;
+        membership filtering commutes with the pools' first-occurrence dedup,
+        and :meth:`~repro.walks.sampler.NodeSampler.draw_from_pool` consumes
+        the RNG exactly like the historical per-parent
+        ``draw_distinct_sources`` call, so recruited records, short-draw
+        counts and bandwidth charges are byte-identical to the sequential
+        loop (regression-proven against the reference oracle in
+        ``tests/test_core_landmarks.py``).
+        """
         ctx = self.ctx
         params = ctx.params
+        sampler = ctx.sampler
+        rng = ctx.rng.generator
         roster = self.committee.alive_members()
         expires = round_index + params.landmark_lifetime
         used: Set[int] = set(roster)
@@ -179,24 +199,48 @@ class LandmarkSet:
         depth_target = params.tree_depth
         roster_size = len(roster)
         cap = params.landmark_cap
+        fanout = params.landmark_fanout
+        max_age = params.landmark_refresh_period
+        # The recruit message carries the committee roster.  Charged straight
+        # to the ledger: ctx.charge would re-probe the sender's liveness per
+        # child, but every drawing parent is alive by the level mask.
+        ledger = ctx.network.ledger
+        network_round = ctx.network.round_index
+        recruit_ids = 3 + roster_size
         for depth in range(1, depth_target + 1):
+            # -- bulk phase: one pool gather over the whole level against the
+            # level-start exclusion snapshot.  Pool gathering consumes no
+            # RNG, so gathering eagerly (even for parents a cap break will
+            # skip) is unobservable.  Liveness cannot change inside a build
+            # (churn happens only at the start of a round): the roster comes
+            # from alive_members() and every deeper parent was alive-filtered
+            # when drawn from its own parent's pool this same round, so the
+            # sequential loop's per-parent is_alive probe is vacuously true
+            # and the level pass skips it (the reference oracle keeps it;
+            # equivalence is regression-proven).
+            pools = sampler.distinct_source_pools(current_level, max_age=max_age, exclude=used)
+            # -- resolution phase: draw children per parent in deterministic
+            # parent order, subtracting uids recruited earlier in this level.
             next_level: List[int] = []
-            for parent in current_level:
-                if not ctx.is_alive(parent):
-                    continue
+            level_new: Set[int] = set()
+            for parent, pool in zip(current_level, pools):
                 if len(self._records) >= cap:
                     break
-                children = ctx.sampler.draw_distinct_sources(
-                    parent,
-                    params.landmark_fanout,
-                    ctx.rng.generator,
-                    exclude=used,
-                    max_age=params.landmark_refresh_period,
-                )
-                if len(children) < params.landmark_fanout:
+                if level_new and pool.size:
+                    # Conflict resolution: subtract uids recruited by earlier
+                    # parents of this level (set probes beat np.isin at pool
+                    # sizes of a few dozen).
+                    entries = pool.tolist()
+                    if not level_new.isdisjoint(entries):
+                        pool = np.fromiter(
+                            (uid for uid in entries if uid not in level_new), dtype=np.int64
+                        )
+                children = sampler.draw_from_pool(pool, fanout, rng)
+                if len(children) < fanout:
                     short_draws += 1
                 for child in children:
                     used.add(child)
+                    level_new.add(child)
                     next_level.append(child)
                     recruited += 1
                     self._records[child] = LandmarkRecord(
@@ -206,19 +250,20 @@ class LandmarkSet:
                         expires_round=expires,
                         recruiter=parent,
                     )
-                    # The recruit message carries the committee roster.
-                    ctx.charge(parent, ids=3 + roster_size)
+                ledger.charge_many(network_round, parent, len(children), ids_each=recruit_ids)
             current_level = next_level
             if not current_level:
                 break
 
         self.total_recruited += recruited
         self._expire_stale(round_index)
+        # After expiry every remaining record is alive and unexpired, so the
+        # record count IS the active count -- no third _active_mask pass.
         report = LandmarkBuildReport(
             round_index=round_index,
             requested_depth=depth_target,
             recruited=recruited,
-            active_after_build=self.active_count(round_index),
+            active_after_build=len(self._records),
             roots=roster_size,
             short_draws=short_draws,
         )

@@ -52,6 +52,7 @@ from repro.experiments.spec import REGISTRY, ExperimentSpec, registered_ids
 from repro.sim.dispatch import (
     DEFAULT_CHUNK_SEEDS,
     DEFAULT_MIN_TRIALS_PER_TASK,
+    DispatchDrained,
     DispatchWorker,
     use_dispatcher,
 )
@@ -328,6 +329,12 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="give up after this long without observable progress from any worker (default: wait forever)",
     )
+    worker_parser.add_argument(
+        "--drain-and-exit",
+        action="store_true",
+        help="compute (and steal from crashed peers) while anything is claimable, then exit "
+        "instead of waiting for live peers to finish -- for elastic / spot-instance fleets",
+    )
 
     status_parser = sub.add_parser("status", help="progress of a dispatched run directory")
     status_parser.add_argument("run_dir", help="run directory created by 'dispatch' (or 'run --json-out')")
@@ -522,17 +529,28 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             dispatch_kwargs[kwarg] = int(recorded[manifest_key])
     if args.wait_timeout is not None:
         dispatch_kwargs["wait_timeout"] = args.wait_timeout
+    if args.drain_and_exit:
+        dispatch_kwargs["drain_and_exit"] = True
     worker = DispatchWorker(store, **dispatch_kwargs)
     print(f"worker {worker.worker_id} joining {store.root}")
-    with use_dispatcher(worker):
-        result = run_experiment(
-            manifest["experiment"],
-            full=bool(manifest.get("full", False)),
-            workers=workers,
-            overrides=manifest.get("overrides") or {},
-            seeds=manifest.get("seeds"),
-            store=store,
+    try:
+        with use_dispatcher(worker):
+            result = run_experiment(
+                manifest["experiment"],
+                full=bool(manifest.get("full", False)),
+                workers=workers,
+                overrides=manifest.get("overrides") or {},
+                seeds=manifest.get("seeds"),
+                store=store,
+            )
+    except DispatchDrained as drained:
+        # A clean exit for elastic fleets: this worker computed everything it
+        # could claim; live peers still hold the rest.
+        print(
+            f"worker {worker.worker_id} drained: computed {len(worker.computed_tasks)} task(s), "
+            f"{len(drained.missing)} cell(s) left with live peers; exiting without waiting"
         )
+        return 0
     _print_result(result, args.markdown)
     print(
         f"worker {worker.worker_id} done: computed {len(worker.computed_tasks)} task(s); "

@@ -67,6 +67,7 @@ __all__ = [
     "TaskEntry",
     "DispatchTask",
     "DispatchTimeout",
+    "DispatchDrained",
     "DispatchWorker",
     "plan_tasks",
     "use_dispatcher",
@@ -92,6 +93,24 @@ DEFAULT_POLL_SECONDS = 0.2
 
 class DispatchTimeout(RuntimeError):
     """Raised when ``wait_timeout`` elapses with incomplete cells remaining."""
+
+
+class DispatchDrained(RuntimeError):
+    """A drain-and-exit worker ran out of claimable work before the run finished.
+
+    Raised by :meth:`DispatchWorker.execute` when ``drain_and_exit`` is set
+    and a full scan makes no progress: everything left is either claimed by a
+    live peer or waiting on a peer's chunk artifacts.  Carries the keys of
+    the cells still missing so callers can report them.
+    """
+
+    def __init__(self, worker_id: str, missing: Sequence[str]) -> None:
+        self.worker_id = worker_id
+        self.missing = list(missing)
+        super().__init__(
+            f"worker {worker_id} drained all claimable work; "
+            f"{len(self.missing)} cell(s) still incomplete elsewhere"
+        )
 
 
 def make_worker_id() -> str:
@@ -281,6 +300,13 @@ class DispatchWorker:
         comfortably above the longest single task's duration: a peer
         computing one long task produces no observable progress until the
         task's artifact lands.
+    drain_and_exit:
+        When True the worker never polls: it claims and computes (and steals
+        from crashed peers) as long as a scan makes progress, then raises
+        :class:`DispatchDrained` instead of waiting for live peers to finish
+        their claimed work.  The mode for elastic fleets -- spot instances
+        and batch jobs join, drain the queue dry, and exit cleanly; if the
+        drainer happens to finish the whole run it completes normally.
 
     One instance is installed per worker process via :func:`use_dispatcher`;
     :class:`~repro.sim.runner.Sweep` then calls :meth:`execute` with the full
@@ -296,6 +322,7 @@ class DispatchWorker:
         chunk_seeds: int = DEFAULT_CHUNK_SEEDS,
         min_trials_per_task: int = DEFAULT_MIN_TRIALS_PER_TASK,
         wait_timeout: Optional[float] = None,
+        drain_and_exit: bool = False,
     ) -> None:
         if lease_seconds <= 0:
             raise ValueError("lease_seconds must be positive")
@@ -306,6 +333,7 @@ class DispatchWorker:
         self.chunk_seeds = int(chunk_seeds)
         self.min_trials_per_task = int(min_trials_per_task)
         self.wait_timeout = wait_timeout
+        self.drain_and_exit = bool(drain_and_exit)
         #: tasks this worker actually computed (entry counts; for logs/tests)
         self.computed_tasks: List[str] = []
         self._heartbeat: Optional[_Heartbeat] = None
@@ -377,6 +405,12 @@ class DispatchWorker:
                 if progressed:
                     idle_since = None
                     continue
+                if self.drain_and_exit:
+                    # Nothing left to claim or steal: everything outstanding
+                    # is held by a live peer (or waiting on a peer's chunks).
+                    # Elastic workers exit here instead of polling.
+                    missing = [s.key for s in specs if not store.has_cell(s.key)]
+                    raise DispatchDrained(self.worker_id, missing)
                 now = time.monotonic()
                 idle_since = now if idle_since is None else idle_since
                 if self.wait_timeout is not None and now - idle_since > self.wait_timeout:

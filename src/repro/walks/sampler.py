@@ -121,6 +121,12 @@ class NodeSampler:
         self._columns: Dict[int, _RoundColumn] = {}
         self._sorted_rounds: Optional[List[int]] = None
         self._last_round_ingested = -1
+        # (rounds tuple) -> concatenated view of those columns, grouped once.
+        # Multi-column bulk queries (the landmark level pass asks for a
+        # max_age window spanning every retained round, many times per
+        # refresh round) share one merged GroupIndex instead of re-probing
+        # each column; any ingest/expiry clears it.
+        self._merged: Dict[tuple, _RoundColumn] = {}
 
     # ------------------------------------------------------------------ ingestion
     def ingest(self, delivery: SampleDelivery) -> int:
@@ -151,6 +157,8 @@ class NodeSampler:
             self._sorted_rounds = None
         else:
             column.append(dest, src, birth.astype(np.int64))
+        if self._merged:
+            self._merged = {}
         return recorded
 
     def expire(self, current_round: int) -> None:
@@ -166,6 +174,7 @@ class NodeSampler:
             del self._columns[r]
         if stale:
             self._sorted_rounds = None
+            self._merged = {}
 
     # ------------------------------------------------------------------ query plumbing
     def _rounds(self) -> List[int]:
@@ -174,18 +183,46 @@ class NodeSampler:
             self._sorted_rounds = sorted(self._columns)
         return self._sorted_rounds
 
-    def _query_columns(
+    def _window_rounds(
         self, round_index: Optional[int] = None, max_age: Optional[int] = None
-    ) -> List[_RoundColumn]:
-        """Retained columns matching a (round_index | max_age) window, round-ascending."""
+    ) -> List[int]:
+        """Retained rounds matching a (round_index | max_age) window, ascending."""
         if round_index is not None:
-            column = self._columns.get(round_index)
-            return [column] if column is not None else []
+            return [round_index] if round_index in self._columns else []
         rounds = self._rounds()
         if max_age is not None:
             floor = self._last_round_ingested - max_age
             rounds = [r for r in rounds if r >= floor]
-        return [self._columns[r] for r in rounds]
+        return rounds
+
+    def _query_columns(
+        self, round_index: Optional[int] = None, max_age: Optional[int] = None
+    ) -> List[_RoundColumn]:
+        """Retained columns matching a (round_index | max_age) window, round-ascending."""
+        return [self._columns[r] for r in self._window_rounds(round_index, max_age)]
+
+    def _merged_column(self, rounds: Sequence[int]) -> _RoundColumn:
+        """One concatenated (round-ascending) column over ``rounds``, cached.
+
+        The grouping of the concatenation is stable, so a uid's rows keep the
+        round-ascending, delivery-ordered layout that per-column probing
+        produces -- the merged column is observationally identical to the
+        column list, it just pays the argsort once per (window, ingest epoch)
+        instead of a searchsorted per column per bulk query.
+        """
+        key = tuple(rounds)
+        cached = self._merged.get(key)
+        if cached is None:
+            columns = [self._columns[r] for r in rounds]
+            cached = _RoundColumn(
+                np.concatenate([c.dest for c in columns]),
+                np.concatenate([c.src for c in columns]),
+                np.concatenate([c.birth for c in columns]),
+            )
+            # Hold one merged window at a time: callers of one round share a
+            # window, and a stale epoch's entries would only waste memory.
+            self._merged = {key: cached}
+        return cached
 
     def _sources_in_window(
         self, uid: int, round_index: Optional[int] = None, max_age: Optional[int] = None
@@ -361,24 +398,40 @@ class NodeSampler:
         uids: Sequence[int],
         round_index: Optional[int] = None,
         max_age: Optional[int] = None,
+        exclude: Optional[Sequence[int]] = None,
     ) -> List[np.ndarray]:
         """Bulk :meth:`distinct_source_pool` for many uids in one pass.
 
         The per-round committee refresh batch (see :func:`repro.core.
         committee.plan_refreshes`) asks for every refreshing leader's pool at
-        once: window segments of all uids are gathered column by column, a
-        *single* ``alive_mask`` call covers every gathered source, and only
-        the tiny per-uid dedup runs per consumer.  Each returned pool is
-        identical to what ``distinct_source_pool(uid, ...)`` would produce
-        (self-exclusion included; no extra ``exclude`` support -- batched
-        callers do not use it).
+        once, and the level-wise landmark build (:meth:`repro.core.landmarks.
+        LandmarkSet.build`) asks for a whole tree level's pools: window
+        segments of all uids are gathered column by column, a *single*
+        ``alive_mask`` call covers every gathered source, and only the tiny
+        per-uid dedup runs per consumer.  Each returned pool is identical to
+        what ``distinct_source_pool(uid, ...)`` would produce (self-exclusion
+        included).
+
+        ``exclude`` is one exclusion snapshot shared by *all* queried uids --
+        one ``isin`` over the gathered sources instead of one per consumer.
+        Callers whose exclusion set grows between draws (the landmark level
+        pass) snapshot it here and subtract later additions from the returned
+        pools themselves; membership filtering commutes with the
+        first-occurrence dedup, so the result matches per-draw exclusion.
         """
         query = np.asarray(uids, dtype=np.int64)
         if query.size == 0:
             return []
-        columns = self._query_columns(round_index, max_age)
+        rounds = self._window_rounds(round_index, max_age)
+        if len(rounds) > 1:
+            columns = [self._merged_column(rounds)]
+        else:
+            columns = [self._columns[r] for r in rounds]
         alive_uid = self.network.alive_mask(query)
-        parts: List[List[np.ndarray]] = [[] for _ in range(query.size)]
+        # -- gather: per column, the concatenated grouped rows of every found
+        # uid (vectorised range expansion), tagged with the query index.
+        src_parts: List[np.ndarray] = []
+        seg_parts: List[np.ndarray] = []
         for column in columns:
             index = column.index
             if index.keys.size == 0:
@@ -386,25 +439,55 @@ class NodeSampler:
             idx = np.searchsorted(index.keys, query)
             idx_clipped = np.minimum(idx, index.keys.size - 1)
             found = (index.keys[idx_clipped] == query) & alive_uid
-            for j in np.nonzero(found)[0]:
-                g = idx_clipped[j]
-                rows = index.order[index.starts[g] : index.ends[g]]
-                if rows.size:
-                    parts[j].append(column.src[rows])
-        lengths = [sum(p.size for p in uid_parts) for uid_parts in parts]
-        total = sum(lengths)
-        if total == 0:
+            js = np.nonzero(found)[0]
+            if js.size == 0:
+                continue
+            groups = idx_clipped[js]
+            starts = index.starts[groups]
+            counts = index.ends[groups] - starts
+            nonzero = counts > 0
+            if not nonzero.any():
+                continue
+            js, starts, counts = js[nonzero], starts[nonzero], counts[nonzero]
+            total = int(counts.sum())
+            # Concatenation of [starts_i, starts_i + counts_i) ranges.
+            offsets = np.cumsum(counts) - counts
+            flat_idx = np.repeat(starts - offsets, counts) + np.arange(total)
+            src_parts.append(column.src[index.order[flat_idx]])
+            seg_parts.append(np.repeat(js, counts))
+        if not src_parts:
             return [_EMPTY_INT64 for _ in range(query.size)]
-        flat = np.concatenate([p for uid_parts in parts for p in uid_parts])
+        # At most one column is ever gathered (a single round, or the merged
+        # window), so the gather is already uid-major (js ascending) with
+        # delivery order within each uid -- the per-uid path's layout.
+        flat = src_parts[0]
+        segs = seg_parts[0]
         keep = self.network.alive_mask(flat)
-        pools: List[np.ndarray] = []
-        offset = 0
-        for j in range(query.size):
-            segment = flat[offset : offset + lengths[j]]
-            segment_keep = keep[offset : offset + lengths[j]] & (segment != query[j])
-            offset += lengths[j]
-            sources = segment[segment_keep]
-            pools.append(self._dedup_pool(sources) if sources.size else _EMPTY_INT64)
+        if exclude is not None and len(exclude):
+            keep &= ~np.isin(flat, np.asarray(list(exclude), dtype=np.int64))
+        keep &= flat != query[segs]
+        flat = flat[keep]
+        segs = segs[keep]
+        pools: List[np.ndarray] = [_EMPTY_INT64] * int(query.size)
+        if flat.size:
+            # First-occurrence dedup within each segment: lexsort by
+            # (segment, value) -- stable, so ties keep original order and the
+            # first row of each (segment, value) run is the first occurrence;
+            # re-sorting the survivors restores first-occurrence order.
+            sort_idx = np.lexsort((flat, segs))
+            sorted_segs = segs[sort_idx]
+            sorted_vals = flat[sort_idx]
+            first = np.empty(flat.size, dtype=bool)
+            first[0] = True
+            first[1:] = (sorted_segs[1:] != sorted_segs[:-1]) | (sorted_vals[1:] != sorted_vals[:-1])
+            keep_rows = np.sort(sort_idx[first])
+            out_vals = flat[keep_rows]
+            out_segs = segs[keep_rows]
+            boundaries = np.searchsorted(out_segs, np.arange(query.size + 1))
+            for j in range(int(query.size)):
+                lo, hi = int(boundaries[j]), int(boundaries[j + 1])
+                if hi > lo:
+                    pools[j] = out_vals[lo:hi]
         return pools
 
     def draw_distinct_sources(

@@ -216,6 +216,15 @@ class WalkSoup:
             self.stats.killed_by_churn += killed
         return killed
 
+    @staticmethod
+    def _empty_delivery(round_index: int) -> SampleDelivery:
+        return SampleDelivery(
+            round_index=round_index,
+            destination_uids=np.empty(0, dtype=np.int64),
+            source_uids=np.empty(0, dtype=np.int64),
+            birth_rounds=np.empty(0, dtype=np.int32),
+        )
+
     def step_and_collect(self, round_index: int) -> SampleDelivery:
         """Advance every token one step and extract the completed ones.
 
@@ -223,22 +232,29 @@ class WalkSoup:
         a round).  Tokens reaching ``walk_length`` steps are removed from the
         soup and returned as a :class:`SampleDelivery` addressed to the uids
         occupying their final slots.
+
+        The common no-cap path (every token moves) steps the position array
+        in place -- no copy, no gather/scatter through a ``moving`` index
+        array -- and the completion mask doubles as the keep buffer
+        (``logical_not`` in place); capped rounds keep the masked shape but
+        scatter into the live array instead of a fresh copy.  Deliveries,
+        stats, internal arrays and RNG consumption are byte-identical to the
+        historical copy-then-scatter implementation, proven by the reference
+        regression in ``tests/test_walks_soup.py``.
         """
         topology = self.network.topology
         n_tokens = self._positions.size
         self.stats.rounds += 1
         if n_tokens == 0:
-            return SampleDelivery(
-                round_index=round_index,
-                destination_uids=np.empty(0, dtype=np.int64),
-                source_uids=np.empty(0, dtype=np.int64),
-                birth_rounds=np.empty(0, dtype=np.int32),
-            )
+            return self._empty_delivery(round_index)
 
-        move_mask = np.ones(n_tokens, dtype=bool)
+        move_mask = None
         if self.enforce_forwarding_cap:
             move_mask = self._forwarding_mask()
-            self.stats.held_by_cap += int(n_tokens - move_mask.sum())
+            held = int(n_tokens - move_mask.sum())
+            self.stats.held_by_cap += held
+            if held == 0:
+                move_mask = None
 
         if self.track_bandwidth:
             counts = np.bincount(self._positions, minlength=self.network.n_slots)
@@ -247,32 +263,33 @@ class WalkSoup:
             )
             self.stats.tokens_per_node_round_sum += float(counts.mean())
 
-        new_positions = self._positions.copy()
-        moving = np.nonzero(move_mask)[0]
-        stepped = topology.step_walks(self._positions[moving], self._rng.generator)
-        new_positions[moving] = stepped
-        self._positions = new_positions
-        self._steps[moving] += 1
-        self.stats.steps_taken += int(moving.size)
+        if move_mask is None:
+            # All tokens move: step_walks already allocates the stepped
+            # array, so the update is a plain rebind plus one in-place add.
+            self._positions = topology.step_walks(self._positions, self._rng.generator)
+            self._steps += 1
+            self.stats.steps_taken += n_tokens
+        else:
+            moving = np.nonzero(move_mask)[0]
+            stepped = topology.step_walks(self._positions[moving], self._rng.generator)
+            self._positions[moving] = stepped
+            self._steps[moving] += 1
+            self.stats.steps_taken += int(moving.size)
 
         done = self._steps >= self.walk_length
-        n_done = int(done.sum())
+        n_done = int(np.count_nonzero(done))
         if n_done == 0:
-            return SampleDelivery(
-                round_index=round_index,
-                destination_uids=np.empty(0, dtype=np.int64),
-                source_uids=np.empty(0, dtype=np.int64),
-                birth_rounds=np.empty(0, dtype=np.int32),
-            )
+            return self._empty_delivery(round_index)
 
         dest_slots = self._positions[done]
         delivery = SampleDelivery(
             round_index=round_index,
             destination_uids=self.network.uids_at(dest_slots),
-            source_uids=self._sources[done].copy(),
-            birth_rounds=self._births[done].copy(),
+            # Boolean indexing already copies; no defensive .copy() needed.
+            source_uids=self._sources[done],
+            birth_rounds=self._births[done],
         )
-        keep = ~done
+        keep = np.logical_not(done, out=done)
         self._positions = self._positions[keep]
         self._sources = self._sources[keep]
         self._births = self._births[keep]

@@ -1,11 +1,113 @@
-"""Tests for repro.core.landmarks (Algorithm 2)."""
+"""Tests for repro.core.landmarks (Algorithm 2).
+
+Besides the behavioural unit tests, this module carries the **reference
+oracle** for the level-batched tree construction that landed with the
+batched-build PR: :func:`_build_reference` is the pre-refactor per-parent
+build loop, kept verbatim (per-parent ``draw_distinct_sources`` against the
+live ``used`` exclusion set, per-parent liveness probes, per-child
+``ctx.charge``).  ``TestBuildMatchesReferenceOracle`` drives the batched
+:meth:`LandmarkSet.build` and the oracle through identically-seeded twin
+systems across randomized churn / fanout / cap / refresh-period scenarios and
+asserts the outputs are indistinguishable: identical ``LandmarkRecord`` sets,
+identical ``LandmarkBuildReport`` fields, identical bandwidth-ledger totals
+and identical RNG consumption (mirroring the PR 3 sampler-oracle pattern in
+``tests/test_walks_sampler.py``).
+"""
 
 from __future__ import annotations
+
+from typing import List, Set
 
 import pytest
 
 from repro.core.committee import Committee
-from repro.core.landmarks import LandmarkSet
+from repro.core.landmarks import LandmarkBuildReport, LandmarkRecord, LandmarkSet
+from repro.core.protocol import P2PStorageSystem
+
+
+def _build_reference(landmarks: LandmarkSet, round_index: int) -> LandmarkBuildReport:
+    """The pre-refactor per-parent build loop (Algorithm 2), kept as the oracle.
+
+    Byte-for-byte the implementation `LandmarkSet.build` shipped before the
+    level-batched rewrite: one `draw_distinct_sources` call per live parent
+    against the shared, mutating `used` exclusion set.  Mutates `landmarks`
+    exactly like a build.
+    """
+    ctx = landmarks.ctx
+    params = ctx.params
+    roster = landmarks.committee.alive_members()
+    expires = round_index + params.landmark_lifetime
+    used: Set[int] = set(roster)
+    for uid in landmarks.active_landmarks(round_index):
+        used.add(uid)
+
+    recruited = 0
+    short_draws = 0
+    current_level: List[int] = list(roster)
+    for member in roster:
+        landmarks._records[member] = LandmarkRecord(
+            uid=member,
+            depth=0,
+            recruited_round=round_index,
+            expires_round=expires,
+            recruiter=member,
+        )
+
+    depth_target = params.tree_depth
+    roster_size = len(roster)
+    cap = params.landmark_cap
+    for depth in range(1, depth_target + 1):
+        next_level: List[int] = []
+        for parent in current_level:
+            if not ctx.is_alive(parent):
+                continue
+            if len(landmarks._records) >= cap:
+                break
+            children = ctx.sampler.draw_distinct_sources(
+                parent,
+                params.landmark_fanout,
+                ctx.rng.generator,
+                exclude=used,
+                max_age=params.landmark_refresh_period,
+            )
+            if len(children) < params.landmark_fanout:
+                short_draws += 1
+            for child in children:
+                used.add(child)
+                next_level.append(child)
+                recruited += 1
+                landmarks._records[child] = LandmarkRecord(
+                    uid=child,
+                    depth=depth,
+                    recruited_round=round_index,
+                    expires_round=expires,
+                    recruiter=parent,
+                )
+                ctx.charge(parent, ids=3 + roster_size)
+        current_level = next_level
+        if not current_level:
+            break
+
+    landmarks.total_recruited += recruited
+    landmarks._expire_stale(round_index)
+    report = LandmarkBuildReport(
+        round_index=round_index,
+        requested_depth=depth_target,
+        recruited=recruited,
+        active_after_build=landmarks.active_count(round_index),
+        roots=roster_size,
+        short_draws=short_draws,
+    )
+    landmarks.build_reports.append(report)
+    ctx.record(
+        "landmarks",
+        "built",
+        item_id=landmarks.item_id,
+        role=landmarks.role,
+        recruited=recruited,
+        active=report.active_after_build,
+    )
+    return report
 
 
 @pytest.fixture
@@ -94,6 +196,103 @@ class TestExpiryAndRefresh:
         second_records = {r.uid: r.expires_round for r in landmarks.records()}
         overlapping = set(first_records) & set(second_records)
         assert all(second_records[u] >= first_records[u] for u in overlapping)
+
+
+def _make_system(n: int, churn_rate: int, seed: int, rounds: int, overrides=None) -> P2PStorageSystem:
+    system = P2PStorageSystem(n=n, churn_rate=churn_rate, seed=seed, param_overrides=overrides)
+    system.warm_up()
+    if rounds:
+        system.run_rounds(rounds)
+    return system
+
+
+def _attach_landmarks(system: P2PStorageSystem, item_id: int = 77) -> LandmarkSet:
+    committee = Committee.create(
+        system.ctx, creator_uid=system.random_alive_node(), task="storage", item_id=item_id
+    )
+    return LandmarkSet(
+        system.ctx,
+        committee=committee,
+        item_id=item_id,
+        role="storage",
+        created_round=system.ctx.round_index,
+    )
+
+
+def _assert_identical_outcome(
+    batched: LandmarkSet, oracle: LandmarkSet, new_report, ref_report
+) -> None:
+    """Records (values AND insertion order), report, ledger and RNG all match."""
+    assert new_report == ref_report
+    assert batched.records() == oracle.records()
+    assert batched.total_recruited == oracle.total_recruited
+    assert batched.depth_histogram() == oracle.depth_histogram()
+    new_sys, ref_sys = batched.ctx, oracle.ctx
+    assert new_sys.network.ledger.total_messages == ref_sys.network.ledger.total_messages
+    assert new_sys.network.ledger.total_bits == ref_sys.network.ledger.total_bits
+    # Both paths consumed the protocol RNG identically.
+    assert new_sys.rng.generator.random() == ref_sys.rng.generator.random()
+
+
+class TestBuildMatchesReferenceOracle:
+    """The level-batched build is byte-identical to the per-parent loop."""
+
+    SCENARIOS = [
+        # (n, churn_rate, seed, rounds, param_overrides)
+        (64, 0, 11, 0, None),                                 # churn-free baseline
+        (64, 2, 3, 5, None),                                  # light churn
+        (96, 8, 17, 9, None),                                 # heavy churn, dead landmarks
+        (64, 1, 7, 4, {"landmark_fanout": 3}),                # wide fanout
+        (64, 2, 23, 6, {"landmark_multiplier": 8.0, "delta": 0.05}),  # cap binds mid-level
+        (64, 1, 29, 2, {"alpha": 0.1, "landmark_fanout": 4}),  # starved windows -> short draws
+        (128, 4, 41, 7, {"landmark_refresh_multiplier": 1.5}),  # wider max_age window
+    ]
+
+    @pytest.mark.parametrize("n,churn_rate,seed,rounds,overrides", SCENARIOS)
+    def test_single_build_matches(self, n, churn_rate, seed, rounds, overrides):
+        sys_new = _make_system(n, churn_rate, seed, rounds, overrides)
+        sys_ref = _make_system(n, churn_rate, seed, rounds, overrides)
+        lm_new = _attach_landmarks(sys_new)
+        lm_ref = _attach_landmarks(sys_ref)
+        assert lm_new.committee.members == lm_ref.committee.members
+
+        new_report = lm_new.build(sys_new.ctx.round_index)
+        ref_report = _build_reference(lm_ref, sys_ref.ctx.round_index)
+        _assert_identical_outcome(lm_new, lm_ref, new_report, ref_report)
+        if overrides and overrides.get("landmark_multiplier") == 8.0:
+            # The cap-binding scenario must actually bind the cap.
+            assert len(lm_new.records()) >= sys_new.params.landmark_cap
+
+    @pytest.mark.parametrize(
+        "n,churn_rate,seed,rounds,overrides",
+        [
+            (64, 2, 3, 5, None),
+            (96, 8, 17, 9, None),
+            (64, 1, 29, 2, {"alpha": 0.1, "landmark_fanout": 4}),
+        ],
+    )
+    def test_repeated_builds_across_refresh_periods_match(
+        self, n, churn_rate, seed, rounds, overrides
+    ):
+        """Rebuilds exercise the active-landmark exclusion and expiry paths."""
+        sys_new = _make_system(n, churn_rate, seed, rounds, overrides)
+        sys_ref = _make_system(n, churn_rate, seed, rounds, overrides)
+        lm_new = _attach_landmarks(sys_new)
+        lm_ref = _attach_landmarks(sys_ref)
+
+        for _ in range(3):
+            new_report = lm_new.build(sys_new.ctx.round_index)
+            ref_report = _build_reference(lm_ref, sys_ref.ctx.round_index)
+            _assert_identical_outcome(lm_new, lm_ref, new_report, ref_report)
+            sys_new.run_rounds(sys_new.params.landmark_refresh_period)
+            sys_ref.run_rounds(sys_ref.params.landmark_refresh_period)
+
+    def test_some_scenario_exercises_short_draws(self):
+        """The starved-window scenario actually produces short draws."""
+        system = _make_system(64, 1, 29, 2, {"alpha": 0.1, "landmark_fanout": 4})
+        landmarks = _attach_landmarks(system)
+        report = landmarks.build(system.ctx.round_index)
+        assert report.short_draws > 0
 
 
 class TestScaling:

@@ -21,7 +21,8 @@ from repro.net.topology import random_matching
 from repro.util.datastructures import IndexedSet, RoundTimer
 from repro.util.rng import RngStream
 from repro.walks.mixing import total_variation_from_uniform
-from repro.walks.soup import WalkSoup
+from repro.walks.sampler import NodeSampler
+from repro.walks.soup import SampleDelivery, WalkSoup
 
 SETTINGS = settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 
@@ -215,3 +216,112 @@ def test_paper_churn_limit_non_increasing_in_delta(n, delta_low, delta_gap):
 def test_paper_churn_limit_caps_at_half_the_network(n, constant):
     """An absurd constant saturates the bound at n // 2, never beyond."""
     assert paper_churn_limit(n, 0.0, constant=constant) == n // 2
+
+
+# ---------------------------------------------------------------------- sampler draw APIs
+def _windowed_sampler(n: int, n_rounds: int, seed: int):
+    """A sampler over a network with some churned-out uids and dense windows.
+
+    Sources deliberately include dead uids (churned out before ingestion) and
+    out-of-range uids, so the draw APIs' alive-filtering is exercised; every
+    destination is alive at ingest time.
+    """
+    rng = np.random.default_rng(seed)
+    kill = rng.choice(n, size=max(1, n // 8), replace=False).tolist()
+    net = DynamicNetwork(
+        n, degree=4, adversary=ScheduledChurn({0: kill}, n_slots=n), adversary_rng=RngStream(0)
+    )
+    net.begin_round()
+    net.end_round()
+    sampler = NodeSampler(net, retention=n_rounds + 2)
+    live = np.asarray(net.slot_uid_view(), dtype=np.int64)
+    for r in range(n_rounds):
+        size = 2 * n
+        dests = rng.choice(live, size=size)
+        sources = rng.integers(0, n + n // 4, size=size).astype(np.int64)
+        sampler.ingest(
+            SampleDelivery(
+                round_index=r,
+                destination_uids=dests,
+                source_uids=sources,
+                birth_rounds=np.zeros(size, dtype=np.int32),
+            )
+        )
+    return net, sampler, rng
+
+
+DRAW_SETTINGS = settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+@given(
+    half=st.integers(8, 20),
+    n_rounds=st.integers(1, 4),
+    seed=st.integers(0, 10**6),
+    k=st.integers(1, 6),
+    max_age=st.one_of(st.none(), st.integers(0, 5)),
+    exclude_bits=st.integers(0, 2**12 - 1),
+)
+@DRAW_SETTINGS
+def test_draw_distinct_sources_invariants(half, n_rounds, seed, k, max_age, exclude_bits):
+    """Distinct, alive, non-self, non-excluded, window-bounded; short draws consistent."""
+    net, sampler, rng = _windowed_sampler(2 * half, n_rounds, seed)
+    uid = int(rng.choice(np.asarray(net.slot_uid_view())))
+    exclude = {i for i in range(12) if exclude_bits >> i & 1}
+    pool = sampler.distinct_source_pool(uid, exclude=exclude, max_age=max_age)
+    drawn = sampler.draw_distinct_sources(
+        uid, k, np.random.default_rng(seed), exclude=exclude, max_age=max_age
+    )
+    assert len(drawn) == min(k, pool.size)  # short draws = pool exhaustion, nothing else
+    assert len(set(drawn)) == len(drawn)
+    assert uid not in drawn
+    assert not (set(drawn) & exclude)
+    if drawn:
+        assert net.alive_mask(np.asarray(drawn, dtype=np.int64)).all()
+    window = set(sampler.sample_sources(uid, alive_only=True, max_age=max_age))
+    assert set(drawn) <= window
+    assert set(pool.tolist()) <= window
+
+
+@given(
+    half=st.integers(8, 20),
+    n_rounds=st.integers(1, 4),
+    seed=st.integers(0, 10**6),
+    max_age=st.one_of(st.none(), st.integers(0, 5)),
+    exclude_bits=st.integers(0, 2**12 - 1),
+)
+@DRAW_SETTINGS
+def test_bulk_pools_match_per_uid_pools(half, n_rounds, seed, max_age, exclude_bits):
+    """distinct_source_pools == [distinct_source_pool(uid)] for any shared exclusion."""
+    net, sampler, rng = _windowed_sampler(2 * half, n_rounds, seed)
+    live = np.asarray(net.slot_uid_view(), dtype=np.int64)
+    uids = rng.choice(live, size=min(8, live.size), replace=False).tolist()
+    exclude = {i for i in range(12) if exclude_bits >> i & 1}
+    bulk = sampler.distinct_source_pools(uids, max_age=max_age, exclude=exclude)
+    assert len(bulk) == len(uids)
+    for uid, pool in zip(uids, bulk):
+        expected = sampler.distinct_source_pool(uid, exclude=exclude, max_age=max_age)
+        assert np.array_equal(pool, expected)
+
+
+@given(
+    half=st.integers(8, 20),
+    n_rounds=st.integers(1, 4),
+    seed=st.integers(0, 10**6),
+    k=st.integers(1, 6),
+    max_age=st.one_of(st.none(), st.integers(0, 5)),
+)
+@DRAW_SETTINGS
+def test_pool_draw_rng_parity_with_direct_draw(half, n_rounds, seed, k, max_age):
+    """draw_from_pool over a pre-gathered pool consumes the RNG exactly like
+    draw_distinct_sources: same draws AND same generator state afterwards."""
+    net, sampler, rng = _windowed_sampler(2 * half, n_rounds, seed)
+    live = np.asarray(net.slot_uid_view(), dtype=np.int64)
+    uids = rng.choice(live, size=min(6, live.size), replace=False).tolist()
+    rng_direct = np.random.default_rng(seed + 1)
+    rng_pooled = np.random.default_rng(seed + 1)
+    pools = sampler.distinct_source_pools(uids, max_age=max_age)
+    for uid, pool in zip(uids, pools):
+        direct = sampler.draw_distinct_sources(uid, k, rng_direct, max_age=max_age)
+        pooled = sampler.draw_from_pool(pool, k, rng_pooled)
+        assert direct == pooled
+    assert rng_direct.random() == rng_pooled.random()

@@ -27,6 +27,7 @@ import pytest
 
 from repro.sim.dispatch import (
     CellSpec,
+    DispatchDrained,
     DispatchTimeout,
     DispatchWorker,
     make_worker_id,
@@ -506,3 +507,129 @@ class TestCliManifestKnobs:
         assert rc == 2
         assert "chunk-seeds" in capsys.readouterr().err
         assert list(tmp_path.glob("E7-*")) == []  # no poisoned run directory
+
+
+class TestDrainAndExit:
+    """`worker --drain-and-exit`: compute everything claimable, never poll."""
+
+    def _specs(self, store):
+        return [_spec_for(store, config) for config in GRID.expand(BASE)]
+
+    def test_drains_queue_dry_then_completes_run_normally(self, tmp_path, monkeypatch):
+        """With no peers, a drain worker is just a worker: full run, no raise."""
+        monkeypatch.setenv("REPRO_CANONICAL_TIMING", "1")
+        monkeypatch.delenv("DISPATCH_TEST_LOG", raising=False)
+        reference = _sequential_reference(tmp_path)
+        store = ResultStore.create(tmp_path / "run", {})
+        worker = DispatchWorker(store, min_trials_per_task=4, drain_and_exit=True)
+        with use_store(store), use_dispatcher(worker):
+            Sweep(BASE, GRID, _logged_trial).run(TrialRunner(workers=1))
+            run_trials(BIG_BASE, _logged_trial)
+        for key in store.completed_keys():
+            assert store.cell_path(key).read_bytes() == reference.cell_path(key).read_bytes()
+        assert store.active_claims() == []
+
+    def test_exits_when_only_live_peers_hold_work(self, tmp_path):
+        """Everything unclaimed gets computed; the live peer's task is left alone."""
+        store = ResultStore.create(tmp_path / "run", {})
+        specs = self._specs(store)
+        tasks = plan_tasks(specs, 16, 4)
+        assert len(tasks) >= 2
+        assert store.try_claim(tasks[0].task_id, "immortal-peer", 3600.0)
+
+        worker = DispatchWorker(
+            store, min_trials_per_task=4, poll_seconds=0.01, drain_and_exit=True
+        )
+        with pytest.raises(DispatchDrained) as exc_info:
+            worker.execute(_logged_trial, specs, TrialRunner(workers=1))
+        held_keys = {entry.spec.key for entry in tasks[0].entries}
+        assert set(exc_info.value.missing) == held_keys
+        assert worker.computed_tasks  # it did drain the rest before exiting
+        for spec in specs:
+            assert store.has_cell(spec.key) == (spec.key not in held_keys)
+        # The peer's claim was not touched.
+        claim = store.read_claim(tasks[0].task_id)
+        assert claim is not None and claim["worker"] == "immortal-peer"
+
+    def test_steals_expired_lease_of_crashed_worker_before_exiting(self, tmp_path, monkeypatch):
+        """Crash/lease regression: a drain worker rescues a dead peer's task.
+
+        The crashed worker is its on-disk signature -- a claim whose
+        heartbeat stopped and whose lease has expired -- exactly what a
+        SIGKILLed worker leaves behind (see
+        TestDispatchMultiProcess.test_killed_worker_lease_expires_and_cell_is_reclaimed).
+        """
+        monkeypatch.setenv("REPRO_CANONICAL_TIMING", "1")
+        monkeypatch.delenv("DISPATCH_TEST_LOG", raising=False)
+        reference = _sequential_reference(tmp_path)
+        store = ResultStore.create(tmp_path / "run", {})
+        specs = self._specs(store)
+        tasks = plan_tasks(specs, 16, 4)
+        assert store.try_claim(tasks[0].task_id, "crashed-worker", 0.2)
+        time.sleep(0.4)  # the lease expires; the heartbeat never comes
+
+        worker = DispatchWorker(
+            store, lease_seconds=1.0, min_trials_per_task=4, drain_and_exit=True
+        )
+        with use_store(store), use_dispatcher(worker):
+            Sweep(BASE, GRID, _logged_trial).run(TrialRunner(workers=1))
+            run_trials(BIG_BASE, _logged_trial)
+        # The takeover happened and the run finished with artifacts
+        # byte-identical to an uninterrupted sequential run.
+        assert tasks[0].task_id in worker.computed_tasks
+        for key in store.completed_keys():
+            assert store.cell_path(key).read_bytes() == reference.cell_path(key).read_bytes()
+        assert store.active_claims() == []
+
+    def test_mixed_live_and_crashed_peers(self, tmp_path):
+        """Steal from the dead, skip the living, report only the living's cells."""
+        store = ResultStore.create(tmp_path / "run", {})
+        specs = self._specs(store)
+        tasks = plan_tasks(specs, 16, 4)
+        assert len(tasks) >= 3
+        assert store.try_claim(tasks[0].task_id, "immortal-peer", 3600.0)
+        assert store.try_claim(tasks[1].task_id, "crashed-worker", 0.2)
+        time.sleep(0.4)
+
+        worker = DispatchWorker(
+            store, lease_seconds=1.0, min_trials_per_task=4, poll_seconds=0.01, drain_and_exit=True
+        )
+        with pytest.raises(DispatchDrained) as exc_info:
+            worker.execute(_logged_trial, specs, TrialRunner(workers=1))
+        assert tasks[1].task_id in worker.computed_tasks
+        held_keys = {entry.spec.key for entry in tasks[0].entries}
+        assert set(exc_info.value.missing) == held_keys
+
+    def test_cli_worker_drain_flag(self, tmp_path, capsys):
+        """`repro-experiment worker --drain-and-exit` exits 0 with a drain report."""
+        from repro.experiments import registry
+
+        rc = registry.main(
+            [
+                "dispatch",
+                "E7",
+                "--json-out",
+                str(tmp_path),
+                "--set",
+                "n=64",
+                "--set",
+                "measure_rounds=5",
+                "--set",
+                "items=1",
+                "--seeds",
+                "0..3",
+                "--min-task-trials",
+                "2",
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        run_dir = next(tmp_path.glob("E7-*"))
+        store = ResultStore.open(run_dir)
+        # With nothing claimed the drain worker completes the whole run; the
+        # exits-early-on-live-peers path is covered by the unit tests above.
+        rc = registry.main(["worker", str(run_dir), "--drain-and-exit"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert store.result_path.exists()
+        assert "done: computed" in out

@@ -226,3 +226,133 @@ class TestStatsAndHelpers:
             WalkSoup(net, walk_length=0, walks_per_node=1, rng=RngStream(0))
         with pytest.raises(ValueError):
             WalkSoup(net, walk_length=2, walks_per_node=0, rng=RngStream(0))
+
+
+def _step_and_collect_reference(soup: WalkSoup, round_index: int):
+    """The pre-trim step_and_collect, kept verbatim as the byte-identity oracle.
+
+    The production implementation updates positions in place when every token
+    moves and reuses the done mask as the keep buffer; this copy keeps the
+    historical copy-then-scatter shape so the regression tests can prove the
+    two are indistinguishable (deliveries, stats, internal arrays, RNG).
+    """
+    from repro.walks.soup import SampleDelivery
+
+    topology = soup.network.topology
+    n_tokens = soup._positions.size
+    soup.stats.rounds += 1
+    if n_tokens == 0:
+        return SampleDelivery(
+            round_index=round_index,
+            destination_uids=np.empty(0, dtype=np.int64),
+            source_uids=np.empty(0, dtype=np.int64),
+            birth_rounds=np.empty(0, dtype=np.int32),
+        )
+
+    move_mask = np.ones(n_tokens, dtype=bool)
+    if soup.enforce_forwarding_cap:
+        move_mask = soup._forwarding_mask()
+        soup.stats.held_by_cap += int(n_tokens - move_mask.sum())
+
+    if soup.track_bandwidth:
+        counts = np.bincount(soup._positions, minlength=soup.network.n_slots)
+        soup.stats.max_tokens_per_node_round = max(
+            soup.stats.max_tokens_per_node_round, int(counts.max())
+        )
+        soup.stats.tokens_per_node_round_sum += float(counts.mean())
+
+    new_positions = soup._positions.copy()
+    moving = np.nonzero(move_mask)[0]
+    stepped = topology.step_walks(soup._positions[moving], soup._rng.generator)
+    new_positions[moving] = stepped
+    soup._positions = new_positions
+    soup._steps[moving] += 1
+    soup.stats.steps_taken += int(moving.size)
+
+    done = soup._steps >= soup.walk_length
+    n_done = int(done.sum())
+    if n_done == 0:
+        return SampleDelivery(
+            round_index=round_index,
+            destination_uids=np.empty(0, dtype=np.int64),
+            source_uids=np.empty(0, dtype=np.int64),
+            birth_rounds=np.empty(0, dtype=np.int32),
+        )
+
+    dest_slots = soup._positions[done]
+    delivery = SampleDelivery(
+        round_index=round_index,
+        destination_uids=soup.network.uids_at(dest_slots),
+        source_uids=soup._sources[done].copy(),
+        birth_rounds=soup._births[done].copy(),
+    )
+    keep = ~done
+    soup._positions = soup._positions[keep]
+    soup._sources = soup._sources[keep]
+    soup._births = soup._births[keep]
+    soup._steps = soup._steps[keep]
+    soup.stats.delivered += n_done
+    return delivery
+
+
+class TestStepAndCollectMatchesReference:
+    """The allocation-trimmed step is byte-identical to the historical one."""
+
+    def _twin_soups(self, churn_rate: int, seed: int, **soup_kwargs):
+        def make():
+            adversary = (
+                UniformRandomChurn(64, churn_rate, np.random.default_rng(seed))
+                if churn_rate
+                else None
+            )
+            net = make_net(adversary=adversary, seed=seed)
+            return net, make_soup(net, walk_length=5, walks_per_node=2, seed=seed + 1, **soup_kwargs)
+
+        return make(), make()
+
+    def _assert_deliveries_equal(self, a, b):
+        assert a.round_index == b.round_index
+        for field in ("destination_uids", "source_uids", "birth_rounds"):
+            x, y = getattr(a, field), getattr(b, field)
+            assert x.dtype == y.dtype
+            assert np.array_equal(x, y)
+
+    @pytest.mark.parametrize(
+        "churn_rate,soup_kwargs",
+        [
+            (0, {}),
+            (4, {}),
+            (4, {"enforce_forwarding_cap": True, "forwarding_cap": 3}),
+            (2, {"track_bandwidth": False}),
+        ],
+    )
+    def test_rounds_byte_identical(self, churn_rate, soup_kwargs):
+        (net_new, soup_new), (net_ref, soup_ref) = self._twin_soups(churn_rate, 9, **soup_kwargs)
+        for r in range(14):
+            report_new = net_new.begin_round()
+            report_ref = net_ref.begin_round()
+            soup_new.apply_churn(report_new)
+            soup_ref.apply_churn(report_ref)
+            soup_new.inject_from_all(r)
+            soup_ref.inject_from_all(r)
+            delivery_new = soup_new.step_and_collect(r)
+            delivery_ref = _step_and_collect_reference(soup_ref, r)
+            net_new.end_round()
+            net_ref.end_round()
+            self._assert_deliveries_equal(delivery_new, delivery_ref)
+            assert soup_new.stats == soup_ref.stats
+            for field in ("_positions", "_sources", "_births", "_steps"):
+                assert np.array_equal(getattr(soup_new, field), getattr(soup_ref, field))
+        # Identical RNG consumption throughout.
+        assert soup_new._rng.generator.random() == soup_ref._rng.generator.random()
+
+    def test_empty_soup_round(self):
+        (net_new, soup_new), (net_ref, soup_ref) = self._twin_soups(0, 3)
+        net_new.begin_round()
+        net_ref.begin_round()
+        delivery_new = soup_new.step_and_collect(0)
+        delivery_ref = _step_and_collect_reference(soup_ref, 0)
+        net_new.end_round()
+        net_ref.end_round()
+        self._assert_deliveries_equal(delivery_new, delivery_ref)
+        assert soup_new.stats == soup_ref.stats
