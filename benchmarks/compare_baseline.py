@@ -1,0 +1,19 @@
+"""Thin CLI wrapper: compare a fresh bench summary to the committed baseline.
+
+CI runs this after the benchmark-smoke step::
+
+    PYTHONPATH=src python benchmarks/compare_baseline.py \
+        --baseline BENCH_pr5.json \
+        --current bench-artifacts/BENCH_current.json
+
+Exits nonzero when any sufficiently-long benchmark slowed down beyond the
+threshold (default 1.25x; override with --max-slowdown or
+$REPRO_BENCH_MAX_SLOWDOWN).  See :mod:`repro.util.benchcompare`.
+"""
+
+from __future__ import annotations
+
+from repro.util.benchcompare import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -262,6 +262,65 @@ class Committee:
         )
         return committee
 
+    @classmethod
+    def create_many(
+        cls,
+        ctx: ProtocolContext,
+        creator_uids: Sequence[int],
+        task: str,
+        item_ids: Optional[Sequence[Optional[int]]] = None,
+        on_handovers: Optional[Sequence[Optional[Callable[[List[int], List[int], int, int], None]]]] = None,
+        sample_max_age: Optional[int] = None,
+    ) -> List["Committee"]:
+        """Create one committee per creator with a single pooled sample gather.
+
+        Byte-identical to calling :meth:`create` once per creator in order:
+        candidate-pool construction consumes no RNG, so gathering every
+        creator's pool up front (one bulk
+        :meth:`~repro.walks.sampler.NodeSampler.distinct_source_pools` call)
+        and then drawing per creator in the original order leaves every
+        seeded draw, charge and record unchanged.  Proven by the reference
+        oracle in ``tests/test_core_committee.py``.
+        """
+        creators = [int(u) for u in creator_uids]
+        if item_ids is None:
+            item_ids = [None] * len(creators)
+        if on_handovers is None:
+            on_handovers = [None] * len(creators)
+        if len(item_ids) != len(creators) or len(on_handovers) != len(creators):
+            raise ValueError("item_ids and on_handovers must match creator_uids in length")
+        params = ctx.params
+        max_age = params.landmark_refresh_period if sample_max_age is None else sample_max_age
+        pools = ctx.sampler.distinct_source_pools(creators, max_age=max_age)
+        committees: List["Committee"] = []
+        for creator_uid, item_id, on_handover, pool in zip(creators, item_ids, on_handovers, pools):
+            picked = NodeSampler.draw_from_pool(pool, params.committee_size, ctx.rng.generator)
+            if (
+                creator_uid not in picked
+                and ctx.is_alive(creator_uid)
+                and len(picked) < params.committee_size
+            ):
+                picked.append(creator_uid)
+            committee = cls(
+                ctx=ctx,
+                creator_uid=creator_uid,
+                task=task,
+                created_round=ctx.round_index,
+                members=picked,
+                item_id=item_id,
+                on_handover=on_handover,
+            )
+            ctx.record(
+                "committee",
+                "created",
+                committee_id=committee.committee_id,
+                task=task,
+                item_id=item_id,
+                size=len(picked),
+            )
+            committees.append(committee)
+        return committees
+
     # ------------------------------------------------------------------ status
     def alive_members(self) -> List[int]:
         """Members that are currently in the network."""

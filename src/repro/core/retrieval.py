@@ -33,8 +33,6 @@ from repro.core.storage import StorageService
 
 __all__ = ["RetrievalOperation", "RetrievalService"]
 
-_op_id_counter = itertools.count(1)
-
 #: Rounds added to the reported latency for the probe -> reply -> report chain.
 PROBE_ROUNDTRIP_ROUNDS = 2
 
@@ -54,6 +52,10 @@ class RetrievalOperation:
     holder_ids: List[int] = field(default_factory=list)
     probes_sent: int = 0
     found_by: Optional[int] = None
+    #: last round this operation was stepped (guards the event-driven engine
+    #: against double-stepping when a delayed probe event collides with the
+    #: current round's own event)
+    last_step_round: int = -1
 
     @property
     def latency(self) -> Optional[int]:
@@ -75,6 +77,8 @@ class RetrievalService:
         self.ctx = ctx
         self.storage = storage
         self.operations: Dict[int, RetrievalOperation] = {}
+        # Per-service so op ids (used in event tie hashes) are deterministic.
+        self._op_ids = itertools.count(1)
 
     # ------------------------------------------------------------------ issue
     def retrieve(self, requester_uid: int, item_id: int) -> RetrievalOperation:
@@ -96,7 +100,7 @@ class RetrievalService:
         )
         landmarks.build(self.ctx.round_index)
         op = RetrievalOperation(
-            op_id=next(_op_id_counter),
+            op_id=next(self._op_ids),
             requester_uid=requester_uid,
             item_id=item_id,
             start_round=self.ctx.round_index,
@@ -116,20 +120,29 @@ class RetrievalService:
     # ------------------------------------------------------------------ per-round driver
     def step(self, round_index: int) -> None:
         """Advance every pending retrieval by one round."""
-        params = self.ctx.params
         for op in self.operations.values():
-            if op.status != "pending":
-                continue
-            op.committee.step(round_index)
-            op.landmarks.step(round_index)
-            self._probe_round(op, round_index)
-            if op.status == "pending" and round_index - op.start_round >= params.retrieval_timeout:
-                op.status = "failed"
-                op.finish_round = round_index
-                op.committee.dissolve(round_index)
-                self.ctx.record(
-                    "retrieval", "timeout", op_id=op.op_id, item_id=op.item_id, probes=op.probes_sent
-                )
+            self.step_operation(op, round_index)
+
+    def step_operation(self, op: RetrievalOperation, round_index: int) -> None:
+        """Advance one retrieval by one round (event-driven engine entry point).
+
+        Finished or already-stepped operations are a no-op, so a delayed
+        probe event colliding with the operation's own event for the same
+        round preserves the lockstep invariant of one probe pass per round.
+        """
+        if op.status != "pending" or op.last_step_round >= round_index:
+            return
+        op.last_step_round = round_index
+        op.committee.step(round_index)
+        op.landmarks.step(round_index)
+        self._probe_round(op, round_index)
+        if op.status == "pending" and round_index - op.start_round >= self.ctx.params.retrieval_timeout:
+            op.status = "failed"
+            op.finish_round = round_index
+            op.committee.dissolve(round_index)
+            self.ctx.record(
+                "retrieval", "timeout", op_id=op.op_id, item_id=op.item_id, probes=op.probes_sent
+            )
 
     def _probe_round(self, op: RetrievalOperation, round_index: int) -> None:
         """One round of probing by all search landmarks of ``op`` (plus the requester)."""

@@ -36,7 +36,7 @@ from repro.core.landmarks import LandmarkSet
 
 __all__ = ["StoredItem", "StorageService", "StorageSnapshot"]
 
-_item_id_counter = itertools.count(1)
+
 
 
 @dataclass
@@ -71,6 +71,10 @@ class StoredItem:
     lost_round: Optional[int] = None
     handover_count: int = 0
     reconstruction_failures: int = 0
+    #: last round this item's maintenance ran (guards the event-driven
+    #: engine against double-stepping when a delayed maintenance event
+    #: collides with the current round's own event)
+    last_maintained_round: int = -1
 
     @property
     def size_bytes(self) -> int:
@@ -97,6 +101,9 @@ class StorageService:
         self.mode = mode
         self.items: Dict[int, StoredItem] = {}
         self.loss_events: List[int] = []
+        # Per-service (not module-global) so item ids -- which feed the event
+        # engine's deterministic tie hashes -- never depend on process history.
+        self._item_ids = itertools.count(1)
 
     # ------------------------------------------------------------------ store
     def store(
@@ -119,24 +126,82 @@ class StorageService:
         mode = self.mode if mode is None else mode
         if mode not in ("replicate", "erasure"):
             raise ValueError("mode must be 'replicate' or 'erasure'")
-        item_id = next(_item_id_counter) if item_id is None else int(item_id)
+        item_id = next(self._item_ids) if item_id is None else int(item_id)
         if item_id in self.items:
             raise ValueError(f"item {item_id} already stored")
 
         record_holder: Dict[str, StoredItem] = {}
+        committee = Committee.create(
+            self.ctx,
+            creator_uid=owner_uid,
+            task="storage",
+            item_id=item_id,
+            on_handover=self._make_handover(record_holder),
+        )
+        return self._register_item(owner_uid, bytes(data), mode, item_id, committee, record_holder)
+
+    def store_many(
+        self,
+        owner_uids: Sequence[int],
+        datas: Sequence[bytes],
+        mode: Optional[str] = None,
+    ) -> List[StoredItem]:
+        """Store several items in one batch (one pooled committee gather).
+
+        All storage committees are recruited first through
+        :meth:`Committee.create_many` (a single sampler pool gather), then
+        each item's landmarks are built in order.  This interleaves RNG
+        differently from consecutive :meth:`store` calls -- it is a batched
+        *variant*, not a drop-in replacement -- so new experiments should
+        pick one spelling and keep it.
+        """
+        if len(owner_uids) != len(datas):
+            raise ValueError("owner_uids and datas must have the same length")
+        mode = self.mode if mode is None else mode
+        if mode not in ("replicate", "erasure"):
+            raise ValueError("mode must be 'replicate' or 'erasure'")
+        for owner_uid in owner_uids:
+            if not self.ctx.is_alive(owner_uid):
+                raise ValueError(f"owner {owner_uid} is not in the network")
+        for data in datas:
+            if not isinstance(data, (bytes, bytearray)):
+                raise TypeError("data must be bytes")
+        item_ids = [next(self._item_ids) for _ in owner_uids]
+        record_holders = [dict() for _ in owner_uids]
+        committees = Committee.create_many(
+            self.ctx,
+            creator_uids=[int(u) for u in owner_uids],
+            task="storage",
+            item_ids=item_ids,
+            on_handovers=[self._make_handover(holder) for holder in record_holders],
+        )
+        return [
+            self._register_item(int(owner), bytes(data), mode, item_id, committee, holder)
+            for owner, data, item_id, committee, holder in zip(
+                owner_uids, datas, item_ids, committees, record_holders
+            )
+        ]
+
+    def _make_handover(self, record_holder: Dict[str, StoredItem]):
+        """Handover callback bound to a not-yet-constructed item record."""
 
         def handover(old: List[int], new: List[int], leader: int, round_index: int) -> None:
             item = record_holder.get("item")
             if item is not None:
                 self._handover(item, old, new, leader, round_index)
 
-        committee = Committee.create(
-            self.ctx,
-            creator_uid=owner_uid,
-            task="storage",
-            item_id=item_id,
-            on_handover=handover,
-        )
+        return handover
+
+    def _register_item(
+        self,
+        owner_uid: int,
+        data: bytes,
+        mode: str,
+        item_id: int,
+        committee: Committee,
+        record_holder: Dict[str, StoredItem],
+    ) -> StoredItem:
+        """Everything after committee recruitment: landmarks, charges, record."""
         landmarks = LandmarkSet(
             self.ctx,
             committee=committee,
@@ -201,9 +266,29 @@ class StorageService:
         due = [item.committee for item in live_items if item.committee.refresh_due(round_index)]
         plans = plan_refreshes(self.ctx, due, round_index) if due else {}
         for item in live_items:
-            item.committee.step(round_index, plan=plans.get(item.committee.committee_id))
-            item.landmarks.step(round_index)
-            self._check_loss(item, round_index)
+            self._maintain_item(item, round_index, plans.get(item.committee.committee_id))
+
+    def step_item(self, item_id: int, round_index: int) -> None:
+        """Run one round of maintenance for a single item (event-driven engine).
+
+        A missing, lost, or already-maintained item is a no-op, so a delayed
+        maintenance event colliding with the item's own event for the same
+        round preserves the lockstep invariant of one maintenance per round.
+        Refresh planning happens inline (``plan=None``), which is proven
+        byte-identical to the batched plan in ``tests/test_core_committee.py``.
+        """
+        item = self.items.get(item_id)
+        if item is None or item.lost:
+            return
+        self._maintain_item(item, round_index, None)
+
+    def _maintain_item(self, item: StoredItem, round_index: int, plan) -> None:
+        if item.last_maintained_round >= round_index:
+            return
+        item.last_maintained_round = round_index
+        item.committee.step(round_index, plan=plan)
+        item.landmarks.step(round_index)
+        self._check_loss(item, round_index)
 
     # ------------------------------------------------------------------ handover
     def _handover(

@@ -1,4 +1,4 @@
-"""The reproduction experiments E1-E12 (one module per claim; see DESIGN.md).
+"""The reproduction experiments E1-E14 (one module per claim; see DESIGN.md).
 
 Each ``expNN_*`` module declares itself to the harness with the
 :func:`~repro.experiments.spec.register_experiment` decorator, which bundles
@@ -22,6 +22,8 @@ from repro.experiments import (
     exp10_erasure,
     exp11_reversibility,
     exp12_adaptive_ablation,
+    exp13_latency_mixing,
+    exp14_latency_retrieval,
 )
 from repro.experiments.spec import REGISTRY, ExperimentSpec, register_experiment, registered_ids
 
@@ -38,6 +40,8 @@ __all__ = [
     "exp10_erasure",
     "exp11_reversibility",
     "exp12_adaptive_ablation",
+    "exp13_latency_mixing",
+    "exp14_latency_retrieval",
     "REGISTRY",
     "ExperimentSpec",
     "register_experiment",

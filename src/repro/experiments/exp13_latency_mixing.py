@@ -1,0 +1,143 @@
+"""E13 -- Walk-soup mixing under heterogeneous message latency.
+
+The paper analyses the walk soup in a synchronous round model, but its
+near-uniform-sampling guarantee is claimed to degrade gracefully when
+messages take longer than a round.  The event-driven engine
+(:mod:`repro.sim.events`) makes latency a first-class axis: each delivered
+walk token arrives ``floor(delay)`` rounds after completing, with the delay
+drawn from a configurable model (:mod:`repro.net.latency`).  We sweep the
+latency model -- zero (the lockstep baseline), uniform, heavy-tailed
+lognormal, and a two-region RTT matrix -- and measure the sample throughput,
+the total-variation distance of the per-node sample distribution from
+uniform, and the fraction of nodes receiving samples at all.  The claim
+holds if uniformity and coverage survive realistic RTT heterogeneity with
+only the delivery *rate* (and hence effective mixing time) shifting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analysis.stats import mean_ci
+from repro.analysis.tables import ResultTable
+from repro.experiments.spec import register_experiment
+from repro.sim.experiment import ExperimentConfig, build_system
+from repro.sim.results import ExperimentResult, timed_experiment
+from repro.sim.runner import GridSpec, Sweep
+from repro.walks.mixing import total_variation_from_uniform
+
+EXPERIMENT_ID = "E13"
+TITLE = "Soup mixing survives heterogeneous RTTs"
+CLAIM = (
+    "The walk soup's near-uniform sampling (Theorem 1) degrades gracefully under message latency: "
+    "nonzero per-message RTTs delay deliveries but leave the sample distribution near-uniform, so "
+    "the effective mixing time grows only by the latency scale."
+)
+
+#: The latency axis: lockstep-equivalent zero latency, bounded uniform RTTs,
+#: heavy-tailed stragglers, and a two-region topology with slow cross links.
+LATENCY_CELLS = (
+    {"engine": "events", "latency": {"kind": "zero"}},
+    {"engine": "events", "latency": {"kind": "uniform", "low": 0.0, "high": 2.0}},
+    {"engine": "events", "latency": {"kind": "lognormal", "mu": 0.0, "sigma": 0.75}},
+    {
+        "engine": "events",
+        "latency": {"kind": "region", "regions": 2, "matrix": [[0.0, 3.0], [3.0, 0.0]], "jitter": 0.5},
+    },
+)
+
+GRID = GridSpec.from_cells(LATENCY_CELLS)
+
+
+def quick_config(workers: int = 1) -> ExperimentConfig:
+    """Small configuration for benchmarks/CI."""
+    return ExperimentConfig(
+        name=EXPERIMENT_ID, n=128, seeds=(0, 1), measure_rounds=12, items=0, workers=workers
+    )
+
+
+def full_config(workers: int = 1) -> ExperimentConfig:
+    """Larger configuration for EXPERIMENTS.md numbers."""
+    return ExperimentConfig(
+        name=EXPERIMENT_ID, n=512, seeds=(0, 1, 2), measure_rounds=24, items=0, workers=workers
+    )
+
+
+def _trial(config: ExperimentConfig, seed: int) -> Dict[str, object]:
+    system = build_system(config, seed)
+    system.warm_up(config.warmup_rounds)
+    summaries = system.run_rounds(config.measure_rounds)
+    alive = system.network.alive_uids()
+    counts = system.sampler.sample_counts(alive, round_index=system.round_index)
+    report = total_variation_from_uniform(np.asarray(counts), alive)
+    return {
+        "latency_kind": (config.latency or {"kind": "zero"})["kind"],
+        "delivered_per_round": float(np.mean([s.walks_delivered for s in summaries])),
+        "tv_distance": report.tv_distance,
+        "max_over_uniform": report.max_over_uniform,
+        "coverage": report.coverage,
+        "samples_in_window": report.sample_count,
+    }
+
+
+@register_experiment(
+    EXPERIMENT_ID,
+    title=TITLE,
+    claim=CLAIM,
+    quick=quick_config,
+    full=full_config,
+    trial=_trial,
+    grid=GRID,
+)
+def run(config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+    """Run E13 over the latency-model sweep and return its result tables."""
+    base = quick_config() if config is None else config
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        claim=CLAIM,
+        config=base,
+        config_summary={"latency_axis": [cell["latency"]["kind"] for cell in LATENCY_CELLS]},
+    )
+    table = ResultTable(
+        title=f"{EXPERIMENT_ID}: sample uniformity vs latency model",
+        columns=[
+            "latency",
+            "delivered_per_round",
+            "tv_distance",
+            "tv_ci",
+            "max_over_uniform",
+            "coverage",
+        ],
+    )
+    with timed_experiment(result):
+        sweep = Sweep(base, GRID, _trial).run()
+        for cell in sweep:
+            trials = cell.trials
+            kind = trials[0].payload["latency_kind"]
+            tvs = [t.payload["tv_distance"] for t in trials]
+            tv = mean_ci(tvs)
+            table.add_row(
+                latency=kind,
+                delivered_per_round=float(np.mean([t.payload["delivered_per_round"] for t in trials])),
+                tv_distance=tv.mean,
+                tv_ci=f"[{tv.lower:.3f}, {tv.upper:.3f}]",
+                max_over_uniform=float(np.mean([t.payload["max_over_uniform"] for t in trials])),
+                coverage=float(np.mean([t.payload["coverage"] for t in trials])),
+            )
+        zero_tv = table.rows[0]["tv_distance"]
+        worst_tv = max(row["tv_distance"] for row in table.rows)
+        result.add_table(table)
+        result.add_finding(
+            f"Total-variation distance from uniform moves from {zero_tv:.3f} at zero latency to at most "
+            f"{worst_tv:.3f} under heavy-tailed and cross-region RTTs, while coverage stays at "
+            f"{min(row['coverage'] for row in table.rows):.2f} or higher: latency thins and delays the "
+            "sample stream without biasing where samples land."
+        )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

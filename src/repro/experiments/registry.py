@@ -207,7 +207,7 @@ def _build_parser() -> argparse.ArgumentParser:
         )
 
     run_parser = sub.add_parser("run", help="run one experiment")
-    run_parser.add_argument("experiment", help="experiment id (E1..E12)")
+    run_parser.add_argument("experiment", help="experiment id (E1..E14)")
     add_common(run_parser)
     run_parser.add_argument(
         "--set",
@@ -243,7 +243,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "dispatch",
         help="create a shared run directory for distributed workers (runs nothing itself)",
     )
-    dispatch_parser.add_argument("experiment", help="experiment id (E1..E12)")
+    dispatch_parser.add_argument("experiment", help="experiment id (E1..E14)")
     add_common(dispatch_parser)
     dispatch_parser.add_argument(
         "--set",
@@ -588,6 +588,18 @@ def _print_status(store: ResultStore) -> bool:
             age = time.time() - float(record.get("heartbeat_at", 0.0))
             state = "finished" if record.get("finished") else f"computing={record.get('computing')}"
             print(f"  {record.get('worker', '?')}: heartbeat={age:.1f}s ago {state}")
+    timings = store.task_timings()
+    if timings:
+        total = sum(float(t.get("seconds", 0.0)) for t in timings)
+        print(f"task timings ({len(timings)} tasks, {total:.1f}s total):")
+        slowest = sorted(timings, key=lambda t: float(t.get("seconds", 0.0)), reverse=True)
+        for record in slowest[:12]:
+            print(
+                f"  {record.get('task', '?')}: {float(record.get('seconds', 0.0)):.2f}s"
+                f" ({record.get('trials', '?')} trials, worker {record.get('worker', '?')})"
+            )
+        if len(slowest) > 12:
+            print(f"  ... and {len(slowest) - 12} more")
     return finished
 
 

@@ -1,0 +1,214 @@
+"""Pluggable message-latency models for the event-driven engine.
+
+The lockstep engine delivers every message at the end of the round it was
+sent in; the asynchronous engine (:mod:`repro.sim.events`) instead draws a
+continuous delay for each message from one of the models below.  Models are
+small frozen dataclasses registered by ``kind`` and JSON-round-trippable, so
+a latency configuration can ride inside an
+:class:`~repro.sim.experiment.ExperimentConfig` and through the result
+store/dispatch stack unchanged.
+
+Two query surfaces cover everything the engine needs:
+
+* :meth:`LatencyModel.pair_delays` -- a delay per (source, destination) pair,
+  used for soup-token deliveries;
+* :meth:`LatencyModel.node_delays` -- a delay per node, used for churn
+  arrivals (join propagation) and per-item/per-operation maintenance.
+
+``ZeroLatency`` draws nothing from the generator at all -- this is what makes
+the zero-latency asynchronous engine byte-identical to lockstep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Tuple, Type
+
+import numpy as np
+
+__all__ = [
+    "LatencyModel",
+    "ZeroLatency",
+    "UniformLatency",
+    "LognormalLatency",
+    "RegionMatrixLatency",
+    "LATENCY_KINDS",
+    "latency_from_json_dict",
+    "resolve_latency",
+]
+
+
+_REGISTRY: Dict[str, Type["LatencyModel"]] = {}
+
+
+def _register(cls: Type["LatencyModel"]) -> Type["LatencyModel"]:
+    _REGISTRY[cls.kind] = cls
+    return cls
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Base class: a distribution over non-negative message delays (in rounds)."""
+
+    kind = "abstract"
+    #: True iff every delay is exactly zero and no RNG is consumed.
+    is_zero = False
+
+    def pair_delays(
+        self, rng: np.random.Generator, src_uids: np.ndarray, dst_uids: np.ndarray
+    ) -> np.ndarray:
+        """Delays for messages from ``src_uids[i]`` to ``dst_uids[i]``."""
+        raise NotImplementedError
+
+    def node_delays(self, rng: np.random.Generator, uids: np.ndarray) -> np.ndarray:
+        """Delays attributed to single nodes (joins, maintenance wake-ups)."""
+        raise NotImplementedError
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """A plain-JSON description; ``latency_from_json_dict`` inverts it."""
+        out: Dict[str, Any] = {"kind": self.kind}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = [list(row) if isinstance(row, tuple) else row for row in value]
+            out[f.name] = value
+        return out
+
+
+@_register
+@dataclass(frozen=True)
+class ZeroLatency(LatencyModel):
+    """Every message arrives in the round it was sent; draws no randomness."""
+
+    kind = "zero"
+    is_zero = True
+
+    def pair_delays(self, rng, src_uids, dst_uids):  # noqa: ARG002 - no RNG use
+        return np.zeros(len(src_uids), dtype=np.float64)
+
+    def node_delays(self, rng, uids):  # noqa: ARG002 - no RNG use
+        return np.zeros(len(uids), dtype=np.float64)
+
+
+@_register
+@dataclass(frozen=True)
+class UniformLatency(LatencyModel):
+    """Delays drawn uniformly from ``[low, high]`` rounds."""
+
+    kind = "uniform"
+    low: float = 0.0
+    high: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.low <= self.high):
+            raise ValueError(f"uniform latency requires 0 <= low <= high, got [{self.low}, {self.high}]")
+
+    def pair_delays(self, rng, src_uids, dst_uids):
+        return rng.uniform(self.low, self.high, size=len(src_uids))
+
+    def node_delays(self, rng, uids):
+        return rng.uniform(self.low, self.high, size=len(uids))
+
+
+@_register
+@dataclass(frozen=True)
+class LognormalLatency(LatencyModel):
+    """Heavy-tailed delays: ``lognormal(mu, sigma)``, a straggler model."""
+
+    kind = "lognormal"
+    mu: float = 0.0
+    sigma: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError(f"lognormal latency requires sigma >= 0, got {self.sigma}")
+
+    def pair_delays(self, rng, src_uids, dst_uids):
+        return rng.lognormal(self.mu, self.sigma, size=len(src_uids))
+
+    def node_delays(self, rng, uids):
+        return rng.lognormal(self.mu, self.sigma, size=len(uids))
+
+
+@_register
+@dataclass(frozen=True)
+class RegionMatrixLatency(LatencyModel):
+    """Per-region RTT matrix: node ``u`` lives in region ``u % regions``.
+
+    ``matrix[i][j]`` is the base delay from region ``i`` to region ``j``;
+    ``jitter`` adds an independent ``uniform(0, jitter)`` per message.  A
+    matrix with a large off-diagonal models a transient partition between
+    regions.
+    """
+
+    kind = "region"
+    regions: int = 2
+    matrix: Tuple[Tuple[float, ...], ...] = ((0.0, 1.0), (1.0, 0.0))
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.regions < 1:
+            raise ValueError(f"region latency requires regions >= 1, got {self.regions}")
+        matrix = tuple(tuple(float(x) for x in row) for row in self.matrix)
+        object.__setattr__(self, "matrix", matrix)
+        if len(matrix) != self.regions or any(len(row) != self.regions for row in matrix):
+            raise ValueError(f"latency matrix must be {self.regions}x{self.regions}")
+        if any(x < 0 for row in matrix for x in row):
+            raise ValueError("latency matrix entries must be non-negative")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be non-negative, got {self.jitter}")
+
+    def _base(self, src_regions: np.ndarray, dst_regions: np.ndarray) -> np.ndarray:
+        table = np.asarray(self.matrix, dtype=np.float64)
+        return table[src_regions, dst_regions]
+
+    def pair_delays(self, rng, src_uids, dst_uids):
+        src = np.asarray(src_uids, dtype=np.int64) % self.regions
+        dst = np.asarray(dst_uids, dtype=np.int64) % self.regions
+        delays = self._base(src, dst)
+        if self.jitter > 0:
+            delays = delays + rng.uniform(0.0, self.jitter, size=len(delays))
+        return delays
+
+    def node_delays(self, rng, uids):
+        regions = np.asarray(uids, dtype=np.int64) % self.regions
+        delays = self._base(regions, regions)
+        if self.jitter > 0:
+            delays = delays + rng.uniform(0.0, self.jitter, size=len(delays))
+        return delays
+
+
+LATENCY_KINDS: Tuple[str, ...] = tuple(sorted(_REGISTRY))
+
+
+def latency_from_json_dict(data: Mapping[str, Any]) -> LatencyModel:
+    """Rebuild a latency model from its ``to_json_dict`` form.
+
+    Unknown kinds and unknown keys are rejected so a typo'd sweep axis fails
+    loudly instead of silently running at zero latency.
+    """
+    if not isinstance(data, Mapping):
+        raise TypeError(f"latency config must be a mapping, got {type(data).__name__}")
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    if kind not in _REGISTRY:
+        raise ValueError(f"unknown latency kind {kind!r}; expected one of {LATENCY_KINDS}")
+    cls = _REGISTRY[kind]
+    allowed = {f.name for f in fields(cls)}
+    unknown = sorted(set(payload) - allowed)
+    if unknown:
+        raise ValueError(f"unknown latency keys for kind {kind!r}: {unknown}")
+    if "matrix" in payload and payload["matrix"] is not None:
+        payload["matrix"] = tuple(tuple(float(x) for x in row) for row in payload["matrix"])
+    return cls(**payload)
+
+
+def resolve_latency(spec: "LatencyModel | Mapping[str, Any] | None") -> LatencyModel:
+    """Coerce ``None`` / a JSON dict / a model instance into a model instance."""
+    if spec is None:
+        return ZeroLatency()
+    if isinstance(spec, LatencyModel):
+        return spec
+    if isinstance(spec, Mapping):
+        return latency_from_json_dict(spec)
+    raise TypeError(f"cannot resolve latency from {type(spec).__name__}")

@@ -15,6 +15,7 @@ from repro.sim.dispatch import (
     plan_tasks,
     use_dispatcher,
 )
+from repro.sim.events import AsyncProtocolSystem, EventQueue, force_engine, forced_engine
 from repro.sim.experiment import (
     ExperimentConfig,
     TrialResult,
@@ -39,6 +40,10 @@ from repro.sim.runner import (
 from repro.sim.store import ResultStore, active_store, use_store
 
 __all__ = [
+    "AsyncProtocolSystem",
+    "EventQueue",
+    "force_engine",
+    "forced_engine",
     "ExperimentConfig",
     "TrialResult",
     "build_adversary",

@@ -455,6 +455,7 @@ class DispatchWorker:
         if beat is not None:
             beat.set_task(task.task_id)
         computed_any = False
+        started = time.perf_counter()
         try:
             for entry in task.entries:
                 if entry.is_complete(self.store):
@@ -481,6 +482,9 @@ class DispatchWorker:
                 self.store.heartbeat_claim(task.task_id, self.worker_id)
             if computed_any:
                 self.computed_tasks.append(task.task_id)
+                self.store.write_task_timing(
+                    task.task_id, self.worker_id, time.perf_counter() - started, task.trial_count
+                )
                 _logger.info(
                     "worker %s completed task %s (%d trials)",
                     self.worker_id,

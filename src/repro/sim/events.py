@@ -1,0 +1,436 @@
+"""Deterministic discrete-event scheduling and the asynchronous engine.
+
+The lockstep engine (:class:`repro.core.protocol.P2PStorageSystem`) executes
+each round as one fixed call sequence.  :class:`AsyncProtocolSystem` replaces
+that sequence with events on a :class:`EventQueue`: soup-token deliveries,
+churn arrivals, storage maintenance and retrieval probing all fire at
+timestamps offset by delays drawn from a pluggable latency model
+(:mod:`repro.net.latency`).
+
+Determinism has two layers:
+
+* the queue itself is deterministic -- ties at the same ``(time, priority)``
+  are broken by a seeded content hash, so the pop order does not depend on
+  the order in which events were added;
+* the engine draws all latency from a dedicated stream spawned off the
+  *analysis* side of the experiment's :class:`~repro.util.rng.SplitRng`,
+  which the protocol never touches, so turning latency on cannot perturb a
+  single protocol or adversary coin.
+
+Under :class:`~repro.net.latency.ZeroLatency` the event schedule of a round
+collapses to exactly the lockstep call sequence with exactly the same RNG
+consumption; ``tests/test_sim_events.py`` enforces this byte-for-byte against
+the lockstep oracle and the committed E3-E6 quick-mode artifacts.  See
+``docs/ASYNC.md`` for the full argument.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from hashlib import blake2b
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.protocol import P2PStorageSystem, RoundSummary
+from repro.net.latency import LatencyModel, resolve_latency
+from repro.util.rng import derive_seed
+from repro.util.serialization import jsonify
+from repro.walks.soup import SampleDelivery
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "EventQueue",
+    "AsyncProtocolSystem",
+    "force_engine",
+    "forced_engine",
+]
+
+
+# ---------------------------------------------------------------------- queue
+@dataclass
+class EventHandle:
+    """Returned by :meth:`EventQueue.add_event`; lets the caller cancel."""
+
+    seq: int
+    time: float
+    kind: str
+    cancelled: bool = False
+    popped: bool = False
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled occurrence, as returned by :meth:`EventQueue.pop`."""
+
+    time: float
+    kind: str
+    payload: Any = None
+    seq: int = 0
+
+
+class EventQueue:
+    """A seeded min-heap of ``(time, priority, tie, seq)``-ordered events.
+
+    The ``tie`` component is a keyed content hash of ``(kind, payload)`` --
+    or of an explicit ``tie_key`` -- so that events scheduled for the same
+    instant pop in an order that depends only on *what* they are, never on
+    the order the producer happened to add them.  ``seq`` breaks the
+    (astronomically unlikely) remaining ties by insertion order and keeps
+    heap comparisons away from payload objects.
+
+    Cancellation is lazy: cancelled entries stay in the heap and are skipped
+    on pop, which keeps :meth:`cancel` O(1).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._heap: List[Tuple[float, int, int, int, EventHandle, Any]] = []
+        self._seq = 0
+        self._live = 0
+        self._key = int(seed).to_bytes(8, "little", signed=False)
+
+    def _tie(self, kind: str, payload: Any, tie_key: Optional[str]) -> int:
+        data = tie_key if tie_key is not None else json.dumps(jsonify(payload), sort_keys=True)
+        digest = blake2b(f"{kind}|{data}".encode(), key=self._key, digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+
+    def add_event(
+        self,
+        time: float,
+        kind: str,
+        payload: Any = None,
+        priority: int = 0,
+        tie_key: Optional[str] = None,
+    ) -> EventHandle:
+        """Schedule ``kind`` at ``time``; returns a cancellable handle.
+
+        ``priority`` orders events at the same instant (lower first) before
+        the seeded tie-break; ``tie_key`` replaces the payload in the tie
+        hash when the payload is large or not JSON-serializable.
+        """
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        handle = EventHandle(seq=self._seq, time=float(time), kind=kind)
+        entry = (float(time), int(priority), self._tie(kind, payload, tie_key), self._seq, handle, payload)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, entry)
+        return handle
+
+    def cancel(self, handle: EventHandle) -> bool:
+        """Cancel a pending event; returns False if already popped/cancelled."""
+        if handle.cancelled or handle.popped:
+            return False
+        handle.cancelled = True
+        self._live -= 1
+        return True
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` when empty."""
+        while self._heap:
+            time, _priority, _tie, seq, handle, payload = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            handle.popped = True
+            self._live -= 1
+            return Event(time=time, kind=handle.kind, payload=payload, seq=seq)
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the earliest live event, or ``None`` when empty."""
+        while self._heap and self._heap[0][4].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return self._live
+
+    def drain(self) -> Iterator[Event]:
+        """Pop every remaining event in order (mainly for tests)."""
+        while True:
+            event = self.pop()
+            if event is None:
+                return
+            yield event
+
+
+# ------------------------------------------------------------------- engine
+#: Priority of each event kind within one timestamp.  ``round_end`` for round
+#: r sits at time r+1 with priority -1 so it sorts before anything belonging
+#: to round r+1; within a round the order mirrors the lockstep sequence.
+PRIORITY: Dict[str, int] = {
+    "round_end": -1,
+    "round_begin": 0,
+    "join": 1,
+    "deliver": 2,
+    "sampler_expire": 3,
+    "storage_step": 4,
+    "storage_item": 4,
+    "retrieval_step": 5,
+    "retrieval_op": 5,
+}
+
+
+class AsyncProtocolSystem(P2PStorageSystem):
+    """Event-driven variant of :class:`P2PStorageSystem`.
+
+    Accepts every lockstep constructor argument plus ``latency`` (a
+    :class:`~repro.net.latency.LatencyModel`, its JSON dict, or ``None`` for
+    zero latency).  The user-facing API (``warm_up``, ``store``,
+    ``retrieve``, ``run_until_finished``, reporting) is inherited unchanged;
+    only :meth:`run_round` is replaced by an event loop.
+
+    With zero latency the per-round event schedule reproduces the lockstep
+    call sequence exactly -- same calls, same arguments, same RNG draws --
+    so results are byte-identical to the lockstep engine.  With nonzero
+    latency, deliveries arrive ``floor(delay)`` rounds late, churned-in
+    nodes stay dormant (inject no walks) until their join event fires, and
+    storage/retrieval maintenance runs per-item/per-operation at delayed
+    timestamps.
+    """
+
+    def __init__(self, *args, latency: "LatencyModel | Mapping[str, Any] | None" = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.latency = resolve_latency(latency)
+        self.events = EventQueue(seed=derive_seed(self.seed, "events"))
+        self._latency_rng = self.rng.analysis.spawn("latency")
+        #: uid -> round at which the node's join event fires; dormant nodes
+        #: occupy their slot but inject no walk tokens yet.
+        self._dormant: Dict[int, int] = {}
+        self._round_delivered = 0
+        self._round_report = None
+
+    # -------------------------------------------------------------- round loop
+    def run_round(self) -> RoundSummary:
+        """Execute one round by scheduling and draining its events."""
+        r = self.network.round_index + 1
+        add = self.events.add_event
+        add(r, "round_begin", priority=PRIORITY["round_begin"], tie_key=f"round_begin:{r}")
+        add(r, "sampler_expire", priority=PRIORITY["sampler_expire"], tie_key=f"sampler_expire:{r}")
+        if self.latency.is_zero:
+            add(r, "storage_step", priority=PRIORITY["storage_step"], tie_key=f"storage_step:{r}")
+            add(r, "retrieval_step", priority=PRIORITY["retrieval_step"], tie_key=f"retrieval_step:{r}")
+        add(r + 1, "round_end", priority=PRIORITY["round_end"], tie_key=f"round_end:{r}")
+
+        while True:
+            event = self.events.pop()
+            if event is None:  # pragma: no cover - round_end is always queued
+                raise RuntimeError("event queue drained before round_end")
+            if event.kind == "round_end":
+                return self._on_round_end()
+            self._dispatch(event)
+
+    def _dispatch(self, event: Event) -> None:
+        kind = event.kind
+        if kind == "round_begin":
+            self._on_round_begin(int(event.time))
+        elif kind == "join":
+            self._dormant.pop(int(event.payload), None)
+        elif kind == "deliver":
+            self._on_deliver(event.payload)
+        elif kind == "sampler_expire":
+            self.sampler.expire(self.network.round_index)
+        elif kind == "storage_step":
+            self.storage.step(self.network.round_index)
+        elif kind == "storage_item":
+            self.storage.step_item(int(event.payload), self.network.round_index)
+        elif kind == "retrieval_step":
+            self.retrieval.step(self.network.round_index)
+        elif kind == "retrieval_op":
+            op = self.retrieval.operations.get(int(event.payload))
+            if op is not None:
+                self.retrieval.step_operation(op, self.network.round_index)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown event kind {kind!r}")
+
+    # -------------------------------------------------------------- handlers
+    def _on_round_begin(self, r: int) -> None:
+        report = self.network.begin_round()
+        self.last_churn_report = report
+        self._round_report = report
+        self._round_delivered = 0
+        self.soup.apply_churn(report)
+        if self._dormant:
+            for uid in report.churned_out_uids:
+                self._dormant.pop(int(uid), None)
+        if not self.latency.is_zero:
+            self._schedule_joins(report, r)
+        self._inject(r)
+        delivery = self.soup.step_and_collect(r)
+        self._schedule_delivery(delivery, r)
+        if not self.latency.is_zero:
+            self._schedule_maintenance(r)
+            self._schedule_retrievals(r)
+
+    def _schedule_joins(self, report, r: int) -> None:
+        uids = report.churned_in_uids
+        if uids.size == 0:
+            return
+        delays = self.latency.node_delays(self._latency_rng.generator, uids)
+        arrivals = np.maximum(1, np.floor(delays).astype(np.int64))
+        for uid, k in zip(uids, arrivals):
+            uid = int(uid)
+            self._dormant[uid] = r + int(k)
+            self.events.add_event(
+                r + int(k), "join", payload=uid, priority=PRIORITY["join"], tie_key=f"join:{uid}"
+            )
+
+    def _inject(self, r: int) -> None:
+        """Inject fresh walk tokens from every non-dormant alive node.
+
+        With no dormant nodes this is exactly ``soup.inject_from_all`` --
+        the call the lockstep engine makes -- so the zero-latency path never
+        diverges in array order or RNG use.
+        """
+        if not self._dormant:
+            self.soup.inject_from_all(r)
+            return
+        per = self.soup.walks_per_node
+        if per <= 0:
+            return
+        uids = self.network.slot_uid_view()
+        dormant = np.fromiter(self._dormant.keys(), dtype=np.int64, count=len(self._dormant))
+        mask = ~np.isin(uids, dormant)
+        slots = np.nonzero(mask)[0].astype(np.int32)
+        self.soup.inject(np.repeat(slots, per), np.repeat(uids[mask], per), r)
+
+    def _schedule_delivery(self, delivery: SampleDelivery, r: int) -> None:
+        """Schedule this round's completed walks for (possibly delayed) ingest.
+
+        An ingest event fires at round ``r`` even when nothing (or nothing
+        yet) arrives: :meth:`NodeSampler.ingest` advances its ingest
+        watermark on empty deliveries, and the lockstep engine ingests every
+        round unconditionally.
+        """
+        if self.latency.is_zero:
+            payload = (delivery.destination_uids, delivery.source_uids, delivery.birth_rounds)
+            self.events.add_event(
+                r, "deliver", payload=payload, priority=PRIORITY["deliver"], tie_key=f"deliver:{r}"
+            )
+            return
+        dest, src, birth = delivery.destination_uids, delivery.source_uids, delivery.birth_rounds
+        if dest.size:
+            delays = self.latency.pair_delays(self._latency_rng.generator, src, dest)
+            arrivals = np.floor(delays).astype(np.int64)
+        else:
+            arrivals = np.empty(0, dtype=np.int64)
+        now = arrivals <= 0
+        self.events.add_event(
+            r,
+            "deliver",
+            payload=(dest[now], src[now], birth[now]),
+            priority=PRIORITY["deliver"],
+            tie_key=f"deliver:{r}",
+        )
+        late = ~now
+        for k in np.unique(arrivals[late]):
+            group = arrivals == k
+            self.events.add_event(
+                r + int(k),
+                "deliver",
+                payload=(dest[group], src[group], birth[group]),
+                priority=PRIORITY["deliver"],
+                tie_key=f"deliver:{r}+{int(k)}",
+            )
+
+    def _on_deliver(self, payload) -> None:
+        dest, src, birth = payload
+        delivery = SampleDelivery(
+            round_index=self.network.round_index,
+            destination_uids=dest,
+            source_uids=src,
+            birth_rounds=birth,
+        )
+        self.sampler.ingest(delivery)
+        self._round_delivered += delivery.count
+        self._last_delivery = delivery
+
+    def _schedule_maintenance(self, r: int) -> None:
+        items = [item for item in self.storage.items.values() if not item.lost]
+        if not items:
+            return
+        owners = np.asarray([item.owner_uid for item in items], dtype=np.int64)
+        delays = self.latency.node_delays(self._latency_rng.generator, owners)
+        arrivals = np.floor(delays).astype(np.int64)
+        for item, k in zip(items, arrivals):
+            self.events.add_event(
+                r + int(k),
+                "storage_item",
+                payload=item.item_id,
+                priority=PRIORITY["storage_item"],
+                tie_key=f"storage_item:{item.item_id}:{r}",
+            )
+
+    def _schedule_retrievals(self, r: int) -> None:
+        pending = self.retrieval.pending_operations()
+        if not pending:
+            return
+        requesters = np.asarray([op.requester_uid for op in pending], dtype=np.int64)
+        delays = self.latency.node_delays(self._latency_rng.generator, requesters)
+        arrivals = np.floor(delays).astype(np.int64)
+        for op, k in zip(pending, arrivals):
+            self.events.add_event(
+                r + int(k),
+                "retrieval_op",
+                payload=op.op_id,
+                priority=PRIORITY["retrieval_op"],
+                tie_key=f"retrieval_op:{op.op_id}:{r}",
+            )
+
+    def _on_round_end(self) -> RoundSummary:
+        report = self._round_report
+        self.network.end_round()
+        available = self.storage.available_count()
+        summary = RoundSummary(
+            round_index=report.round_index,
+            churned=report.count,
+            walks_delivered=self._round_delivered,
+            walks_in_flight=self.soup.in_flight,
+            items_available=available,
+            items_total=len(self.storage.items),
+            retrievals_pending=len(self.retrieval.pending_operations()),
+            retrievals_succeeded=sum(1 for op in self.retrieval.operations.values() if op.succeeded),
+        )
+        self.round_summaries.append(summary)
+        return summary
+
+    # -------------------------------------------------------------- reporting
+    def describe(self) -> Dict[str, object]:
+        out = super().describe()
+        out["engine"] = "events"
+        out["latency"] = self.latency.to_json_dict()
+        return out
+
+
+# ------------------------------------------------------- engine forcing hook
+_FORCED: ContextVar[Optional[Tuple[str, Optional[Mapping[str, Any]]]]] = ContextVar(
+    "repro_forced_engine", default=None
+)
+
+
+@contextmanager
+def force_engine(engine: str, latency: "Mapping[str, Any] | None" = None):
+    """Force :func:`repro.sim.experiment.build_system` onto ``engine``.
+
+    Used by the equivalence regression tests to run unmodified lockstep
+    experiment configs through the asynchronous engine (so cell keys and
+    artifact bytes stay comparable) without editing the configs.
+    """
+    if engine not in ("lockstep", "events"):
+        raise ValueError(f"unknown engine {engine!r}")
+    token = _FORCED.set((engine, latency))
+    try:
+        yield
+    finally:
+        _FORCED.reset(token)
+
+
+def forced_engine() -> Tuple[Optional[str], Optional[Mapping[str, Any]]]:
+    """The (engine, latency) forced by :func:`force_engine`, or ``(None, None)``."""
+    value = _FORCED.get()
+    return value if value is not None else (None, None)

@@ -55,6 +55,7 @@ __all__ = [
 ]
 
 ADVERSARY_KINDS = ("none", "uniform", "sweep", "burst", "adaptive")
+ENGINE_KINDS = ("lockstep", "events")
 
 
 @dataclass(frozen=True)
@@ -92,6 +93,14 @@ class ExperimentConfig:
         Item payload size in bytes.
     param_overrides:
         Extra keyword overrides for :class:`ProtocolParameters`.
+    engine:
+        ``"lockstep"`` (the synchronous round engine) or ``"events"`` (the
+        discrete-event :class:`~repro.sim.events.AsyncProtocolSystem`).
+        Zero-latency event mode is byte-identical to lockstep.
+    latency:
+        Latency-model config dict for the event engine (see
+        :mod:`repro.net.latency`); ``None`` means zero latency.  Setting a
+        latency with ``engine="lockstep"`` is an error.
     workers:
         Worker processes used by :func:`run_trials` and sweeps (1 =
         sequential).  Parallel runs are seed-deterministic, so this knob
@@ -112,17 +121,25 @@ class ExperimentConfig:
     items: int = 4
     item_size: int = 256
     param_overrides: Dict[str, float] = field(default_factory=dict)
+    engine: str = "lockstep"
+    latency: Optional[Dict[str, Any]] = None
     workers: int = 1
 
     def __post_init__(self) -> None:
         check_choice(self.adversary, "adversary", ADVERSARY_KINDS)
         check_choice(self.storage_mode, "storage_mode", ("replicate", "erasure"))
+        check_choice(self.engine, "engine", ENGINE_KINDS)
         if self.n < 16 or self.n % 2:
             raise ValueError("n must be an even integer >= 16")
         if self.churn_fraction < 0:
             raise ValueError("churn_fraction must be non-negative")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.latency is not None:
+            if not isinstance(self.latency, Mapping):
+                raise TypeError("latency must be a mapping (a latency-model JSON dict) or None")
+            if self.engine == "lockstep":
+                raise ValueError("latency requires engine='events' (lockstep has no latency)")
 
     def resolved_churn_rate(self) -> int:
         """The absolute per-round churn this config implies."""
@@ -158,6 +175,8 @@ class ExperimentConfig:
             payload["seeds"] = tuple(int(seed) for seed in payload["seeds"])
         if "param_overrides" in payload:
             payload["param_overrides"] = dict(payload["param_overrides"])
+        if payload.get("latency") is not None:
+            payload["latency"] = dict(payload["latency"])
         return cls(**payload)
 
     @classmethod
@@ -219,21 +238,42 @@ def build_adversary(config: ExperimentConfig, split: SplitRng) -> ChurnAdversary
 
 
 def build_system(config: ExperimentConfig, seed: int) -> P2PStorageSystem:
-    """Build a ready-to-run system for one trial of ``config``."""
+    """Build a ready-to-run system for one trial of ``config``.
+
+    The engine comes from ``config.engine`` unless overridden by an active
+    :func:`repro.sim.events.force_engine` context (used by equivalence
+    tests to run lockstep configs through the event engine unchanged).
+    """
+    from repro.sim.events import AsyncProtocolSystem, forced_engine  # local import: events imports protocol
+
+    engine, latency = forced_engine()
+    if engine is None:
+        engine, latency = config.engine, config.latency
     split = SplitRng(seed)
     adversary = build_adversary(config, split)
     overrides = dict(config.param_overrides)
     overrides.setdefault("degree", config.degree)
     overrides.setdefault("delta", config.delta)
     params = ProtocolParameters.for_network(config.n, **overrides)
-    system = P2PStorageSystem(
-        n=config.n,
-        seed=seed,
-        params=params,
-        adversary=adversary,
-        storage_mode=config.storage_mode,
-        degree=config.degree,
-    )
+    if engine == "events":
+        system: P2PStorageSystem = AsyncProtocolSystem(
+            n=config.n,
+            seed=seed,
+            params=params,
+            adversary=adversary,
+            storage_mode=config.storage_mode,
+            degree=config.degree,
+            latency=latency,
+        )
+    else:
+        system = P2PStorageSystem(
+            n=config.n,
+            seed=seed,
+            params=params,
+            adversary=adversary,
+            storage_mode=config.storage_mode,
+            degree=config.degree,
+        )
     if isinstance(adversary, AdaptiveAdversary):
         # The (non-oblivious) ablation adversary targets the slots of the
         # nodes currently holding items or serving on storage committees.

@@ -32,6 +32,7 @@ traceback, so a failing cell in a 100-cell sweep is attributable.
 from __future__ import annotations
 
 import itertools
+import json
 import os
 import pickle
 import secrets
@@ -427,8 +428,12 @@ class GridSpec:
                     raise ValueError(f"unknown ExperimentConfig field {key!r} in grid")
             # Canonicalise by key so {'a': 1, 'b': 2} and {'b': 2, 'a': 1}
             # count as the same cell (keys are unique within a cell, so the
-            # sort never compares values).
-            canonical = tuple(sorted(cell))
+            # sort never compares values).  The dedup key is the sorted
+            # cell's JSON rendering rather than the tuple itself: values may
+            # be unhashable (e.g. a latency-model config dict).
+            canonical = json.dumps(
+                [[key, jsonify(value)] for key, value in sorted(cell)], sort_keys=True
+            )
             if canonical in seen:
                 raise ValueError(f"duplicate grid cell {dict(cell)!r}")
             seen.add(canonical)

@@ -159,6 +159,7 @@ class ResultStore:
     CHUNKS_DIR = "chunks"
     CLAIMS_DIR = "claims"
     WORKERS_DIR = "workers"
+    TIMINGS_DIR = "timings"
 
     def __init__(self, root: Path) -> None:
         self.root = Path(root)
@@ -206,6 +207,10 @@ class ResultStore:
     @property
     def workers_dir(self) -> Path:
         return self.root / self.WORKERS_DIR
+
+    @property
+    def timings_dir(self) -> Path:
+        return self.root / self.TIMINGS_DIR
 
     def manifest(self) -> Dict[str, Any]:
         """The manifest written at :meth:`create` time."""
@@ -499,6 +504,38 @@ class ResultStore:
             return []
         out = []
         for path in sorted(self.workers_dir.glob("*.json")):
+            try:
+                out.append(json.loads(path.read_text()))
+            except (json.JSONDecodeError, FileNotFoundError):
+                continue
+        return out
+
+    # ------------------------------------------------------------------ task timings
+    def write_task_timing(self, task_id: str, worker_id: str, seconds: float, trials: int) -> Path:
+        """Record how long one dispatch task took on one worker (for ``status``).
+
+        Timing records live in their own ``timings/`` directory, outside the
+        byte-compared result surface (cells, chunks, ``result.json``), so two
+        runs of different speed still produce identical results.
+        """
+        self.timings_dir.mkdir(parents=True, exist_ok=True)
+        document = {
+            "task": task_id,
+            "worker": worker_id,
+            "seconds": float(seconds),
+            "trials": int(trials),
+            "recorded_at": time.time(),
+        }
+        path = self.timings_dir / f"{task_id}.json"
+        _atomic_write_text(path, dumps_artifact(document))
+        return path
+
+    def task_timings(self) -> List[Dict[str, Any]]:
+        """All recorded task timings, sorted by task id."""
+        if not self.timings_dir.exists():
+            return []
+        out = []
+        for path in sorted(self.timings_dir.glob("*.json")):
             try:
                 out.append(json.loads(path.read_text()))
             except (json.JSONDecodeError, FileNotFoundError):

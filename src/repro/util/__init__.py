@@ -1,5 +1,6 @@
 """Shared utilities: RNG management, validation, data structures, accounting."""
 
+from repro.util.benchcompare import BenchComparison, compare_bench_summaries
 from repro.util.bitbudget import BitBudgetLedger, MessageCost
 from repro.util.datastructures import BoundedCounter, IndexedSet, RoundTimer, SlidingWindow
 from repro.util.rng import RngStream, SplitRng, derive_seed, make_rng
@@ -17,6 +18,8 @@ from repro.util.validation import (
 )
 
 __all__ = [
+    "BenchComparison",
+    "compare_bench_summaries",
     "BitBudgetLedger",
     "MessageCost",
     "BoundedCounter",

@@ -1,0 +1,178 @@
+"""Compare a benchmark summary against a committed baseline.
+
+The benchmark harness (``benchmarks/conftest.py``) writes a one-file summary
+of every benchmark that ran -- ``{"benchmarks": [{name, mean_seconds, ...}]}``
+-- when ``$REPRO_BENCH_SUMMARY`` is set.  The repo keeps the current baseline
+committed at the root (``BENCH_pr5.json``), so CI can detect perf regressions
+by re-running the same benchmarks and comparing mean times here.
+
+The comparison is deliberately coarse: CI machines are noisy, so only
+slowdowns beyond a generous multiplicative threshold (default 1.25x) on
+benchmarks that take long enough to time reliably (default >= 50 ms baseline
+mean) count as regressions.  New benchmarks (absent from the baseline) and
+removed ones are reported but never fail the check -- the baseline is
+refreshed by committing a new summary, not by blocking the PR that adds a
+benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence, Union
+
+#: Multiplicative slowdown beyond which a benchmark counts as regressed.
+DEFAULT_MAX_SLOWDOWN = 1.25
+
+#: Baseline means below this floor (seconds) are too noisy to compare.
+DEFAULT_MIN_SECONDS = 0.05
+
+#: Environment override for the slowdown threshold (a float like ``1.5``).
+MAX_SLOWDOWN_ENV = "REPRO_BENCH_MAX_SLOWDOWN"
+
+
+@dataclass
+class BenchComparison:
+    """Outcome of comparing a current benchmark summary to a baseline."""
+
+    max_slowdown: float
+    min_seconds: float
+    #: ``(name, baseline_mean, current_mean, ratio)`` for regressed benchmarks.
+    regressions: List[tuple] = field(default_factory=list)
+    #: Human-readable report lines, one per benchmark plus notes.
+    lines: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def report(self) -> str:
+        return "\n".join(self.lines)
+
+
+def _entries(doc: Mapping) -> Dict[str, Mapping]:
+    """Index a summary document's benchmark entries by name."""
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        raise ValueError("summary document has no 'benchmarks' list")
+    by_name: Dict[str, Mapping] = {}
+    for entry in benchmarks:
+        name = entry.get("name")
+        mean = entry.get("mean_seconds")
+        if not isinstance(name, str) or not isinstance(mean, (int, float)):
+            raise ValueError(f"malformed benchmark entry: {entry!r}")
+        by_name[name] = entry
+    return by_name
+
+
+def resolve_max_slowdown(default: float = DEFAULT_MAX_SLOWDOWN) -> float:
+    """The slowdown threshold, honouring $REPRO_BENCH_MAX_SLOWDOWN."""
+    raw = os.environ.get(MAX_SLOWDOWN_ENV, "").strip()
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"{MAX_SLOWDOWN_ENV} must be a float, got {raw!r}") from exc
+    if value < 1.0:
+        raise ValueError(f"{MAX_SLOWDOWN_ENV} must be >= 1.0, got {value}")
+    return value
+
+
+def compare(
+    baseline_doc: Mapping,
+    current_doc: Mapping,
+    max_slowdown: float = DEFAULT_MAX_SLOWDOWN,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> BenchComparison:
+    """Compare two benchmark summary documents on ``mean_seconds``.
+
+    A benchmark regresses when it appears in both documents, its baseline
+    mean is at least ``min_seconds``, and its current mean exceeds
+    ``max_slowdown`` times the baseline mean.
+    """
+    baseline = _entries(baseline_doc)
+    current = _entries(current_doc)
+    result = BenchComparison(max_slowdown=max_slowdown, min_seconds=min_seconds)
+
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            result.lines.append(f"SKIP {name}: not in current run (removed benchmark?)")
+            continue
+        if name not in baseline:
+            result.lines.append(f"NEW  {name}: no baseline entry, not compared")
+            continue
+        base_mean = float(baseline[name]["mean_seconds"])
+        cur_mean = float(current[name]["mean_seconds"])
+        if base_mean < min_seconds:
+            result.lines.append(
+                f"SKIP {name}: baseline mean {base_mean * 1e3:.1f} ms below "
+                f"{min_seconds * 1e3:.0f} ms comparison floor"
+            )
+            continue
+        ratio = cur_mean / base_mean if base_mean > 0 else float("inf")
+        verdict = "FAIL" if ratio > max_slowdown else "OK  "
+        result.lines.append(
+            f"{verdict} {name}: {base_mean:.3f}s -> {cur_mean:.3f}s ({ratio:.2f}x)"
+        )
+        if ratio > max_slowdown:
+            result.regressions.append((name, base_mean, cur_mean, ratio))
+
+    status = "PASS" if result.ok else f"FAIL ({len(result.regressions)} regression(s))"
+    result.lines.append(
+        f"benchmark comparison {status}: threshold {max_slowdown:.2f}x, "
+        f"floor {min_seconds * 1e3:.0f} ms"
+    )
+    return result
+
+
+def compare_files(
+    baseline_path: Union[str, Path],
+    current_path: Union[str, Path],
+    max_slowdown: float = DEFAULT_MAX_SLOWDOWN,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> BenchComparison:
+    """Load two summary JSON files and :func:`compare` them."""
+    with open(baseline_path, "r", encoding="utf-8") as fh:
+        baseline_doc = json.load(fh)
+    with open(current_path, "r", encoding="utf-8") as fh:
+        current_doc = json.load(fh)
+    return compare(baseline_doc, current_doc, max_slowdown, min_seconds)
+
+
+def main(argv: Sequence[str] = None) -> int:
+    """CLI entry point: exit 1 when any benchmark regressed."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Compare a benchmark summary JSON against the committed baseline."
+    )
+    parser.add_argument("--baseline", required=True, help="committed baseline summary JSON")
+    parser.add_argument("--current", required=True, help="freshly produced summary JSON")
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=None,
+        help=f"slowdown threshold (default {DEFAULT_MAX_SLOWDOWN}, env {MAX_SLOWDOWN_ENV})",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=DEFAULT_MIN_SECONDS,
+        help="ignore benchmarks whose baseline mean is below this many seconds",
+    )
+    args = parser.parse_args(argv)
+    threshold = (
+        resolve_max_slowdown() if args.max_slowdown is None else float(args.max_slowdown)
+    )
+    result = compare_files(args.baseline, args.current, threshold, args.min_seconds)
+    print(result.report())
+    return 0 if result.ok else 1
+
+
+compare_bench_summaries = compare
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

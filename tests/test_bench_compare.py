@@ -1,0 +1,117 @@
+"""Unit tests for the benchmark-regression comparator (repro.util.benchcompare).
+
+CI's benchmark gate runs :mod:`benchmarks.compare_baseline` against the
+committed ``BENCH_pr5.json``; these tests pin the comparator's semantics with
+synthetic summary documents so the gate's behaviour is itself regression
+protected.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.util.benchcompare import (
+    DEFAULT_MAX_SLOWDOWN,
+    MAX_SLOWDOWN_ENV,
+    compare,
+    compare_files,
+    main,
+    resolve_max_slowdown,
+)
+
+
+def _doc(**means):
+    return {"benchmarks": [{"name": k, "mean_seconds": v} for k, v in means.items()]}
+
+
+class TestCompare:
+    def test_identical_summaries_pass(self):
+        doc = _doc(a=0.2, b=1.5)
+        result = compare(doc, doc)
+        assert result.ok
+        assert result.regressions == []
+        assert "PASS" in result.report()
+
+    def test_slowdown_beyond_threshold_fails(self):
+        result = compare(_doc(a=0.2), _doc(a=0.3))
+        assert not result.ok
+        (name, base, cur, ratio) = result.regressions[0]
+        assert name == "a"
+        assert base == pytest.approx(0.2)
+        assert cur == pytest.approx(0.3)
+        assert ratio == pytest.approx(1.5)
+        assert "FAIL a" in result.report()
+
+    def test_slowdown_within_threshold_passes(self):
+        result = compare(_doc(a=0.2), _doc(a=0.2 * 1.2))
+        assert result.ok
+
+    def test_speedup_passes(self):
+        result = compare(_doc(a=0.5), _doc(a=0.1))
+        assert result.ok
+
+    def test_fast_benchmarks_below_floor_are_skipped(self):
+        # 1 ms baseline doubling to 2 ms is noise, not a regression.
+        result = compare(_doc(tiny=0.001), _doc(tiny=0.002))
+        assert result.ok
+        assert "SKIP tiny" in result.report()
+
+    def test_new_and_removed_benchmarks_never_fail(self):
+        result = compare(_doc(gone=0.4), _doc(new=0.4))
+        assert result.ok
+        report = result.report()
+        assert "SKIP gone" in report
+        assert "NEW  new" in report
+
+    def test_custom_threshold(self):
+        base, cur = _doc(a=0.2), _doc(a=0.35)
+        assert not compare(base, cur, max_slowdown=1.25).ok
+        assert compare(base, cur, max_slowdown=2.0).ok
+
+    def test_malformed_documents_rejected(self):
+        with pytest.raises(ValueError, match="benchmarks"):
+            compare({}, _doc(a=0.2))
+        with pytest.raises(ValueError, match="malformed"):
+            compare({"benchmarks": [{"name": "a"}]}, _doc(a=0.2))
+
+
+class TestEnvOverride:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv(MAX_SLOWDOWN_ENV, raising=False)
+        assert resolve_max_slowdown() == DEFAULT_MAX_SLOWDOWN
+
+    def test_env_value_used(self, monkeypatch):
+        monkeypatch.setenv(MAX_SLOWDOWN_ENV, "1.5")
+        assert resolve_max_slowdown() == pytest.approx(1.5)
+
+    def test_bad_env_values_rejected(self, monkeypatch):
+        monkeypatch.setenv(MAX_SLOWDOWN_ENV, "fast")
+        with pytest.raises(ValueError, match="float"):
+            resolve_max_slowdown()
+        monkeypatch.setenv(MAX_SLOWDOWN_ENV, "0.5")
+        with pytest.raises(ValueError, match=">= 1.0"):
+            resolve_max_slowdown()
+
+
+class TestCli:
+    def _write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        return path
+
+    def test_compare_files_and_main_pass(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _doc(a=0.2))
+        cur = self._write(tmp_path, "cur.json", _doc(a=0.21))
+        assert compare_files(base, cur).ok
+        code = main(["--baseline", str(base), "--current", str(cur)])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_main_fails_on_regression(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _doc(a=0.2))
+        cur = self._write(tmp_path, "cur.json", _doc(a=0.5))
+        code = main(["--baseline", str(base), "--current", str(cur), "--max-slowdown", "1.25"])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out

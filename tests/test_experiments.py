@@ -18,7 +18,7 @@ TINY = dict(n=64, seeds=(0,), measure_rounds=10, items=1)
 class TestRegistry:
     def test_all_experiments_listed(self):
         ids = registry.all_experiments()
-        assert ids[0] == "E1" and ids[-1] == "E12" and len(ids) == 12
+        assert ids[0] == "E1" and ids[-1] == "E14" and len(ids) == 14
 
     def test_get_experiment_case_insensitive(self):
         assert registry.get_experiment("e5") is registry.EXPERIMENTS["E5"]
@@ -89,8 +89,8 @@ class TestCli:
     def test_list_prints_titles_and_claims(self, capsys):
         assert registry.main(["list"]) == 0
         out = capsys.readouterr().out
-        assert "E1:" in out and "E12:" in out
-        assert out.count("claim:") == 12
+        assert "E1:" in out and "E14:" in out
+        assert out.count("claim:") == 14
 
     def test_run_subcommand(self, capsys):
         assert registry.main(["run", "E1", "--set", "n=64", "--set", "measure_rounds=0"]) == 0

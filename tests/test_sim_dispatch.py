@@ -633,3 +633,61 @@ class TestDrainAndExit:
         assert rc == 0
         assert store.result_path.exists()
         assert "done: computed" in out
+
+
+# ---------------------------------------------------------------------- timings
+class TestTaskTimings:
+    """Satellite 5: workers record per-task wall time; status surfaces it."""
+
+    def test_worker_writes_one_timing_record_per_computed_task(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        worker = DispatchWorker(store, lease_seconds=10.0, poll_seconds=0.05, wait_timeout=60.0)
+        with use_store(store), use_dispatcher(worker):
+            Sweep(BASE, GRID, _logged_trial).run(TrialRunner(workers=1))
+        timings = store.task_timings()
+        assert len(timings) == len(worker.computed_tasks)
+        recorded_tasks = {t["task"] for t in timings}
+        assert recorded_tasks == set(worker.computed_tasks)
+        for record in timings:
+            assert record["worker"] == worker.worker_id
+            assert record["seconds"] >= 0.0
+            assert record["trials"] >= 1
+
+    def test_timings_live_outside_the_compared_artifact_surface(self, tmp_path):
+        """timings/ must not perturb result.json or cells/* byte-comparisons."""
+        store = ResultStore.create(tmp_path / "run", {})
+        worker = DispatchWorker(store, poll_seconds=0.05, wait_timeout=60.0)
+        with use_store(store), use_dispatcher(worker):
+            Sweep(BASE, GRID, _logged_trial).run(TrialRunner(workers=1))
+        assert store.timings_dir.exists()
+        assert store.timings_dir.parent == store.root
+        assert not set(store.timings_dir.glob("*")) & set(store.cells_dir.glob("*"))
+
+    def test_status_reports_task_timings(self, tmp_path, capsys):
+        from repro.experiments import registry
+
+        store = ResultStore.create(tmp_path / "run", {"experiment": "T-timing"})
+        worker = DispatchWorker(store, poll_seconds=0.05, wait_timeout=60.0)
+        with use_store(store), use_dispatcher(worker):
+            Sweep(BASE, GRID, _logged_trial).run(TrialRunner(workers=1))
+        registry._print_status(store)
+        out = capsys.readouterr().out
+        assert "task timings" in out
+        assert f"{len(worker.computed_tasks)} tasks" in out
+        # Each displayed line names a task with its duration and worker.
+        assert "trials, worker" in out
+
+    def test_status_omits_timing_section_when_empty(self, tmp_path, capsys):
+        from repro.experiments import registry
+
+        store = ResultStore.create(tmp_path / "run", {"experiment": "T-timing"})
+        registry._print_status(store)
+        assert "task timings" not in capsys.readouterr().out
+
+    def test_corrupt_timing_records_are_skipped(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        store.write_task_timing("cell.0-2", "w1", 1.5, 2)
+        store.timings_dir.joinpath("broken.json").write_text("{not json", encoding="utf-8")
+        timings = store.task_timings()
+        assert len(timings) == 1
+        assert timings[0]["task"] == "cell.0-2"

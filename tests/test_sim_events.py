@@ -1,0 +1,407 @@
+"""Tests for the event-driven engine (repro.sim.events, repro.net.latency).
+
+The load-bearing suites are the ISSUE-6 acceptance ones:
+
+* the **zero-latency oracle**: an :class:`AsyncProtocolSystem` under
+  :class:`ZeroLatency` must reproduce the lockstep
+  :class:`P2PStorageSystem` *exactly* -- round summaries, bandwidth ledger,
+  committee rosters, sampler counts and every RNG stream's terminal state --
+  over randomized churn/store/refresh/retrieval scenarios;
+* the **artifact regression**: running the committed E3-E6 quick configs
+  through the forced events engine must leave ``result.json`` and every
+  ``cells/*.json`` byte-identical to the lockstep run;
+* **E13/E14 end-to-end**: the latency experiments run through the CLI with a
+  store, survive a resume, and a dispatch worker reproduces the sequential
+  artifacts byte-for-byte.
+
+The event queue itself gets a hypothesis property suite: timestamp ordering,
+pop-order invariance under permuted insertion, cancellation semantics, and
+latency-config JSON round-trips.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import filecmp
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocol import P2PStorageSystem
+from repro.experiments import registry
+from repro.net.latency import (
+    LATENCY_KINDS,
+    LognormalLatency,
+    RegionMatrixLatency,
+    UniformLatency,
+    ZeroLatency,
+    latency_from_json_dict,
+    resolve_latency,
+)
+from repro.sim.events import PRIORITY, AsyncProtocolSystem, EventQueue, force_engine, forced_engine
+
+SETTINGS = settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+#: Strategy for a batch of schedulable events: (time, kind, payload-int).
+EVENT_BATCHES = st.lists(
+    st.tuples(
+        st.integers(0, 6),
+        st.sampled_from(["deliver", "join", "storage_item", "retrieval_op"]),
+        st.integers(0, 99),
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+# ------------------------------------------------------------------ event queue
+class TestEventQueue:
+    @given(batch=EVENT_BATCHES, seed=st.integers(0, 1000))
+    @SETTINGS
+    def test_pop_times_are_nondecreasing(self, batch, seed):
+        queue = EventQueue(seed=seed)
+        for time, kind, payload in batch:
+            queue.add_event(time, kind, payload=payload)
+        times = [event.time for event in queue.drain()]
+        assert times == sorted(times)
+        assert len(times) == len(batch)
+
+    @given(batch=EVENT_BATCHES, seed=st.integers(0, 1000), perm_seed=st.integers(0, 1000))
+    @SETTINGS
+    def test_pop_order_is_invariant_under_insertion_order(self, batch, seed, perm_seed):
+        """The seeded tie-break makes the schedule a function of *what* is queued."""
+
+        def drained(events):
+            queue = EventQueue(seed=seed)
+            for time, kind, payload in events:
+                queue.add_event(time, kind, payload=payload)
+            return [(e.time, e.kind, e.payload) for e in queue.drain()]
+
+        # Duplicate entries are legitimately tied (identical hash); insertion
+        # order then decides, so compare on the deduplicated batch.
+        unique = list(dict.fromkeys(batch))
+        shuffled = list(unique)
+        np.random.default_rng(perm_seed).shuffle(shuffled)
+        assert drained(unique) == drained(shuffled)
+
+    @given(batch=EVENT_BATCHES, seed=st.integers(0, 1000))
+    @SETTINGS
+    def test_same_seed_same_order(self, batch, seed):
+        def drained(queue_seed):
+            queue = EventQueue(seed=queue_seed)
+            for time, kind, payload in batch:
+                queue.add_event(time, kind, payload=payload)
+            return [(e.time, e.kind, e.payload) for e in queue.drain()]
+
+        assert drained(seed) == drained(seed)
+
+    @given(batch=EVENT_BATCHES, seed=st.integers(0, 1000), drop=st.data())
+    @SETTINGS
+    def test_cancellation_removes_exactly_the_cancelled(self, batch, seed, drop):
+        queue = EventQueue(seed=seed)
+        handles = [queue.add_event(t, k, payload=p) for t, k, p in batch]
+        idx = drop.draw(st.integers(0, len(handles) - 1))
+        assert queue.cancel(handles[idx]) is True
+        assert queue.cancel(handles[idx]) is False  # second cancel is a no-op
+        assert len(queue) == len(batch) - 1
+        popped = list(queue.drain())
+        assert len(popped) == len(batch) - 1
+        assert len(queue) == 0
+
+    def test_cancel_after_pop_is_refused(self):
+        queue = EventQueue()
+        handle = queue.add_event(1, "deliver")
+        assert queue.pop().kind == "deliver"
+        assert queue.cancel(handle) is False
+
+    def test_priority_orders_within_a_timestamp(self):
+        queue = EventQueue(seed=3)
+        for kind in ("retrieval_step", "round_begin", "storage_step", "deliver", "sampler_expire"):
+            queue.add_event(5, kind, priority=PRIORITY[kind], tie_key=f"{kind}:5")
+        kinds = [event.kind for event in queue.drain()]
+        assert kinds == ["round_begin", "deliver", "sampler_expire", "storage_step", "retrieval_step"]
+
+    def test_round_end_precedes_next_round(self):
+        queue = EventQueue(seed=3)
+        queue.add_event(6, "round_begin", priority=PRIORITY["round_begin"], tie_key="round_begin:6")
+        queue.add_event(6, "round_end", priority=PRIORITY["round_end"], tie_key="round_end:5")
+        assert [e.kind for e in queue.drain()] == ["round_end", "round_begin"]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            EventQueue().add_event(-1.0, "deliver")
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.add_event(1, "a", tie_key="a")
+        queue.add_event(2, "b", tie_key="b")
+        assert queue.peek_time() == 1
+        queue.cancel(first)
+        assert queue.peek_time() == 2
+        assert queue.pop().kind == "b"
+        assert queue.peek_time() is None
+        assert queue.pop() is None
+
+
+# -------------------------------------------------------------- latency models
+class TestLatencyModels:
+    MODELS = (
+        ZeroLatency(),
+        UniformLatency(low=0.5, high=2.5),
+        LognormalLatency(mu=0.1, sigma=0.9),
+        RegionMatrixLatency(regions=2, matrix=((0.0, 3.0), (3.0, 0.0)), jitter=0.25),
+    )
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: m.kind)
+    def test_json_round_trip(self, model):
+        doc = model.to_json_dict()
+        assert doc["kind"] in LATENCY_KINDS
+        restored = latency_from_json_dict(doc)
+        assert restored == model
+        assert restored.to_json_dict() == doc
+
+    @given(low=st.floats(0, 5), span=st.floats(0, 5), sigma=st.floats(0, 3))
+    @SETTINGS
+    def test_json_round_trip_property(self, low, span, sigma):
+        for model in (UniformLatency(low=low, high=low + span), LognormalLatency(sigma=sigma)):
+            assert latency_from_json_dict(model.to_json_dict()) == model
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown latency kind"):
+            latency_from_json_dict({"kind": "tachyon"})
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises((ValueError, TypeError)):
+            latency_from_json_dict({"kind": "uniform", "low": 0.0, "high": 1.0, "warp": 9})
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            UniformLatency(low=2.0, high=1.0)
+        with pytest.raises(ValueError):
+            LognormalLatency(sigma=-0.1)
+        with pytest.raises(ValueError):
+            RegionMatrixLatency(regions=2, matrix=((0.0,), (0.0, 1.0)))
+
+    def test_zero_latency_draws_no_rng(self):
+        rng = np.random.default_rng(7)
+        before = rng.bit_generator.state
+        uids = np.arange(50, dtype=np.int64)
+        assert np.all(ZeroLatency().pair_delays(rng, uids, uids) == 0.0)
+        assert np.all(ZeroLatency().node_delays(rng, uids) == 0.0)
+        assert rng.bit_generator.state == before
+
+    def test_nonzero_models_draw_plausible_delays(self):
+        rng = np.random.default_rng(7)
+        uids = np.arange(200, dtype=np.int64)
+        uniform = UniformLatency(low=1.0, high=2.0).node_delays(rng, uids)
+        assert np.all((uniform >= 1.0) & (uniform < 2.0))
+        lognormal = LognormalLatency(mu=0.0, sigma=0.5).node_delays(rng, uids)
+        assert np.all(lognormal > 0)
+        region = RegionMatrixLatency(regions=2, matrix=((0.0, 3.0), (3.0, 0.0)))
+        cross = region.pair_delays(rng, uids, uids + 1)  # parity differs -> cross-region
+        assert np.all(cross == 3.0)
+        same = region.pair_delays(rng, uids, uids)
+        assert np.all(same == 0.0)
+
+    def test_resolve_latency(self):
+        assert resolve_latency(None) == ZeroLatency()
+        model = UniformLatency(low=0.0, high=1.0)
+        assert resolve_latency(model) is model
+        assert resolve_latency({"kind": "zero"}) == ZeroLatency()
+        with pytest.raises(TypeError):
+            resolve_latency(42)
+
+
+# ------------------------------------------------------- zero-latency oracle
+def _rng_states(system):
+    return {
+        "ctx": system.ctx.rng.generator.bit_generator.state,
+        "soup": system.soup._rng.generator.bit_generator.state,
+        "adversary": system.rng.adversary.generator.bit_generator.state,
+        "protocol": system.rng.protocol.generator.bit_generator.state,
+    }
+
+
+def _snapshot(system):
+    """Everything the oracle compares between the twin systems."""
+    alive = system.network.alive_uids()
+    return {
+        "summaries": [dataclasses.asdict(s) for s in system.round_summaries],
+        "ledger": system.ledger.summary(),
+        "alive": alive.tolist(),
+        "sample_counts": system.sampler.sample_counts(alive, round_index=system.round_index).tolist(),
+        # item/op ids come from process-global counters, so compare by
+        # creation order rather than absolute id.
+        "rosters": [
+            (item.committee.members, item.lost, system.storage.is_available(item_id))
+            for item_id, item in sorted(system.storage.items.items())
+        ],
+        "retrievals": [
+            (op.status, op.requester_uid)
+            for _, op in sorted(system.retrieval.operations.items())
+        ],
+        "rng": _rng_states(system),
+    }
+
+
+def _run_scenario(system, seed: int, churn_rate: int):
+    """A randomized churn/store/refresh/retrieval scenario, driven identically
+    on both systems (all scenario choices come from the system's own RNG, which
+    the oracle asserts stays in lockstep)."""
+    system.warm_up()
+    items = [system.store(bytes([seed, i, churn_rate, 99]) * 8) for i in range(3)]
+    system.run_rounds(2 * system.params.committee_refresh_period + 3)
+    ops = [system.retrieve(item.item_id) for item in items]
+    system.run_until_finished(ops)
+    system.run_rounds(3)
+    return system
+
+
+class TestZeroLatencyOracle:
+    """Satellite 1: the async engine under zero latency IS the lockstep engine."""
+
+    @pytest.mark.parametrize(
+        "seed,churn_rate", [(0, 0), (7, 2), (23, 4)], ids=["no-churn", "churn-2", "churn-4"]
+    )
+    def test_twin_systems_stay_identical(self, seed, churn_rate):
+        lockstep = _run_scenario(P2PStorageSystem(n=64, churn_rate=churn_rate, seed=seed), seed, churn_rate)
+        asynchronous = _run_scenario(
+            AsyncProtocolSystem(n=64, churn_rate=churn_rate, seed=seed), seed, churn_rate
+        )
+        assert asynchronous.latency.is_zero
+        assert _snapshot(asynchronous) == _snapshot(lockstep)
+
+    def test_explicit_zero_latency_config_is_equivalent(self):
+        lockstep = P2PStorageSystem(n=64, churn_rate=2, seed=11)
+        asynchronous = AsyncProtocolSystem(n=64, churn_rate=2, seed=11, latency={"kind": "zero"})
+        lockstep.warm_up()
+        asynchronous.warm_up()
+        assert _snapshot(asynchronous) == _snapshot(lockstep)
+
+    def test_erasure_mode_is_equivalent_too(self):
+        lockstep = _run_scenario(
+            P2PStorageSystem(n=64, churn_rate=2, seed=5, storage_mode="erasure"), 5, 2
+        )
+        asynchronous = _run_scenario(
+            AsyncProtocolSystem(n=64, churn_rate=2, seed=5, storage_mode="erasure"), 5, 2
+        )
+        assert _snapshot(asynchronous) == _snapshot(lockstep)
+
+
+# ------------------------------------------------------------ nonzero latency
+class TestNonzeroLatency:
+    def test_uniform_latency_system_runs_and_retrieves(self):
+        system = AsyncProtocolSystem(
+            n=64, churn_rate=2, seed=9, latency={"kind": "uniform", "low": 0.0, "high": 2.5}
+        )
+        system.warm_up()
+        item = system.store(b"latency-smoke" * 4)
+        system.run_rounds(system.params.committee_refresh_period + 2)
+        op = system.retrieve(item.item_id)
+        system.run_until_finished(op)
+        assert op.status == "succeeded"
+        description = system.describe()
+        assert description["engine"] == "events"
+        assert description["latency"]["kind"] == "uniform"
+
+    def test_churned_in_nodes_stay_dormant_until_join(self):
+        system = AsyncProtocolSystem(
+            n=64, churn_rate=4, seed=3, latency={"kind": "lognormal", "mu": 1.0, "sigma": 0.5}
+        )
+        system.run_rounds(6)
+        # With churn every round and join delays >= 1 round, some nodes must
+        # currently be dormant, and their join rounds must be in the future.
+        assert system._dormant
+        assert all(join_round > system.round_index for join_round in system._dormant.values())
+
+    def test_latency_uses_only_the_analysis_stream(self):
+        zero = AsyncProtocolSystem(n=64, churn_rate=2, seed=13)
+        slow = AsyncProtocolSystem(
+            n=64, churn_rate=2, seed=13, latency={"kind": "uniform", "low": 0.0, "high": 3.0}
+        )
+        zero.run_rounds(8)
+        slow.run_rounds(8)
+        # The adversary stream is untouched by latency draws: both engines see
+        # the exact same churn schedule.  (Walk streams legitimately diverge --
+        # dormant nodes inject fewer walks, so the soup makes fewer draws.)
+        assert _rng_states(slow)["adversary"] == _rng_states(zero)["adversary"]
+        assert [s.churned for s in slow.round_summaries] == [s.churned for s in zero.round_summaries]
+
+
+# ------------------------------------------------- engine forcing + artifacts
+class TestForceEngine:
+    def test_force_engine_round_trips(self):
+        assert forced_engine() == (None, None)
+        with force_engine("events", {"kind": "zero"}):
+            assert forced_engine() == ("events", {"kind": "zero"})
+            with force_engine("lockstep"):
+                assert forced_engine() == ("lockstep", None)
+            assert forced_engine() == ("events", {"kind": "zero"})
+        assert forced_engine() == (None, None)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            with force_engine("quantum"):
+                pass  # pragma: no cover
+
+
+def _artifact_files(run_root: Path):
+    (run_dir,) = list(run_root.iterdir())
+    files = [run_dir / "result.json"]
+    files += sorted((run_dir / "cells").glob("*.json"))
+    return run_dir, files
+
+
+@pytest.mark.parametrize("experiment_id", ["E3", "E4", "E5", "E6"])
+def test_quick_artifacts_byte_identical_under_events_engine(experiment_id, tmp_path, monkeypatch):
+    """ISSUE-6 acceptance: E3-E6 quick cell artifacts are engine-invariant."""
+    monkeypatch.setenv("REPRO_CANONICAL_TIMING", "1")
+    assert registry.main(["run", experiment_id, "--json-out", str(tmp_path / "lockstep")]) == 0
+    with force_engine("events"):
+        assert registry.main(["run", experiment_id, "--json-out", str(tmp_path / "events")]) == 0
+    _, lockstep_files = _artifact_files(tmp_path / "lockstep")
+    _, events_files = _artifact_files(tmp_path / "events")
+    assert [f.name for f in lockstep_files] == [f.name for f in events_files]
+    assert len(lockstep_files) > 1  # result.json plus at least one cell
+    for lhs, rhs in zip(lockstep_files, events_files):
+        assert filecmp.cmp(lhs, rhs, shallow=False), f"{lhs.name} differs between engines"
+
+
+# --------------------------------------------------------- E13/E14 end-to-end
+#: Shrunk-but-real overrides so the latency experiments stay test-sized.
+E13_OVERRIDES = ["--set", "n=64", "--set", "measure_rounds=6"]
+E14_OVERRIDES = ["--set", "n=64", "--set", "measure_rounds=4", "--set", "items=1"]
+
+
+@pytest.mark.parametrize(
+    "experiment_id,overrides", [("E13", E13_OVERRIDES), ("E14", E14_OVERRIDES)]
+)
+def test_latency_experiments_run_resume_and_dispatch(experiment_id, overrides, tmp_path, monkeypatch):
+    """E13/E14 run through the CLI with a store, survive resume and dispatch."""
+    monkeypatch.setenv("REPRO_CANONICAL_TIMING", "1")
+    seq_root = tmp_path / "seq"
+    assert registry.main(["run", experiment_id, "--json-out", str(seq_root)] + overrides) == 0
+    seq_dir, seq_files = _artifact_files(seq_root)
+    assert len(seq_files) > 1
+
+    # Resume over a complete run is a no-op that recomputes nothing and
+    # leaves every artifact byte-identical.
+    before = {f.name: f.read_bytes() for f in seq_files}
+    assert registry.main(["resume", str(seq_dir)]) == 0
+    for f in seq_files:
+        assert f.read_bytes() == before[f.name]
+
+    # Dispatch + one worker reproduces the sequential artifacts exactly.
+    dist_root = tmp_path / "dist"
+    assert registry.main(["dispatch", experiment_id, "--json-out", str(dist_root)] + overrides) == 0
+    (dist_dir,) = list(dist_root.iterdir())
+    assert registry.main(["worker", str(dist_dir), "--wait-timeout", "120"]) == 0
+    for seq_file in seq_files:
+        rel = seq_file.relative_to(seq_dir)
+        assert filecmp.cmp(seq_file, dist_dir / rel, shallow=False), f"{rel} differs"
+
+    result_doc = (seq_dir / "result.json").read_text(encoding="utf-8")
+    assert '"latency' in result_doc  # the latency axis made it into the artifact
