@@ -163,3 +163,24 @@ def test_landmark_build_benchmark(benchmark):
     benchmark.extra_info["recruited"] = report.recruited
     benchmark.extra_info["roots"] = report.roots
     assert report.recruited > 0
+
+
+def test_disabled_span_benchmark(benchmark):
+    """Unit cost of the observability no-op path left inside run_round.
+
+    This is the exact sequence every instrumented phase executes when no
+    observer is installed: an attribute lookup returning the shared
+    NULL_SPAN singleton, entered and exited.  NEW relative to the committed
+    baseline, so compare_baseline never fails on it; future PRs inherit it
+    as a guard against regressing the disabled path.
+    """
+    from repro.obs.observer import active_observer
+
+    obs = active_observer()  # the NULL_OBSERVER singleton
+
+    def noop_spans():
+        for _ in range(1000):
+            with obs.span("round.churn"):
+                pass
+
+    benchmark(noop_spans)

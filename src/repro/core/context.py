@@ -11,10 +11,11 @@ signatures small and makes them easy to unit-test with hand-built fixtures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from repro.core.params import ProtocolParameters
 from repro.net.network import DynamicNetwork
+from repro.obs.observer import NULL_OBSERVER
 from repro.util.rng import RngStream
 from repro.util.simlog import SimulationLog
 from repro.walks.sampler import NodeSampler
@@ -38,6 +39,11 @@ class ProtocolContext:
         Protocol-side RNG stream (the algorithm's coins).
     log:
         Structured event log shared by all components of one simulation.
+    obs:
+        The observer (:mod:`repro.obs`) for spans and counters.  Defaults to
+        the no-op :data:`~repro.obs.observer.NULL_OBSERVER`, so hand-built
+        fixtures and unobserved runs pay nothing; it never consumes protocol
+        randomness either way.
     """
 
     network: DynamicNetwork
@@ -45,6 +51,7 @@ class ProtocolContext:
     params: ProtocolParameters
     rng: RngStream
     log: SimulationLog = field(default_factory=SimulationLog)
+    obs: Any = NULL_OBSERVER
 
     @property
     def round_index(self) -> int:
@@ -66,7 +73,12 @@ class ProtocolContext:
             self.network.ledger.charge(
                 self.network.round_index, sender, ids=ids, payload_bytes=payload_bytes
             )
+            if self.obs.telemetry:
+                self.obs.count("net.messages")
+                self.obs.count("net.payload_bytes", payload_bytes)
 
     def record(self, category: str, message: str, **data) -> None:
         """Append a structured event to the simulation log."""
+        if self.obs.telemetry:
+            self.obs.count(f"log.{category}")
         self.log.record(self.network.round_index, category, message, **data)

@@ -36,6 +36,7 @@ from repro.core.retrieval import RetrievalOperation, RetrievalService
 from repro.core.storage import StorageService, StoredItem
 from repro.net.churn import ChurnAdversary, NoChurn, UniformRandomChurn
 from repro.net.network import ChurnReport, DynamicNetwork
+from repro.obs.observer import active_observer
 from repro.util.bitbudget import BitBudgetLedger
 from repro.util.rng import SplitRng
 from repro.util.simlog import SimulationLog
@@ -128,12 +129,17 @@ class P2PStorageSystem:
         )
         self.sampler = NodeSampler(self.network, retention=max(4, self.params.landmark_refresh_period))
         self.log = SimulationLog()
+        # The ambient observer (repro.obs) -- the no-op singleton unless a
+        # use_observer(...) context is active.  Captured once: spans/counters
+        # read wall-clocks and dicts only, never an RNG stream.
+        self.obs = active_observer()
         self.ctx = ProtocolContext(
             network=self.network,
             sampler=self.sampler,
             params=self.params,
             rng=self.rng.protocol.spawn("protocol"),
             log=self.log,
+            obs=self.obs,
         )
         self.storage = StorageService(self.ctx, mode=storage_mode)
         self.retrieval = RetrievalService(self.ctx, self.storage)
@@ -154,15 +160,25 @@ class P2PStorageSystem:
 
     def run_round(self) -> RoundSummary:
         """Execute one full protocol round (Section 2.1's round structure)."""
-        report: ChurnReport = self.network.begin_round()
+        obs = self.obs
+        with obs.span("round.churn"):
+            report: ChurnReport = self.network.begin_round()
         self.last_churn_report = report
-        delivery = self.soup.advance_round(report)
-        self.sampler.ingest(delivery)
-        self.sampler.expire(report.round_index)
+        with obs.span("round.soup_step"):
+            delivery = self.soup.advance_round(report)
+        with obs.span("round.sampler_ingest"):
+            ingested = self.sampler.ingest(delivery)
+            expired = self.sampler.expire(report.round_index)
         self._last_delivery = delivery
+        if obs.telemetry:
+            obs.count("soup.tokens_delivered", delivery.count)
+            obs.count("sampler.rows_ingested", ingested)
+            obs.count("sampler.rows_expired", expired)
 
-        self.storage.step(report.round_index)
-        self.retrieval.step(report.round_index)
+        with obs.span("round.storage_maintenance"):
+            self.storage.step(report.round_index)
+        with obs.span("round.retrieval"):
+            self.retrieval.step(report.round_index)
         self.network.end_round()
 
         available = self.storage.available_count()

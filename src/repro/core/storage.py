@@ -262,9 +262,13 @@ class StorageService:
         order, so RNG consumption -- and therefore every payload -- is
         byte-identical to unbatched stepping.
         """
+        obs = self.ctx.obs
         live_items = [item for item in self.items.values() if not item.lost]
         due = [item.committee for item in live_items if item.committee.refresh_due(round_index)]
-        plans = plan_refreshes(self.ctx, due, round_index) if due else {}
+        with obs.span("round.committee_refresh"):
+            plans = plan_refreshes(self.ctx, due, round_index) if due else {}
+        if due and obs.telemetry:
+            obs.count("committee.refreshes_planned", len(due))
         for item in live_items:
             self._maintain_item(item, round_index, plans.get(item.committee.committee_id))
 
@@ -286,8 +290,12 @@ class StorageService:
         if item.last_maintained_round >= round_index:
             return
         item.last_maintained_round = round_index
-        item.committee.step(round_index, plan=plan)
-        item.landmarks.step(round_index)
+        obs = self.ctx.obs
+        refreshed = item.committee.step(round_index, plan=plan)
+        if refreshed is not None and obs.telemetry:
+            obs.count("committee.refreshes_executed")
+        with obs.span("round.landmark_maintenance"):
+            item.landmarks.step(round_index)
         self._check_loss(item, round_index)
 
     # ------------------------------------------------------------------ handover

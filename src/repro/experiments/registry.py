@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import re
 import sys
 import time
@@ -49,6 +50,9 @@ from typing import Any, Dict, List, Optional, Sequence
 
 import repro.experiments  # noqa: F401  - imports every expNN module, populating the registry
 from repro.experiments.spec import REGISTRY, ExperimentSpec, registered_ids
+from repro.obs.observer import Observer, use_observer
+from repro.obs.report import percentile_stats, render_report
+from repro.obs.trace import Tracer
 from repro.sim.dispatch import (
     DEFAULT_CHUNK_SEEDS,
     DEFAULT_MIN_TRIALS_PER_TASK,
@@ -74,7 +78,7 @@ __all__ = [
 #: :class:`ExperimentSpec` objects rather than bare modules.
 EXPERIMENTS: Dict[str, ExperimentSpec] = REGISTRY
 
-_SUBCOMMANDS = ("run", "resume", "list", "all", "dispatch", "worker", "status")
+_SUBCOMMANDS = ("run", "resume", "list", "all", "dispatch", "worker", "status", "report")
 _LEGACY_ID = re.compile(r"^[eE]\d+$")
 
 
@@ -113,11 +117,46 @@ def run_experiment(
         config = config.with_overrides(**overrides)
     if seeds is not None:
         config = config.with_overrides(seeds=tuple(int(seed) for seed in seeds))
-    with use_store(store):
-        result = spec.run(config)
+    observer = _build_observer(config, store)
+    try:
+        with use_store(store), use_observer(observer):
+            result = spec.run(config)
+    finally:
+        if observer is not None:
+            observer.close()
+    if observer is not None and observer.telemetry and store is not None:
+        # The run-level registry holds whatever was counted in this process
+        # outside any trial scope (e.g. dispatch.lease_steals).
+        store.save_telemetry(
+            f"run-{os.getpid()}", observer.counters.snapshot(), experiment=experiment_id
+        )
     if store is not None:
         store.save_result(result)
     return result
+
+
+def _build_observer(config: Any, store: Optional[ResultStore]) -> Optional[Observer]:
+    """An :class:`~repro.obs.observer.Observer` for ``config.observe`` (None when off).
+
+    Trace streams land under the store's ``telemetry/`` directory (one
+    ``trace-<pid>.jsonl`` per process -- forked pool workers append to the
+    parent's file via O_APPEND) or, without a store, next to the caller as
+    ``trace-<name>-<pid>.jsonl``.
+    """
+    observe = getattr(config, "observe", None) or {}
+    trace = bool(observe.get("trace"))
+    telemetry = bool(observe.get("telemetry"))
+    if not trace and not telemetry:
+        return None
+    tracer = None
+    if trace:
+        if store is not None:
+            store.telemetry_dir.mkdir(parents=True, exist_ok=True)
+            trace_path = store.telemetry_dir / f"trace-{os.getpid()}.jsonl"
+        else:
+            trace_path = Path(f"trace-{config.name}-{os.getpid()}.jsonl")
+        tracer = Tracer(trace_path)
+    return Observer(tracer=tracer, telemetry=telemetry)
 
 
 # ---------------------------------------------------------------------- CLI parsing
@@ -204,6 +243,18 @@ def _build_parser() -> argparse.ArgumentParser:
             metavar="DIR",
             default=None,
             help="persist per-cell artifacts and result.json under DIR/<id>-<stamp>/",
+        )
+        p.add_argument(
+            "--trace",
+            action="store_true",
+            help="stream Chrome-trace spans to telemetry/trace-<pid>.jsonl (zero perturbation: "
+            "results stay byte-identical)",
+        )
+        p.add_argument(
+            "--telemetry",
+            action="store_true",
+            help="record named counters per trial, aggregated under telemetry/ (outside the "
+            "byte-compared artifacts)",
         )
 
     run_parser = sub.add_parser("run", help="run one experiment")
@@ -345,7 +396,38 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="re-print every SECONDS until result.json appears",
     )
+
+    report_parser = sub.add_parser(
+        "report",
+        help="observability report of a run directory: per-phase wall time, "
+        "dispatch timeline and top counters",
+    )
+    report_parser.add_argument("run_dir", help="run directory holding timings/ and telemetry/")
+    report_parser.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        metavar="N",
+        help="how many counters to show (default 20)",
+    )
     return parser
+
+
+def _fold_observe_flags(args: argparse.Namespace, overrides: Dict[str, Any]) -> Dict[str, Any]:
+    """Merge ``--trace``/``--telemetry`` into the config overrides.
+
+    Routing the flags through the ``observe`` config field (rather than a CLI
+    side channel) bakes them into the run manifest, so ``resume`` and every
+    dispatch ``worker`` inherit the same observability setting.
+    """
+    observe = dict(overrides.get("observe") or {})
+    if getattr(args, "trace", False):
+        observe["trace"] = True
+    if getattr(args, "telemetry", False):
+        observe["telemetry"] = True
+    if observe:
+        overrides["observe"] = observe
+    return overrides
 
 
 def _make_run_dir(json_out: str, experiment_id: str) -> Path:
@@ -393,7 +475,7 @@ def _print_result(result: ExperimentResult, markdown: bool) -> None:
 def _cmd_run(args: argparse.Namespace) -> int:
     experiment_id = args.experiment.upper()
     try:
-        overrides = parse_set_overrides(args.overrides)
+        overrides = _fold_observe_flags(args, parse_set_overrides(args.overrides))
         seeds = None if args.seeds is None else parse_seed_spec(args.seeds)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -442,12 +524,19 @@ def _cmd_list() -> int:
 
 def _cmd_all(args: argparse.Namespace) -> int:
     timings: List[tuple] = []
+    observe_overrides = _fold_observe_flags(args, {})
     for experiment_id in all_experiments():
         store = None
         if args.json_out is not None:
-            store = _create_store(args.json_out, experiment_id, args.full, args.workers, {}, None)
+            store = _create_store(
+                args.json_out, experiment_id, args.full, args.workers, observe_overrides, None
+            )
         result = run_experiment(
-            experiment_id, full=args.full, workers=args.workers, store=store
+            experiment_id,
+            full=args.full,
+            workers=args.workers,
+            overrides=observe_overrides,
+            store=store,
         )
         _print_result(result, args.markdown)
         timings.append((experiment_id, result.elapsed_seconds))
@@ -468,7 +557,7 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
     experiment_id = args.experiment.upper()
     try:
         get_experiment(experiment_id)
-        overrides = parse_set_overrides(args.overrides)
+        overrides = _fold_observe_flags(args, parse_set_overrides(args.overrides))
         seeds = None if args.seeds is None else parse_seed_spec(args.seeds)
         # Validate the scheduler knobs BEFORE they are baked into the
         # manifest -- a poisoned manifest would crash every future worker.
@@ -591,7 +680,12 @@ def _print_status(store: ResultStore) -> bool:
     timings = store.task_timings()
     if timings:
         total = sum(float(t.get("seconds", 0.0)) for t in timings)
+        stats = percentile_stats([float(t.get("seconds", 0.0)) for t in timings])
         print(f"task timings ({len(timings)} tasks, {total:.1f}s total):")
+        print(
+            f"  per-task wall time: p50={stats['p50']:.2f}s"
+            f" p99={stats['p99']:.2f}s max={stats['max']:.2f}s"
+        )
         slowest = sorted(timings, key=lambda t: float(t.get("seconds", 0.0)), reverse=True)
         for record in slowest[:12]:
             print(
@@ -616,6 +710,12 @@ def _cmd_status(args: argparse.Namespace) -> int:
         print()
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = ResultStore.open(Path(args.run_dir))
+    print(render_report(store, top=args.top))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Console entry point (``repro-experiment``)."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -635,6 +735,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_worker(args)
     if args.command == "status":
         return _cmd_status(args)
+    if args.command == "report":
+        return _cmd_report(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

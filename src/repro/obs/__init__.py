@@ -1,0 +1,48 @@
+"""Zero-perturbation observability: tracing, counters, run telemetry.
+
+The three pieces (see docs/OBSERVABILITY.md):
+
+* :mod:`repro.obs.trace` -- scoped spans streamed as Chrome trace events
+  (JSONL, Perfetto-loadable), with a no-op singleton disabled path;
+* :mod:`repro.obs.counters` -- cheap named counters and high-water gauges,
+  aggregated per trial and merged per cell into ``telemetry/``;
+* :mod:`repro.obs.observer` -- the :func:`use_observer` activation context
+  bundling both, mirroring ``use_store``/``use_dispatcher``.
+
+The invariant everything here honours: instrumentation never moves a
+protocol coin and never changes a byte of a compared artifact.
+"""
+
+from repro.obs.counters import NULL_COUNTERS, CounterRegistry, NullCounters, merge_snapshots
+from repro.obs.observer import NULL_OBSERVER, NullObserver, Observer, active_observer, use_observer
+from repro.obs.report import (
+    load_run_traces,
+    merged_run_telemetry,
+    percentile_stats,
+    phase_breakdown,
+    render_report,
+)
+from repro.obs.trace import NULL_SPAN, NULL_TRACER, NullTracer, Tracer, load_trace, to_chrome_json
+
+__all__ = [
+    "load_run_traces",
+    "merged_run_telemetry",
+    "percentile_stats",
+    "phase_breakdown",
+    "render_report",
+    "CounterRegistry",
+    "NullCounters",
+    "NULL_COUNTERS",
+    "merge_snapshots",
+    "Observer",
+    "NullObserver",
+    "NULL_OBSERVER",
+    "active_observer",
+    "use_observer",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "NULL_SPAN",
+    "load_trace",
+    "to_chrome_json",
+]

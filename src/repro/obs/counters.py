@@ -1,0 +1,107 @@
+"""Cheap named counters and high-water gauges.
+
+A :class:`CounterRegistry` is two plain dicts: monotonically summed
+``counters`` (messages by type, soup tokens delivered, sampler rows
+ingested/expired, committee refreshes planned vs executed, lease steals,
+spill bytes, ...) and ``maxima`` gauges that keep the largest value observed
+(event-queue depth high-water marks).  Increments are dict operations -- no
+locks, no formatting -- so they are safe to leave on hot paths behind the
+observer's ``telemetry`` flag.
+
+Snapshots are plain ``{"counters": {...}, "maxima": {...}}`` dicts, which is
+also the merge unit: trials snapshot their private registry, cells merge
+their trials' snapshots (:func:`merge_snapshots`), and the run directory
+persists the merged result under ``telemetry/`` -- outside the byte-compared
+artifact surface, exactly like ``timings/``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional
+
+__all__ = [
+    "CounterRegistry",
+    "NullCounters",
+    "NULL_COUNTERS",
+    "merge_snapshots",
+]
+
+#: The snapshot/merge unit: {"counters": {name: total}, "maxima": {name: max}}.
+Snapshot = Dict[str, Dict[str, float]]
+
+
+class CounterRegistry:
+    """Named summed counters plus high-water gauges."""
+
+    __slots__ = ("counters", "maxima")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.maxima: Dict[str, float] = {}
+
+    def incr(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the named counter (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Keep the largest ``value`` ever observed under ``name``."""
+        current = self.maxima.get(name)
+        if current is None or value > current:
+            self.maxima[name] = value
+
+    def snapshot(self) -> Snapshot:
+        """A plain-data copy of the current state."""
+        return {"counters": dict(self.counters), "maxima": dict(self.maxima)}
+
+    def merge_snapshot(self, snapshot: Optional[Mapping[str, Mapping[str, float]]]) -> None:
+        """Fold a snapshot into this registry (counters sum, maxima max)."""
+        if not snapshot:
+            return
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.incr(name, value)
+        for name, value in (snapshot.get("maxima") or {}).items():
+            self.gauge_max(name, value)
+
+    def clear(self) -> None:
+        """Drop every counter and gauge."""
+        self.counters.clear()
+        self.maxima.clear()
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.maxima)
+
+
+class NullCounters:
+    """The disabled registry: increments vanish, snapshots are empty."""
+
+    __slots__ = ()
+
+    def incr(self, name: str, value: float = 1) -> None:
+        return None
+
+    def gauge_max(self, name: str, value: float) -> None:
+        return None
+
+    def snapshot(self) -> Snapshot:
+        return {"counters": {}, "maxima": {}}
+
+    def merge_snapshot(self, snapshot: Any) -> None:
+        return None
+
+    def clear(self) -> None:
+        return None
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The one disabled registry instance.
+NULL_COUNTERS = NullCounters()
+
+
+def merge_snapshots(snapshots: Iterable[Optional[Mapping[str, Mapping[str, float]]]]) -> Snapshot:
+    """Merge many snapshots (``None`` entries skipped): counters sum, maxima max."""
+    merged = CounterRegistry()
+    for snapshot in snapshots:
+        merged.merge_snapshot(snapshot)
+    return merged.snapshot()

@@ -1,0 +1,157 @@
+"""The observer: one handle bundling a tracer and a counter registry.
+
+Activation mirrors the repo's ``use_store``/``use_dispatcher`` pattern:
+
+    observer = Observer(tracer=Tracer(path), telemetry=True)
+    with use_observer(observer):
+        result = spec.run(config)          # everything inside is observed
+    observer.close()
+
+:func:`active_observer` never returns ``None`` -- with nothing installed it
+returns the module-level :data:`NULL_OBSERVER`, whose every operation is a
+no-op, so instrumented code (`P2PStorageSystem.run_round`, the event drain,
+`TrialRunner`, `DispatchWorker`) needs no conditionals beyond an optional
+``if obs.enabled`` fast-path guard.  ContextVars propagate into fork-started
+pool workers, so trials observed in a parallel run stream spans into the
+same (O_APPEND) trace file as the parent.
+
+The zero-perturbation contract: an observer never draws from a protocol or
+adversary RNG stream and never writes inside the byte-compared artifact
+surface (cells, chunks, ``result.json``).  Spans and counters only read
+wall-clocks and bump private dicts; telemetry lands under ``telemetry/``.
+``tests/test_obs.py`` enforces this with twin-run oracles over E3-E6 and an
+events-engine experiment.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Iterator, Optional, Union
+
+from repro.obs.counters import NULL_COUNTERS, CounterRegistry, NullCounters
+from repro.obs.trace import NULL_SPAN, NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Observer",
+    "NullObserver",
+    "NULL_OBSERVER",
+    "use_observer",
+    "active_observer",
+]
+
+
+class Observer:
+    """An enabled observer: spans go to ``tracer``, counts to ``counters``.
+
+    Parameters
+    ----------
+    tracer:
+        A :class:`~repro.obs.trace.Tracer`, or ``None`` for counting-only
+        observation (spans become no-ops).
+    telemetry:
+        When True, :meth:`count`/:meth:`gauge_max` record into a live
+        :class:`~repro.obs.counters.CounterRegistry`; when False they are
+        no-ops and only tracing is active.
+    """
+
+    enabled = True
+
+    def __init__(self, tracer: Optional[Tracer] = None, telemetry: bool = False) -> None:
+        self.tracer: Union[Tracer, NullTracer] = NULL_TRACER if tracer is None else tracer
+        self.telemetry = bool(telemetry)
+        self.counters: Union[CounterRegistry, NullCounters] = (
+            CounterRegistry() if self.telemetry else NULL_COUNTERS
+        )
+
+    # ------------------------------------------------------------------ recording
+    def span(self, name: str, **args: Any):
+        """A ``with``-able span on the tracer (no-op when tracing is off)."""
+        return self.tracer.span(name, **args)
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Bump a summed counter (no-op unless ``telemetry``)."""
+        self.counters.incr(name, value)
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Record a high-water gauge (no-op unless ``telemetry``)."""
+        self.counters.gauge_max(name, value)
+
+    @contextmanager
+    def trial_counters(self) -> Iterator[Union[CounterRegistry, NullCounters]]:
+        """Scope counters to one trial: a fresh registry is swapped in, and on
+        exit its totals are folded into the surrounding (run-level) registry.
+
+        The yielded registry's :meth:`~repro.obs.counters.CounterRegistry.
+        snapshot` is what :class:`~repro.sim.runner.TrialRunner` ships back
+        across the process boundary for per-cell aggregation.
+        """
+        if not self.telemetry:
+            yield NULL_COUNTERS
+            return
+        outer = self.counters
+        scoped = CounterRegistry()
+        self.counters = scoped
+        try:
+            yield scoped
+        finally:
+            self.counters = outer
+            outer.merge_snapshot(scoped.snapshot())
+
+    def close(self) -> None:
+        """Flush and close the tracer (counters need no teardown)."""
+        self.tracer.close()
+
+
+class NullObserver:
+    """The disabled observer: every operation is a no-op, nothing allocates."""
+
+    enabled = False
+    telemetry = False
+    tracer = NULL_TRACER
+    counters = NULL_COUNTERS
+
+    def span(self, name: str, **args: Any):
+        return NULL_SPAN
+
+    def count(self, name: str, value: float = 1) -> None:
+        return None
+
+    def gauge_max(self, name: str, value: float) -> None:
+        return None
+
+    @contextmanager
+    def trial_counters(self) -> Iterator[NullCounters]:
+        yield NULL_COUNTERS
+
+    def close(self) -> None:
+        return None
+
+
+#: The one disabled observer instance; what :func:`active_observer` returns
+#: when nothing is installed, and the default ``obs`` of hand-built
+#: :class:`~repro.core.context.ProtocolContext` fixtures.
+NULL_OBSERVER = NullObserver()
+
+_ACTIVE_OBSERVER: ContextVar[Optional[Observer]] = ContextVar("repro_active_observer", default=None)
+
+
+@contextmanager
+def use_observer(observer: Optional[Observer]) -> Iterator[Optional[Observer]]:
+    """Make ``observer`` active for the enclosed code (None = no-op).
+
+    Mirrors :func:`repro.sim.store.use_store`: systems built inside the
+    context (including in forked pool workers) pick the observer up
+    automatically, so experiment bodies need no observability plumbing.
+    """
+    token = _ACTIVE_OBSERVER.set(observer)
+    try:
+        yield observer
+    finally:
+        _ACTIVE_OBSERVER.reset(token)
+
+
+def active_observer() -> Union[Observer, NullObserver]:
+    """The observer installed by the innermost :func:`use_observer`, else :data:`NULL_OBSERVER`."""
+    observer = _ACTIVE_OBSERVER.get()
+    return NULL_OBSERVER if observer is None else observer

@@ -1,0 +1,157 @@
+"""Render the observability data of a run directory as a terminal report.
+
+``repro-experiment report <run-dir>`` assembles three views from artifacts
+that all live outside the byte-compared result surface:
+
+* a per-phase wall-time breakdown from the ``telemetry/trace-*.jsonl``
+  Chrome-trace files (one per tracing process);
+* a per-worker dispatch timeline (a text gantt) from the ``timings/``
+  records PR 6 introduced;
+* a top-N table of the merged ``telemetry/*.json`` counters.
+
+The module also owns :func:`percentile_stats`, which ``repro-experiment
+status`` uses for its p50/p99/max task-time aggregates.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.obs.counters import merge_snapshots
+from repro.obs.trace import load_trace
+
+__all__ = [
+    "percentile_stats",
+    "phase_breakdown",
+    "load_run_traces",
+    "merged_run_telemetry",
+    "render_report",
+]
+
+
+def percentile_stats(values: Sequence[float]) -> Dict[str, float]:
+    """count/total/mean/p50/p99/max of a list of seconds (empty -> zeros)."""
+    if not values:
+        return {"count": 0, "total": 0.0, "mean": 0.0, "p50": 0.0, "p99": 0.0, "max": 0.0}
+    arr = np.asarray(values, dtype=float)
+    return {
+        "count": int(arr.size),
+        "total": float(arr.sum()),
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p99": float(np.percentile(arr, 99)),
+        "max": float(arr.max()),
+    }
+
+
+def phase_breakdown(events: Sequence[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+    """Aggregate complete ("X") trace events by span name, largest total first.
+
+    Durations in the trace are microseconds; the returned totals/means are
+    seconds.
+    """
+    totals: Dict[str, List[float]] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        totals.setdefault(str(event.get("name", "?")), []).append(float(event.get("dur", 0.0)))
+    rows = []
+    for name, durs in totals.items():
+        total_s = sum(durs) / 1e6
+        rows.append(
+            {"name": name, "count": len(durs), "total_seconds": total_s, "mean_seconds": total_s / len(durs)}
+        )
+    rows.sort(key=lambda row: row["total_seconds"], reverse=True)
+    return rows
+
+
+def load_run_traces(store: Any) -> List[Dict[str, Any]]:
+    """Every event of every ``telemetry/trace-*.jsonl`` file of a run."""
+    telemetry_dir: Path = store.telemetry_dir
+    events: List[Dict[str, Any]] = []
+    if telemetry_dir.exists():
+        for path in sorted(telemetry_dir.glob("trace-*.jsonl")):
+            events.extend(load_trace(path))
+    return events
+
+
+def merged_run_telemetry(store: Any) -> Dict[str, Dict[str, float]]:
+    """All ``telemetry/*.json`` counter records of a run, merged into one snapshot."""
+    return merge_snapshots(store.telemetry_records())
+
+
+def _gantt_lines(timings: Sequence[Mapping[str, Any]], width: int = 48) -> List[str]:
+    """A text gantt of the per-task timing records, grouped by worker.
+
+    Each record carries ``recorded_at`` (wall clock at completion) and
+    ``seconds``; the bar spans ``[recorded_at - seconds, recorded_at]`` on an
+    axis normalised to the run's observed extent.
+    """
+    spans = []
+    for record in timings:
+        seconds = float(record.get("seconds", 0.0))
+        end = float(record.get("recorded_at", 0.0))
+        spans.append((str(record.get("worker", "?")), str(record.get("task", "?")), end - seconds, end, seconds))
+    if not spans:
+        return []
+    t0 = min(start for _, _, start, _, _ in spans)
+    t1 = max(end for _, _, _, end, _ in spans)
+    extent = max(t1 - t0, 1e-9)
+    lines = []
+    by_worker: Dict[str, List[tuple]] = {}
+    for span in spans:
+        by_worker.setdefault(span[0], []).append(span)
+    for worker in sorted(by_worker):
+        lines.append(f"  worker {worker}:")
+        for _, task, start, end, seconds in sorted(by_worker[worker], key=lambda s: s[2]):
+            lead = int((start - t0) / extent * width)
+            bar = max(1, int((end - start) / extent * width))
+            lines.append(f"    |{' ' * lead}{'#' * bar}{' ' * (width - lead - bar)}| {task} ({seconds:.2f}s)")
+    return lines
+
+
+def render_report(store: Any, top: int = 20, gantt_width: int = 48) -> str:
+    """The full textual report of one run directory."""
+    lines: List[str] = [f"observability report: {store.root}"]
+
+    events = load_run_traces(store)
+    phases = phase_breakdown(events)
+    if phases:
+        lines.append("")
+        lines.append(f"phase wall-time breakdown ({len(events)} trace events):")
+        name_width = max(len(row["name"]) for row in phases[:top])
+        for row in phases[:top]:
+            lines.append(
+                f"  {row['name'].ljust(name_width)}  {row['total_seconds']:9.3f}s total"
+                f"  {row['count']:7d} spans  {row['mean_seconds'] * 1e3:9.3f} ms mean"
+            )
+    else:
+        lines.append("no trace events (run with --trace to record spans)")
+
+    timings = store.task_timings()
+    if timings:
+        stats = percentile_stats([float(t.get("seconds", 0.0)) for t in timings])
+        lines.append("")
+        lines.append(
+            f"dispatch timeline ({stats['count']} tasks, {stats['total']:.1f}s compute, "
+            f"p50 {stats['p50']:.2f}s, p99 {stats['p99']:.2f}s, max {stats['max']:.2f}s):"
+        )
+        lines.extend(_gantt_lines(timings, width=gantt_width))
+
+    snapshot = merged_run_telemetry(store)
+    counters = sorted(snapshot["counters"].items(), key=lambda kv: kv[1], reverse=True)
+    maxima = sorted(snapshot["maxima"].items())
+    if counters or maxima:
+        lines.append("")
+        lines.append(f"top counters ({len(counters)} total):")
+        name_width = max((len(name) for name, _ in counters[:top] + maxima), default=0)
+        for name, value in counters[:top]:
+            lines.append(f"  {name.ljust(name_width)}  {value:14,.0f}")
+        for name, value in maxima:
+            lines.append(f"  {name.ljust(name_width)}  {value:14,.0f}  (high-water)")
+    elif not phases and not timings:
+        lines.append("no telemetry records (run with --telemetry to record counters)")
+    return "\n".join(lines)

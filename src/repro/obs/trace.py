@@ -1,0 +1,185 @@
+"""Scoped tracing with a near-zero-cost disabled path.
+
+:class:`Tracer` emits *complete* ("ph": "X") Chrome trace events -- one JSON
+object per line -- to a JSONL file.  Each line is an independent, valid JSON
+document, and lines are written with a single ``os.write`` on an
+``O_APPEND`` descriptor, so any number of processes (a forked trial pool,
+several dispatch workers) can stream into the same file without tearing a
+line.  Timestamps come from ``time.perf_counter_ns`` (CLOCK_MONOTONIC on
+Linux), which is comparable across processes of one host, so the per-process
+streams merge into one consistent timeline.
+
+The disabled path is the module-level :data:`NULL_TRACER`: its ``span`` is a
+plain attribute lookup plus a method call returning the shared
+:data:`NULL_SPAN` singleton -- no span object is allocated and nothing is
+ever formatted or written.  This is what lets the instrumentation live
+permanently inside the protocol round loop without perturbing benchmarks
+(see ``tests/test_obs.py`` for the <2 % overhead proof on the E5 quick cell).
+
+Use :func:`load_trace` to read a trace back and :func:`to_chrome_json` to
+wrap the events into the ``{"traceEvents": [...]}`` document that Perfetto
+and ``chrome://tracing`` load directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "NULL_SPAN",
+    "load_trace",
+    "to_chrome_json",
+]
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by every disabled ``span`` call."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+#: The one no-op span instance; never allocate another.
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span: records its start on ``__enter__``, emits on ``__exit__``."""
+
+    __slots__ = ("_tracer", "name", "args", "_start_ns")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self._start_ns = 0
+
+    def __enter__(self) -> "_Span":
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._tracer._emit_complete(self.name, self._start_ns, time.perf_counter_ns(), self.args)
+
+
+class Tracer:
+    """Streams Chrome trace events to a JSONL file.
+
+    Parameters
+    ----------
+    path:
+        Target JSONL file.  Opened with ``O_APPEND`` so concurrent writers
+        (forked pool workers inherit the descriptor; separate worker
+        processes may open the same path) interleave whole lines, never
+        fragments.
+    """
+
+    enabled = True
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fd = os.open(self.path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+        # perf_counter_ns is CLOCK_MONOTONIC: one epoch per tracer, inherited
+        # by forked children, keeps every process on the same time axis.
+        self._epoch_ns = time.perf_counter_ns()
+
+    def span(self, name: str, **args: Any) -> _Span:
+        """A ``with``-able span; emits one complete ("X") event on exit."""
+        return _Span(self, name, args)
+
+    def instant(self, name: str, **args: Any) -> None:
+        """Emit an instant ("i") event at the current time."""
+        self._write(
+            {
+                "name": name,
+                "ph": "i",
+                "ts": (time.perf_counter_ns() - self._epoch_ns) / 1000.0,
+                "s": "p",
+                "pid": os.getpid(),
+                "tid": threading.get_ident() & 0xFFFFFFFF,
+                "args": args,
+            }
+        )
+
+    def _emit_complete(self, name: str, start_ns: int, end_ns: int, args: Dict[str, Any]) -> None:
+        event: Dict[str, Any] = {
+            "name": name,
+            "ph": "X",
+            "ts": (start_ns - self._epoch_ns) / 1000.0,
+            "dur": (end_ns - start_ns) / 1000.0,
+            "pid": os.getpid(),
+            "tid": threading.get_ident() & 0xFFFFFFFF,
+        }
+        if args:
+            event["args"] = args
+        self._write(event)
+
+    def _write(self, event: Dict[str, Any]) -> None:
+        line = json.dumps(event, separators=(",", ":")) + "\n"
+        os.write(self._fd, line.encode("utf-8"))
+
+    def close(self) -> None:
+        """Close the underlying descriptor (idempotent)."""
+        if self._fd >= 0:
+            os.close(self._fd)
+            self._fd = -1
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except OSError:
+            pass
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op, nothing allocates."""
+
+    enabled = False
+
+    def span(self, name: str, **args: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def instant(self, name: str, **args: Any) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+#: The one disabled tracer instance.
+NULL_TRACER = NullTracer()
+
+
+def load_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a trace JSONL file back into a list of event dicts.
+
+    Every non-blank line must be a valid JSON object; a torn line would mean
+    the O_APPEND whole-line write contract was violated, so it raises rather
+    than being skipped silently.
+    """
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def to_chrome_json(events: List[Dict[str, Any]]) -> str:
+    """Wrap events into the ``{"traceEvents": [...]}`` document Perfetto loads."""
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})

@@ -58,7 +58,9 @@ from dataclasses import dataclass, field
 from hashlib import sha256
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from repro.obs.observer import NULL_OBSERVER, active_observer
 from repro.sim.experiment import ExperimentConfig, TrialResult
+from repro.sim.runner import persist_cell_telemetry
 from repro.sim.store import ResultStore
 from repro.util.simlog import get_logger
 
@@ -239,13 +241,19 @@ class _Heartbeat(threading.Thread):
     """
 
     def __init__(
-        self, store: ResultStore, worker_id: str, interval: float, claim_lock: threading.Lock
+        self,
+        store: ResultStore,
+        worker_id: str,
+        interval: float,
+        claim_lock: threading.Lock,
+        obs: Any = NULL_OBSERVER,
     ) -> None:
         super().__init__(name=f"dispatch-heartbeat-{worker_id}", daemon=True)
         self.store = store
         self.worker_id = worker_id
         self.interval = interval
         self.claim_lock = claim_lock
+        self.obs = obs
         self._lock = threading.Lock()
         self._current_task: Optional[str] = None
         # NB: not named _stop -- threading.Thread has a private _stop() method.
@@ -270,7 +278,8 @@ class _Heartbeat(threading.Thread):
                         with self._lock:
                             still_current = self._current_task == task_id
                         if still_current:
-                            self.store.heartbeat_claim(task_id, self.worker_id)
+                            with self.obs.span("dispatch.heartbeat", task=task_id):
+                                self.store.heartbeat_claim(task_id, self.worker_id)
                 self.store.write_worker_record(self.worker_id, computing=task_id)
             except OSError:
                 pass  # transient filesystem hiccup; next beat retries
@@ -336,6 +345,9 @@ class DispatchWorker:
         self.drain_and_exit = bool(drain_and_exit)
         #: tasks this worker actually computed (entry counts; for logs/tests)
         self.computed_tasks: List[str] = []
+        # Captured at execute() time, not here: the CLI constructs the worker
+        # before it installs the observer (use_observer wraps run_experiment).
+        self._obs: Any = NULL_OBSERVER
         self._heartbeat: Optional[_Heartbeat] = None
         # Serialises this process's claim writes (heartbeat thread) against
         # claim releases (main thread); see _Heartbeat.
@@ -360,6 +372,7 @@ class DispatchWorker:
         dispatching) so they are not re-read from disk.
         """
         store = self.store
+        self._obs = active_observer()
         tasks = plan_tasks(list(specs), self.chunk_seeds, self.min_trials_per_task)
         outstanding: Dict[str, DispatchTask] = {t.task_id: t for t in tasks}
         chunked_keys = {
@@ -387,10 +400,7 @@ class DispatchWorker:
                         del outstanding[task.task_id]
                         progressed = True
                         continue
-                    if store.try_claim(task.task_id, self.worker_id, self.lease_seconds) or (
-                        self._claim_is_stale(task.task_id)
-                        and store.steal_claim(task.task_id, self.worker_id, self.lease_seconds)
-                    ):
+                    if self._claim_or_steal(task.task_id):
                         try:
                             self._execute_task(task, trial, runner, local, chunk_cache)
                         finally:
@@ -437,6 +447,26 @@ class DispatchWorker:
         claim = self.store.read_claim(task_id)
         return claim is not None and self.store.claim_expired(claim)
 
+    def _claim_or_steal(self, task_id: str) -> bool:
+        """Claim ``task_id``, or steal it when its holder's lease expired.
+
+        Same claim-then-steal logic the execute loop always ran, factored out
+        so each path carries its span; a successful steal bumps the
+        ``dispatch.lease_steals`` counter.
+        """
+        obs = self._obs
+        with obs.span("dispatch.claim", task=task_id):
+            claimed = self.store.try_claim(task_id, self.worker_id, self.lease_seconds)
+        if claimed:
+            return True
+        if not self._claim_is_stale(task_id):
+            return False
+        with obs.span("dispatch.steal", task=task_id):
+            stolen = self.store.steal_claim(task_id, self.worker_id, self.lease_seconds)
+        if stolen and obs.telemetry:
+            obs.count("dispatch.lease_steals")
+        return stolen
+
     def _execute_task(
         self,
         task: DispatchTask,
@@ -454,32 +484,38 @@ class DispatchWorker:
         beat = self._heartbeat
         if beat is not None:
             beat.set_task(task.task_id)
+        obs = self._obs
         computed_any = False
         started = time.perf_counter()
         try:
-            for entry in task.entries:
-                if entry.is_complete(self.store):
-                    continue
-                computed_any = True
-                spec = entry.spec
-                trials = runner.run(spec.config, trial, seeds=entry.seeds)
-                if entry.chunk is None:
-                    self.store.save_cell(
-                        spec.key,
-                        trial=trial,
-                        config=spec.config,
-                        seeds=spec.seeds,
-                        trials=trials,
-                        index=spec.index,
-                        overrides=spec.overrides,
-                    )
-                    local[spec.key] = trials
-                else:
-                    self.store.save_chunk(
-                        spec.key, *entry.chunk, seeds=entry.seeds, trials=trials
-                    )
-                    chunk_cache[(spec.key, *entry.chunk)] = trials
-                self.store.heartbeat_claim(task.task_id, self.worker_id)
+            with obs.span("dispatch.task", task=task.task_id, trials=task.trial_count):
+                for entry in task.entries:
+                    if entry.is_complete(self.store):
+                        continue
+                    computed_any = True
+                    spec = entry.spec
+                    trials = runner.run(spec.config, trial, seeds=entry.seeds)
+                    if entry.chunk is None:
+                        self.store.save_cell(
+                            spec.key,
+                            trial=trial,
+                            config=spec.config,
+                            seeds=spec.seeds,
+                            trials=trials,
+                            index=spec.index,
+                            overrides=spec.overrides,
+                        )
+                        local[spec.key] = trials
+                        entry_name = spec.key
+                    else:
+                        self.store.save_chunk(
+                            spec.key, *entry.chunk, seeds=entry.seeds, trials=trials
+                        )
+                        chunk_cache[(spec.key, *entry.chunk)] = trials
+                        entry_name = f"{spec.key}.{entry.chunk[0]}-{entry.chunk[1]}"
+                    if obs.telemetry:
+                        persist_cell_telemetry(self.store, entry_name, runner.last_counters)
+                    self.store.heartbeat_claim(task.task_id, self.worker_id)
             if computed_any:
                 self.computed_tasks.append(task.task_id)
                 self.store.write_task_timing(
@@ -559,7 +595,9 @@ class DispatchWorker:
         if self._heartbeat is not None:
             return
         interval = max(0.05, self.lease_seconds / 4.0)
-        self._heartbeat = _Heartbeat(self.store, self.worker_id, interval, self._claim_lock)
+        self._heartbeat = _Heartbeat(
+            self.store, self.worker_id, interval, self._claim_lock, obs=self._obs
+        )
         self._heartbeat.start()
         self.store.write_worker_record(self.worker_id, computing=None)
 

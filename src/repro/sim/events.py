@@ -93,6 +93,8 @@ class EventQueue:
         self._seq = 0
         self._live = 0
         self._key = int(seed).to_bytes(8, "little", signed=False)
+        #: Lifetime count of successful :meth:`cancel` calls (telemetry only).
+        self.cancelled_total = 0
 
     def _tie(self, kind: str, payload: Any, tie_key: Optional[str]) -> int:
         data = tie_key if tie_key is not None else json.dumps(jsonify(payload), sort_keys=True)
@@ -128,6 +130,7 @@ class EventQueue:
             return False
         handle.cancelled = True
         self._live -= 1
+        self.cancelled_total += 1
         return True
 
     def pop(self) -> Optional[Event]:
@@ -217,13 +220,28 @@ class AsyncProtocolSystem(P2PStorageSystem):
             add(r, "retrieval_step", priority=PRIORITY["retrieval_step"], tie_key=f"retrieval_step:{r}")
         add(r + 1, "round_end", priority=PRIORITY["round_end"], tie_key=f"round_end:{r}")
 
+        obs = self.obs
+        telemetry = obs.telemetry
+        if telemetry:
+            obs.gauge_max("events.queue_depth", len(self.events))
         while True:
             event = self.events.pop()
             if event is None:  # pragma: no cover - round_end is always queued
                 raise RuntimeError("event queue drained before round_end")
             if event.kind == "round_end":
+                if telemetry:
+                    obs.gauge_max("events.cancelled_total", self.events.cancelled_total)
                 return self._on_round_end()
-            self._dispatch(event)
+            if obs.enabled:
+                # Per-event dwell time; the f-string and span allocation only
+                # happen on the enabled path.
+                with obs.span(f"event.{event.kind}"):
+                    self._dispatch(event)
+                if telemetry:
+                    obs.count(f"events.{event.kind}")
+                    obs.gauge_max("events.queue_depth", len(self.events))
+            else:
+                self._dispatch(event)
 
     def _dispatch(self, event: Event) -> None:
         kind = event.kind

@@ -105,6 +105,13 @@ class ExperimentConfig:
         Worker processes used by :func:`run_trials` and sweeps (1 =
         sequential).  Parallel runs are seed-deterministic, so this knob
         never changes results -- only wall-clock time.
+    observe:
+        Observability switches (:mod:`repro.obs`): a mapping with optional
+        boolean keys ``"trace"`` (stream Chrome-trace spans) and
+        ``"telemetry"`` (record counters), or ``None`` for no observation.
+        Like ``workers`` this is pure transport: it is excluded from cell
+        keys and normalised away in canonical artifacts, because observation
+        never changes a payload byte (``tests/test_obs.py`` proves it).
     """
 
     name: str
@@ -124,6 +131,7 @@ class ExperimentConfig:
     engine: str = "lockstep"
     latency: Optional[Dict[str, Any]] = None
     workers: int = 1
+    observe: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         check_choice(self.adversary, "adversary", ADVERSARY_KINDS)
@@ -140,6 +148,12 @@ class ExperimentConfig:
                 raise TypeError("latency must be a mapping (a latency-model JSON dict) or None")
             if self.engine == "lockstep":
                 raise ValueError("latency requires engine='events' (lockstep has no latency)")
+        if self.observe is not None:
+            if not isinstance(self.observe, Mapping):
+                raise TypeError("observe must be a mapping with 'trace'/'telemetry' keys, or None")
+            unknown = set(self.observe) - {"trace", "telemetry"}
+            if unknown:
+                raise ValueError(f"unknown observe keys {sorted(unknown)}; known: ['telemetry', 'trace']")
 
     def resolved_churn_rate(self) -> int:
         """The absolute per-round churn this config implies."""
@@ -177,6 +191,8 @@ class ExperimentConfig:
             payload["param_overrides"] = dict(payload["param_overrides"])
         if payload.get("latency") is not None:
             payload["latency"] = dict(payload["latency"])
+        if payload.get("observe") is not None:
+            payload["observe"] = dict(payload["observe"])
         return cls(**payload)
 
     @classmethod
@@ -371,7 +387,10 @@ def run_trials(
             return dispatcher.execute(trial, [spec], runner=runner)[key]
     results = runner.run(config, trial, seeds=seeds)
     if store is not None:
+        from repro.sim.runner import persist_cell_telemetry
+
         store.save_cell(key, trial=trial, config=config, seeds=seeds, trials=results)
+        persist_cell_telemetry(store, key, runner.last_counters)
     return results
 
 

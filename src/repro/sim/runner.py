@@ -44,6 +44,7 @@ from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.obs.observer import active_observer
 from repro.sim.experiment import ExperimentConfig, TrialResult
 from repro.util.serialization import dumps_artifact, jsonify
 from repro.util.simlog import get_logger
@@ -56,6 +57,7 @@ __all__ = [
     "CellResult",
     "SweepResult",
     "Sweep",
+    "persist_cell_telemetry",
 ]
 
 #: A trial maps (config, seed) to a plain-data payload dict.  Payloads cross
@@ -94,20 +96,28 @@ class WorkerError(RuntimeError):
         return (type(self), (self.config_name, self.seed, self.message, self.remote_traceback))
 
 
-def _execute_task(task: Tuple[TrialFn, ExperimentConfig, int]) -> Tuple[int, Dict[str, Any], float]:
-    """Run one (trial, config, seed) task; returns (seed, payload, elapsed).
+def _execute_task(
+    task: Tuple[TrialFn, ExperimentConfig, int],
+) -> Tuple[int, Dict[str, Any], float, Optional[Dict[str, Dict[str, float]]]]:
+    """Run one (trial, config, seed) task; returns (seed, payload, elapsed, counters).
 
     Runs in the worker process.  Exceptions are caught and re-packaged so the
     parent can raise a :class:`WorkerError` with the remote traceback instead
-    of an opaque pickling failure.
+    of an opaque pickling failure.  When an observer with telemetry is active
+    (the ContextVar survives the fork), the trial runs inside its own counter
+    scope and the scope's snapshot travels back as the fourth element
+    (``None`` otherwise) so the parent can aggregate counters per cell.
     """
     trial, config, seed = task
+    obs = active_observer()
     start = time.perf_counter()
     try:
-        payload = trial(config, int(seed))
+        with obs.span("trial", config=config.name, seed=int(seed)), obs.trial_counters() as counters:
+            payload = trial(config, int(seed))
     except Exception as exc:  # noqa: BLE001 - re-raised as WorkerError in the parent
         raise WorkerError(config.name, int(seed), repr(exc), traceback.format_exc()) from None
-    return int(seed), payload, time.perf_counter() - start
+    snapshot = counters.snapshot() if obs.telemetry else None
+    return int(seed), payload, time.perf_counter() - start, snapshot
 
 
 def _is_picklable(obj: Any) -> bool:
@@ -161,7 +171,7 @@ class _PickledPayload:
 
 def _execute_task_spilling(
     args: Tuple[Tuple["TrialFn", ExperimentConfig, int], int, str],
-) -> Tuple[int, Any, float]:
+) -> Tuple[int, Any, float, Optional[Dict[str, Dict[str, float]]]]:
     """Worker-side wrapper of :func:`_execute_task` that spills large payloads.
 
     Payloads whose pickled form reaches the threshold are written to a file
@@ -170,15 +180,20 @@ def _execute_task_spilling(
     crosses the process boundary; the parent loads and deletes the file.
     Smaller payloads travel as the measurement pickle itself
     (:class:`_PickledPayload`).  Payload *bytes* are unaffected either way.
+    Spilled byte counts are folded into the trial's telemetry snapshot (when
+    telemetry is on) as ``runner.spill_bytes``.
     """
     task, threshold, spill_dir = args
-    seed, payload, elapsed = _execute_task(task)
+    seed, payload, elapsed, snapshot = _execute_task(task)
     blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     if len(blob) < threshold:
-        return seed, _PickledPayload(blob=blob), elapsed
+        return seed, _PickledPayload(blob=blob), elapsed, snapshot
     path = Path(spill_dir) / f"payload-{os.getpid()}-{seed}-{secrets.token_hex(4)}.pkl"
     path.write_bytes(blob)
-    return seed, _SpilledPayload(path=str(path), size_bytes=len(blob)), elapsed
+    if snapshot is not None:
+        counters = snapshot.setdefault("counters", {})
+        counters["runner.spill_bytes"] = counters.get("runner.spill_bytes", 0) + len(blob)
+    return seed, _SpilledPayload(path=str(path), size_bytes=len(blob)), elapsed, snapshot
 
 
 def _load_spilled(payload: Any) -> Any:
@@ -254,6 +269,13 @@ class TrialRunner:
         self.progress = progress
         self.spill_bytes = _resolve_spill_bytes(spill_bytes)
         self.spill_dir = None if spill_dir is None else Path(spill_dir)
+        #: Per-trial telemetry snapshots of the most recent :meth:`run` /
+        #: :meth:`run_cells` call, aligned with the returned trials (``None``
+        #: entries when no telemetry observer was active).
+        self.last_counters: List[Optional[Dict[str, Dict[str, float]]]] = []
+        #: :attr:`last_counters` regrouped per cell by the most recent
+        #: :meth:`run_cells` call.
+        self.last_cell_counters: List[List[Optional[Dict[str, Dict[str, float]]]]] = []
 
     # ------------------------------------------------------------------ public API
     def run(
@@ -285,15 +307,18 @@ class TrialRunner:
             boundaries.append(len(tasks))
         flat = self._map(tasks)
         out: List[List[TrialResult]] = []
+        self.last_cell_counters = []
         start = 0
         for end in boundaries:
             out.append(flat[start:end])
+            self.last_cell_counters.append(self.last_counters[start:end])
             start = end
         return out
 
     # ------------------------------------------------------------------ internals
     def _map(self, tasks: Sequence[Tuple[TrialFn, ExperimentConfig, int]]) -> List[TrialResult]:
         """Execute tasks, preserving order regardless of completion order."""
+        self.last_counters = []
         if not tasks:
             return []
         if self.workers == 1 or len(tasks) == 1 or not self._tasks_picklable(tasks):
@@ -316,8 +341,9 @@ class TrialRunner:
     def _map_sequential(self, tasks: Sequence[Tuple[TrialFn, ExperimentConfig, int]]) -> List[TrialResult]:
         results: List[TrialResult] = []
         for i, task in enumerate(tasks):
-            seed, payload, elapsed = _execute_task(task)
+            seed, payload, elapsed, snapshot = _execute_task(task)
             results.append(TrialResult(seed=seed, payload=payload, elapsed_seconds=elapsed))
+            self.last_counters.append(snapshot)
             self._log_progress(i + 1, len(tasks), task)
         return results
 
@@ -342,6 +368,7 @@ class TrialRunner:
 
     def _map_parallel(self, tasks: Sequence[Tuple[TrialFn, ExperimentConfig, int]]) -> List[TrialResult]:
         slots: List[Optional[TrialResult]] = [None] * len(tasks)
+        counter_slots: List[Optional[Dict[str, Dict[str, float]]]] = [None] * len(tasks)
         max_workers = min(self.workers, len(tasks))
         done = 0
         spill_dir = self._resolve_spill_dir()
@@ -360,10 +387,11 @@ class TrialRunner:
                     }
                 for future in as_completed(future_to_index):
                     index = future_to_index[future]
-                    seed, payload, elapsed = future.result()  # re-raises WorkerError
+                    seed, payload, elapsed, snapshot = future.result()  # re-raises WorkerError
                     consumed.add(index)
                     payload = _load_spilled(payload)
                     slots[index] = TrialResult(seed=seed, payload=payload, elapsed_seconds=elapsed)
+                    counter_slots[index] = snapshot
                     done += 1
                     self._log_progress(done, len(tasks), tasks[index])
         finally:
@@ -375,10 +403,11 @@ class TrialRunner:
                     if index in consumed or not future.done() or future.cancelled():
                         continue
                     try:
-                        _, payload, _ = future.result()
+                        _, payload, _, _ = future.result()
                     except BaseException:  # noqa: BLE001 - that future failed too; nothing spilled
                         continue
                     _discard_spilled(payload)
+        self.last_counters = counter_slots
         return [result for result in slots if result is not None]
 
     def _log_progress(self, done: int, total: int, task: Tuple[TrialFn, ExperimentConfig, int]) -> None:
@@ -395,6 +424,27 @@ def _fork_context():
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return None
+
+
+def persist_cell_telemetry(
+    store: Optional[Any],
+    key: str,
+    snapshots: Sequence[Optional[Dict[str, Dict[str, float]]]],
+) -> None:
+    """Merge per-trial counter snapshots and save them under the store's
+    ``telemetry/`` directory (outside the byte-compared artifact surface).
+
+    No-op when ``store`` is None or no trial produced a snapshot (telemetry
+    off), so plain runs write nothing new.
+    """
+    if store is None:
+        return
+    from repro.obs.counters import merge_snapshots
+
+    present = [snap for snap in snapshots if snap]
+    if not present:
+        return
+    store.save_telemetry(key, merge_snapshots(present), trials=len(present))
 
 
 # ---------------------------------------------------------------------- grids
@@ -694,7 +744,7 @@ class Sweep:
                 loaded[cell.index] = by_key[keys[cell.index]]
         else:
             per_cell = runner.run_cells([(c.config, c.config.seeds) for c in pending], self.trial)
-            for cell, trials in zip(pending, per_cell):
+            for position, (cell, trials) in enumerate(zip(pending, per_cell)):
                 loaded[cell.index] = trials
                 if store is not None:
                     store.save_cell(
@@ -705,6 +755,9 @@ class Sweep:
                         trials=trials,
                         index=cell.index,
                         overrides=cell.override_dict(),
+                    )
+                    persist_cell_telemetry(
+                        store, keys[cell.index], runner.last_cell_counters[position]
                     )
 
         results: List[CellResult] = []

@@ -9,6 +9,9 @@ A :class:`ResultStore` owns one *run directory*::
       chunks/<key>.<a>-<b>.json  # partial seed-chunk artifacts of large cells
       claims/<task>.claim   # advisory worker leases (distributed execution)
       workers/<id>.json     # heartbeat records of the workers draining the run
+      timings/<task>.json   # per-task wall times (outside the compared surface)
+      telemetry/<name>.json # counter snapshots and trace-*.jsonl span streams
+                            # (observability plane; also outside the compared surface)
 
 Cells are content-addressed: the key is a hash of the trial callable's
 qualified name, the full config and the seed list, so a resumed run finds
@@ -110,10 +113,16 @@ def _strip_config_transport(config_doc: Optional[Dict[str, Any]]) -> None:
 
     ``workers`` never changes payloads (it is already excluded from cell
     keys); pinning it to 1 in canonical artifacts makes a ``run --workers 8``
-    byte-comparable to any number of dispatch workers.
+    byte-comparable to any number of dispatch workers.  ``observe`` is the
+    same kind of transport field -- instrumentation writes only under
+    ``telemetry/`` and never moves a protocol coin -- so it is pinned to
+    None, making an observed run byte-comparable to a plain one (the
+    twin-run oracle tests rely on this).
     """
     if config_doc is not None and "workers" in config_doc:
         config_doc["workers"] = 1
+    if config_doc is not None and "observe" in config_doc:
+        config_doc["observe"] = None
 
 
 def canonical_timing() -> bool:
@@ -160,6 +169,7 @@ class ResultStore:
     CLAIMS_DIR = "claims"
     WORKERS_DIR = "workers"
     TIMINGS_DIR = "timings"
+    TELEMETRY_DIR = "telemetry"
 
     def __init__(self, root: Path) -> None:
         self.root = Path(root)
@@ -212,6 +222,10 @@ class ResultStore:
     def timings_dir(self) -> Path:
         return self.root / self.TIMINGS_DIR
 
+    @property
+    def telemetry_dir(self) -> Path:
+        return self.root / self.TELEMETRY_DIR
+
     def manifest(self) -> Dict[str, Any]:
         """The manifest written at :meth:`create` time."""
         return json.loads(self.manifest_path.read_text())
@@ -228,10 +242,13 @@ class ResultStore:
         ``workers`` is excluded from the identity: trials derive all their
         randomness from their seed, so the worker count never changes
         payloads -- resuming a run with a different ``--workers`` must still
-        find every completed cell.
+        find every completed cell.  ``observe`` is excluded for the same
+        reason: observability never perturbs payloads, so a traced resume
+        must find the cells an untraced run computed (and vice versa).
         """
         config_identity = config.to_json_dict()
         config_identity.pop("workers", None)
+        config_identity.pop("observe", None)
         identity = {
             "trial": trial_name(trial),
             "config": config_identity,
@@ -536,6 +553,44 @@ class ResultStore:
             return []
         out = []
         for path in sorted(self.timings_dir.glob("*.json")):
+            try:
+                out.append(json.loads(path.read_text()))
+            except (json.JSONDecodeError, FileNotFoundError):
+                continue
+        return out
+
+    # ------------------------------------------------------------------ telemetry
+    def save_telemetry(self, name: str, snapshot: Mapping[str, Any], **meta: Any) -> Path:
+        """Persist one counter snapshot as ``telemetry/<name>.json``.
+
+        Like ``timings/``, the telemetry directory lives *outside* the
+        byte-compared result surface (cells, chunks, ``result.json``) -- an
+        observed run and a plain run still produce ``cmp``-equal artifacts.
+        ``snapshot`` is a :meth:`~repro.obs.counters.CounterRegistry.snapshot`
+        dict; ``meta`` adds context fields (experiment name, trial count, ...).
+        """
+        self.telemetry_dir.mkdir(parents=True, exist_ok=True)
+        document = {
+            "name": name,
+            "counters": dict(snapshot.get("counters", {})),
+            "maxima": dict(snapshot.get("maxima", {})),
+            "recorded_at": time.time(),
+            **jsonify(dict(meta)),
+        }
+        path = self.telemetry_dir / f"{name}.json"
+        _atomic_write_text(path, dumps_artifact(document))
+        return path
+
+    def telemetry_records(self) -> List[Dict[str, Any]]:
+        """All persisted telemetry snapshots, sorted by name.
+
+        Only ``*.json`` snapshots are read; per-process trace streams
+        (``trace-*.jsonl``) share the directory but are not snapshots.
+        """
+        if not self.telemetry_dir.exists():
+            return []
+        out = []
+        for path in sorted(self.telemetry_dir.glob("*.json")):
             try:
                 out.append(json.loads(path.read_text()))
             except (json.JSONDecodeError, FileNotFoundError):

@@ -47,6 +47,13 @@ class SimEvent:
     message: str
     data: Dict[str, Any] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # The dataclass is frozen but a caller-supplied dict is aliased, so
+        # mutating it afterwards would silently rewrite recorded history.
+        # Copy defensively (via object.__setattr__, the frozen-field escape
+        # hatch) so every event owns its payload.
+        object.__setattr__(self, "data", dict(self.data))
+
 
 class SimulationLog:
     """In-memory event trace with bounded size.

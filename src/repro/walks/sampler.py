@@ -161,8 +161,8 @@ class NodeSampler:
             self._merged = {}
         return recorded
 
-    def expire(self, current_round: int) -> None:
-        """Drop samples older than ``retention`` rounds.
+    def expire(self, current_round: int) -> int:
+        """Drop samples older than ``retention`` rounds; returns rows dropped.
 
         Dead destinations are masked at query time (see the module note), so
         expiry is pure ring-buffer maintenance: whole round columns fall off
@@ -170,11 +170,14 @@ class NodeSampler:
         """
         cutoff = current_round - self.retention
         stale = [r for r in self._columns if r < cutoff]
+        dropped = 0
         for r in stale:
+            dropped += self._columns[r].size
             del self._columns[r]
         if stale:
             self._sorted_rounds = None
             self._merged = {}
+        return dropped
 
     # ------------------------------------------------------------------ query plumbing
     def _rounds(self) -> List[int]:

@@ -205,3 +205,64 @@ class TestExperimentResult:
         with timed_experiment(result):
             sum(range(1000))
         assert result.elapsed_seconds >= 0
+
+
+class TestMetricsCollectorEdgeCases:
+    """Denominator-at-zero and degenerate-round behavior of the collector."""
+
+    def test_zero_stored_items_report_unit_availability(self):
+        config = ExperimentConfig(name="T", n=64, churn_rate=1)
+        system = build_system(config, seed=3)
+        system.warm_up()
+        collector = MetricsCollector(system)
+        metrics = collector.run_and_observe(3)
+        for m in metrics:
+            # Vacuously available/findable: no item has been lost because
+            # no item exists -- the 0/0 convention must be 1.0, not a crash.
+            assert m.availability == 1.0 and m.findability == 1.0
+            assert m.mean_replicas == 0.0 and m.mean_landmarks == 0.0
+            assert m.committees_total == 0 and m.committees_good == 0
+        assert collector.min_availability() == 1.0
+        assert collector.committee_goodness_fraction() == 1.0
+        assert collector.mean_landmark_count() == 0.0
+
+    def test_empty_history_summaries_do_not_divide_by_zero(self):
+        config = ExperimentConfig(name="T", n=64)
+        collector = MetricsCollector(build_system(config, seed=1))
+        assert collector.final() is None
+        assert collector.rounds_observed() == 0
+        assert collector.availability_series() == []
+        assert collector.min_availability() == 1.0
+        assert collector.committee_goodness_fraction() == 1.0
+        assert collector.mean_landmark_count() == 0.0
+
+    def test_heavy_churn_rounds_keep_every_metric_bounded(self):
+        # A quarter of the network replaced per round: committees dissolve,
+        # replicas vanish mid-refresh, yet every ratio stays within [0, 1].
+        config = ExperimentConfig(name="T", n=64, churn_rate=16)
+        system = build_system(config, seed=7)
+        system.warm_up()
+        system.store(b"churn-survivor")
+        collector = MetricsCollector(system)
+        for m in collector.run_and_observe(6):
+            assert m.churned >= 0
+            assert 0.0 <= m.availability <= 1.0
+            assert 0.0 <= m.findability <= 1.0
+            assert 0.0 <= m.retrieval_success_rate <= 1.0
+            assert m.committees_good <= m.committees_total
+        assert 0.0 <= collector.committee_goodness_fraction() <= 1.0
+        assert 0.0 <= collector.min_availability() <= 1.0
+
+    def test_erasure_mode_observes_fragment_counts(self):
+        config = ExperimentConfig(name="T", n=64, churn_rate=2, storage_mode="erasure")
+        system = build_system(config, seed=9)
+        system.warm_up()
+        system.store(b"erasure-coded-item-payload!")
+        collector = MetricsCollector(system)
+        collector.run_and_observe(5)
+        final = collector.final()
+        assert final is not None
+        assert 0.0 <= final.availability <= 1.0
+        assert final.mean_replicas >= 0.0
+        assert final.committees_total == 1
+        assert len(collector.availability_series()) == 5

@@ -50,3 +50,26 @@ class TestSimulationLog:
 def test_get_logger_names():
     assert get_logger().name == "repro"
     assert get_logger("net").name == "repro.net"
+
+
+class TestSimEventDefensiveCopy:
+    def test_caller_mutations_do_not_rewrite_recorded_history(self):
+        """Frozen dataclass, mutable payload: the event must own a copy."""
+        payload = {"replicas": 5}
+        event = SimEvent(round_index=1, category="storage", message="stored", data=payload)
+        payload["replicas"] = 0
+        payload["injected"] = True
+        assert event.data == {"replicas": 5}
+
+    def test_events_with_shared_source_dict_are_independent(self):
+        shared = {"state": "good"}
+        first = SimEvent(round_index=1, category="c", message="m", data=shared)
+        second = SimEvent(round_index=2, category="c", message="m", data=shared)
+        assert first.data is not shared and first.data is not second.data
+        shared["state"] = "bad"
+        assert first.data["state"] == "good" and second.data["state"] == "good"
+
+    def test_default_payload_stays_per_instance(self):
+        first = SimEvent(round_index=1, category="c", message="m")
+        second = SimEvent(round_index=2, category="c", message="m")
+        assert first.data == {} and first.data is not second.data
