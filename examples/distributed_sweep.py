@@ -19,6 +19,10 @@ The same protocol works across *hosts*: point every worker at one shared
 expire and the survivors reclaim its cell::
 
     python examples/distributed_sweep.py --workers-n 3 --lease 5
+
+``--backend sqlite`` swaps the claim files for one WAL-mode database in the
+run directory (single-host fleets); the workers pick the backend up from
+the manifest and the resulting artifacts are byte-identical either way.
 """
 
 from __future__ import annotations
@@ -90,6 +94,13 @@ def main() -> None:
         metavar="DIR",
         help="where the shared run directory is created",
     )
+    parser.add_argument(
+        "--backend",
+        default="filesystem",
+        choices=("filesystem", "sqlite"),
+        help="claim backend recorded in the manifest: claim files (works across hosts) "
+        "or one WAL-mode SQLite database (single host; workers inherit it automatically)",
+    )
     args = parser.parse_args()
 
     os.environ["REPRO_CANONICAL_TIMING"] = "1"
@@ -104,6 +115,8 @@ def main() -> None:
             "E7",
             "--json-out",
             str(out),
+            "--backend",
+            args.backend,
             "--set",
             "n=128",
             "--set",

@@ -53,8 +53,10 @@ from repro.experiments.spec import REGISTRY, ExperimentSpec, registered_ids
 from repro.obs.observer import Observer, use_observer
 from repro.obs.report import percentile_stats, render_report
 from repro.obs.trace import Tracer
+from repro.sim.backends import BACKENDS, make_backend
 from repro.sim.dispatch import (
     DEFAULT_CHUNK_SEEDS,
+    DEFAULT_CLAIM_BATCH,
     DEFAULT_MIN_TRIALS_PER_TASK,
     DispatchDrained,
     DispatchWorker,
@@ -326,6 +328,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="recorded in the manifest: batch tiny cells into tasks of at least N trials "
         f"(default {DEFAULT_MIN_TRIALS_PER_TASK})",
     )
+    dispatch_parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="filesystem",
+        help="recorded in the manifest: claim/lease backend every worker uses -- "
+        "'filesystem' (claim files; works on shared/NFS directories) or "
+        "'sqlite' (one WAL database; workers must share one host)",
+    )
+    dispatch_parser.add_argument(
+        "--claim-batch",
+        type=int,
+        default=DEFAULT_CLAIM_BATCH,
+        metavar="N",
+        help="recorded in the manifest: how many tasks one claim round-trip covers "
+        f"(default {DEFAULT_CLAIM_BATCH}; raise for sweeps of sub-millisecond cells)",
+    )
 
     worker_parser = sub.add_parser(
         "worker",
@@ -372,6 +390,20 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="override the manifest's tiny-cell batching (default: manifest value, else 6)",
+    )
+    worker_parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default=None,
+        help="override the manifest's claim backend (default: manifest value, else filesystem); "
+        "workers on different backends do not see each other's claims",
+    )
+    worker_parser.add_argument(
+        "--claim-batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the manifest's claim batching (default: manifest value, else 1)",
     )
     worker_parser.add_argument(
         "--wait-timeout",
@@ -449,7 +481,7 @@ def _create_store(
     workers: int,
     overrides: Dict[str, Any],
     seeds: Optional[Sequence[int]],
-    dispatch_options: Optional[Dict[str, int]] = None,
+    dispatch_options: Optional[Dict[str, Any]] = None,
 ) -> ResultStore:
     run_dir = _make_run_dir(json_out, experiment_id)
     manifest = {
@@ -461,9 +493,13 @@ def _create_store(
         "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
     if dispatch_options is not None:
-        # The chunked-scheduler knobs are part of the shared task-plan
-        # identity, so they live in the manifest, not on each worker.
-        manifest["dispatch"] = {key: int(value) for key, value in dispatch_options.items()}
+        # The chunked-scheduler knobs and the claim backend are part of the
+        # shared run identity, so they live in the manifest, not on each
+        # worker.  ``backend`` is the one string-valued knob.
+        manifest["dispatch"] = {
+            key: (value if key == "backend" else int(value))
+            for key, value in dispatch_options.items()
+        }
     return ResultStore.create(run_dir, manifest)
 
 
@@ -565,6 +601,8 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
             raise ValueError(f"--chunk-seeds must be >= 1, got {args.chunk_seeds}")
         if args.min_task_trials < 1:
             raise ValueError(f"--min-task-trials must be >= 1, got {args.min_task_trials}")
+        if args.claim_batch < 1:
+            raise ValueError(f"--claim-batch must be >= 1, got {args.claim_batch}")
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -578,6 +616,8 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
         dispatch_options={
             "chunk_seeds": args.chunk_seeds,
             "min_trials_per_task": args.min_task_trials,
+            "claim_batch": args.claim_batch,
+            "backend": args.backend,
         },
     )
     print(f"dispatched {experiment_id} to {store.root}")
@@ -605,6 +645,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     for flag, manifest_key, kwarg in (
         (args.chunk_seeds, "chunk_seeds", "chunk_seeds"),
         (args.min_task_trials, "min_trials_per_task", "min_trials_per_task"),
+        (args.claim_batch, "claim_batch", "claim_batch"),
     ):
         if flag is not None:
             if manifest_key in recorded and int(recorded[manifest_key]) != int(flag):
@@ -616,6 +657,19 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             dispatch_kwargs[kwarg] = flag
         elif manifest_key in recorded:
             dispatch_kwargs[kwarg] = int(recorded[manifest_key])
+    # The backend resolves from the manifest by default (store.backend does
+    # that lazily); an explicit --backend rebinds the store so claims, worker
+    # records and timings all go through the chosen backend.
+    if args.backend is not None:
+        recorded_backend = recorded.get("backend", "filesystem")
+        if args.backend != recorded_backend:
+            print(
+                f"warning: --backend={args.backend} overrides the manifest's "
+                f"{recorded_backend!r}; workers on different backends do not "
+                "see each other's claims",
+                file=sys.stderr,
+            )
+        store.attach_backend(make_backend(store, args.backend))
     if args.wait_timeout is not None:
         dispatch_kwargs["wait_timeout"] = args.wait_timeout
     if args.drain_and_exit:
@@ -649,7 +703,9 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
 
 def _describe_claim(store: ResultStore, claim: Dict[str, Any]) -> str:
-    age = time.time() - float(claim.get("heartbeat_at", 0.0))
+    # Backends attach the heartbeat age measured against their own clock;
+    # fall back to local wall-clock arithmetic for claims that predate it.
+    age = float(claim.get("_heartbeat_age", time.time() - float(claim.get("heartbeat_at", 0.0))))
     state = "EXPIRED" if store.claim_expired(claim) else "active"
     return (
         f"  {claim.get('task', '?')}: worker={claim.get('worker', '?')} "

@@ -1,0 +1,627 @@
+"""Pluggable dispatch-queue backends: where claims, leases and worker records live.
+
+:mod:`repro.sim.dispatch` (PR 4) coordinates N workers through *claims* --
+exclusive, heartbeated, stealable leases on task ids.  The protocol itself is
+backend-agnostic; what varies is the medium the claims live in.  This module
+extracts that medium behind :class:`DispatchBackend` and ships two
+implementations:
+
+:class:`FilesystemBackend`
+    The original PR-4 medium: one ``claims/<task>.claim`` file per claim
+    (``O_CREAT | O_EXCL`` exclusivity, atomic-rename steals), worker records
+    under ``workers/`` and timing records under ``timings/``.  Works on any
+    shared filesystem, including NFS.  Lease expiry is evaluated against
+    **one clock -- the filesystem server's**: the claim's freshness is its
+    file's mtime and "now" is the mtime of a probe file the reader touches,
+    so cross-host wall-clock skew can neither prematurely expire a live
+    worker's lease nor keep a crashed worker's lease alive.
+
+:class:`SQLiteBackend`
+    A single WAL-mode ``dispatch.sqlite`` database in the run directory.
+    Claims, steals and batch claims are single ``BEGIN IMMEDIATE``
+    transactions, which removes the thousands of claim-file creates a big
+    sweep pays on the filesystem backend and makes lease expiry structurally
+    single-clock: every timestamp compared comes from processes on the host
+    that owns the database file (WAL mode requires a local filesystem, so
+    the backend is single-host by construction -- use the filesystem backend
+    for NFS fleets).
+
+Only the *coordination* state moves between backends.  Result artifacts
+(``cells/``, ``chunks/``, ``result.json``) are always plain files written by
+:class:`~repro.sim.store.ResultStore`, which is what keeps a run's output
+byte-identical no matter which backend scheduled it.
+
+Backend selection is recorded in the run manifest (``dispatch.backend``) by
+``repro-experiment dispatch --backend ...`` and resolved automatically by
+:meth:`ResultStore.backend <repro.sim.store.ResultStore.backend>`, so late-
+joining workers, ``status`` and ``report`` all read the same queue.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.util.serialization import dumps_artifact, jsonify
+from repro.util.simlog import get_logger
+
+__all__ = [
+    "DispatchBackend",
+    "FilesystemBackend",
+    "SQLiteBackend",
+    "BACKENDS",
+    "TRANSIENT_ERRORS",
+    "make_backend",
+    "backend_from_manifest",
+]
+
+_logger = get_logger("backends")
+
+#: Errors a heartbeat loop should swallow and retry on the next beat: both
+#: filesystem hiccups and transient SQLite lock/busy conditions.
+TRANSIENT_ERRORS = (OSError, sqlite3.Error)
+
+
+class DispatchBackend:
+    """The coordination surface :class:`~repro.sim.dispatch.DispatchWorker` needs.
+
+    A claim document is a plain dict with at least ``task``, ``worker``,
+    ``lease_seconds`` and ``heartbeat_at`` keys; backends additionally attach
+    ``_heartbeat_age`` -- seconds since the last heartbeat, measured entirely
+    in the *backend's* clock domain -- which is what :meth:`claim_expired`
+    evaluates, making expiry immune to wall-clock skew between hosts.
+    """
+
+    #: Registry name, also recorded in run manifests.
+    name = "abstract"
+
+    # -------------------------------------------------------------- claims
+    def try_claim(self, task_id: str, worker_id: str, lease_seconds: float) -> bool:
+        """Atomically claim ``task_id``; False when someone already holds it."""
+        raise NotImplementedError
+
+    def claim_many(self, task_ids: Sequence[str], worker_id: str, lease_seconds: float) -> List[str]:
+        """Claim every currently-unclaimed id in ``task_ids``; returns the ids won.
+
+        The batched form of :meth:`try_claim`: one round-trip covers a chunk
+        of tiny tasks (one transaction on SQLite).  Ids already claimed by
+        peers are simply not in the returned list -- the caller falls back to
+        its per-task steal logic for those.
+        """
+        raise NotImplementedError
+
+    def read_claim(self, task_id: str) -> Optional[Dict[str, Any]]:
+        """The claim document of ``task_id`` (None when unclaimed)."""
+        raise NotImplementedError
+
+    def heartbeat(self, task_id: str, worker_id: str) -> bool:
+        """Refresh the lease of a claim this worker owns; False when it is gone/stolen."""
+        raise NotImplementedError
+
+    def steal(self, task_id: str, worker_id: str, lease_seconds: float) -> bool:
+        """Take over an *expired* claim; True when this worker now owns the task."""
+        raise NotImplementedError
+
+    def release(self, task_id: str, worker_id: str) -> None:
+        """Drop a claim this worker owns (missing or stolen claims are left alone)."""
+        raise NotImplementedError
+
+    def active_claims(self) -> List[Dict[str, Any]]:
+        """Every live claim document, sorted by task id."""
+        raise NotImplementedError
+
+    def claim_expired(self, claim: Mapping[str, Any], now: Optional[float] = None) -> bool:
+        """Whether a claim's lease ran out.
+
+        Prefers the single-clock ``_heartbeat_age`` the backend attached at
+        read time; bare dicts (or an explicit ``now``) fall back to the
+        legacy wall-clock comparison for callers that construct their own
+        claim documents.
+        """
+        lease = float(claim.get("lease_seconds", 0.0))
+        if now is None and "_heartbeat_age" in claim:
+            return float(claim["_heartbeat_age"]) > lease
+        now = time.time() if now is None else now
+        heartbeat = float(claim.get("heartbeat_at", 0.0))
+        return now > heartbeat + lease
+
+    # -------------------------------------------------------------- workers
+    def worker_record(self, worker_id: str, **fields: Any) -> None:
+        """Publish/refresh this worker's heartbeat record (for ``status``)."""
+        raise NotImplementedError
+
+    def worker_records(self) -> List[Dict[str, Any]]:
+        """All published worker records, sorted by worker id."""
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- timings
+    def record_timing(self, task_id: str, worker_id: str, seconds: float, trials: int) -> None:
+        """Record how long one task took on one worker (outside the compared surface)."""
+        raise NotImplementedError
+
+    def task_timings(self) -> List[Dict[str, Any]]:
+        """All recorded task timings, sorted by task id."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any handles (connections); safe to call repeatedly."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+# ---------------------------------------------------------------------- filesystem
+class FilesystemBackend(DispatchBackend):
+    """Claim files under the run directory -- the PR-4 protocol, skew-hardened.
+
+    Exclusivity comes from ``O_CREAT | O_EXCL`` on ``claims/<task>.claim``,
+    steals from an atomic-rename tombstone, and every write goes through the
+    store's fsynced atomic-rename helper.  Works on any shared filesystem.
+
+    **One clock.** A claim's freshness is its file's **mtime** -- stamped by
+    the filesystem (the NFS server, for a shared mount) whenever the owner
+    heartbeats -- and "now" is the mtime of a probe file this reader touches
+    in the same directory.  Both timestamps come from the same clock, so a
+    reader host running ±5 minutes fast can no longer steal a live worker's
+    lease (and a slow host can no longer keep a dead one alive).  The
+    ``heartbeat_at`` wall-clock field is still written for humans, but expiry
+    never compares it against the reader's ``time.time()``.
+    """
+
+    name = "filesystem"
+
+    #: One retry (after this sleep) before a torn/unreadable claim is treated
+    #: as expired -- a reader that catches a peer's heartbeat rewrite mid-
+    #: flight must not synthesize a stealable claim out of the torn read.
+    TORN_READ_RETRY_SECONDS = 0.1
+
+    def __init__(self, store: Any) -> None:
+        self.store = store
+
+    # -------------------------------------------------------------- clock
+    def _fs_now(self) -> float:
+        """The claims directory's notion of "now": the mtime of a fresh probe touch.
+
+        On a shared mount the mtime is stamped by the fileserver, i.e. the
+        same clock that stamps every peer's heartbeat mtimes.
+        """
+        claims_dir = self.store.claims_dir
+        claims_dir.mkdir(parents=True, exist_ok=True)
+        probe = claims_dir / f".clock.{os.getpid()}"
+        fd = os.open(probe, os.O_CREAT | os.O_WRONLY | os.O_TRUNC)
+        try:
+            os.write(fd, b".")
+        finally:
+            os.close(fd)
+        return os.stat(probe).st_mtime
+
+    # -------------------------------------------------------------- claims
+    def try_claim(self, task_id: str, worker_id: str, lease_seconds: float) -> bool:
+        self.store.claims_dir.mkdir(parents=True, exist_ok=True)
+        now = time.time()
+        document = dumps_artifact(
+            {
+                "task": task_id,
+                "worker": worker_id,
+                "acquired_at": now,
+                "heartbeat_at": now,
+                "lease_seconds": float(lease_seconds),
+            }
+        )
+        try:
+            fd = os.open(self.store.claim_path(task_id), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, document.encode("utf-8"))
+        finally:
+            os.close(fd)
+        return True
+
+    def claim_many(self, task_ids: Sequence[str], worker_id: str, lease_seconds: float) -> List[str]:
+        # No cheaper primitive than one O_EXCL create per claim exists on a
+        # plain filesystem; the batch form still saves the caller's per-task
+        # bookkeeping (and is where the SQLite backend wins a transaction).
+        return [task_id for task_id in task_ids if self.try_claim(task_id, worker_id, lease_seconds)]
+
+    def read_claim(self, task_id: str) -> Optional[Dict[str, Any]]:
+        path = self.store.claim_path(task_id)
+        for attempt in (0, 1):
+            try:
+                mtime = os.stat(path).st_mtime
+                text = path.read_text()
+            except FileNotFoundError:
+                return None
+            try:
+                claim = json.loads(text)
+            except json.JSONDecodeError:
+                if attempt == 0:
+                    # Probably a peer's heartbeat rewrite caught mid-flight
+                    # (non-atomic filesystems, hand-copied directories):
+                    # give the writer one beat to finish before concluding
+                    # the claim is damaged.
+                    time.sleep(self.TORN_READ_RETRY_SECONDS)
+                    continue
+                # Still unreadable: surface it as an immediately-expired
+                # claim so the task can be rescued by a steal.
+                return {
+                    "task": task_id,
+                    "worker": "?",
+                    "heartbeat_at": 0.0,
+                    "lease_seconds": 0.0,
+                    "_heartbeat_age": float("inf"),
+                }
+            claim["_heartbeat_age"] = max(0.0, self._fs_now() - mtime)
+            return claim
+        return None  # pragma: no cover - loop always returns
+
+    def heartbeat(self, task_id: str, worker_id: str) -> bool:
+        from repro.sim.store import _atomic_write_text  # local import: store imports this module
+
+        claim = self.read_claim(task_id)
+        if claim is None or claim.get("worker") != worker_id:
+            return False
+        claim.pop("_heartbeat_age", None)
+        claim["heartbeat_at"] = time.time()
+        # The atomic replace also refreshes the claim file's mtime, which is
+        # the timestamp expiry actually runs on.
+        _atomic_write_text(self.store.claim_path(task_id), dumps_artifact(claim))
+        return True
+
+    def steal(self, task_id: str, worker_id: str, lease_seconds: float) -> bool:
+        claim = self.read_claim(task_id)
+        if claim is None or not self.claim_expired(claim):
+            return False
+        path = self.store.claim_path(task_id)
+        tombstone = path.with_name(f"{path.name}.stale.{worker_id}")
+        try:
+            os.rename(path, tombstone)
+        except FileNotFoundError:
+            return False  # another worker stole (or the owner released) first
+        try:
+            tombstone.unlink()
+        except FileNotFoundError:  # pragma: no cover - nothing else touches the tombstone
+            pass
+        _logger.info(
+            "claim %s of worker %s expired (lease %.1fs); reclaimed by %s",
+            task_id,
+            claim.get("worker"),
+            float(claim.get("lease_seconds", 0.0)),
+            worker_id,
+        )
+        return self.try_claim(task_id, worker_id, lease_seconds)
+
+    def release(self, task_id: str, worker_id: str) -> None:
+        claim = self.read_claim(task_id)
+        if claim is not None and claim.get("worker") != worker_id:
+            return  # stolen while we computed; the thief owns the file now
+        try:
+            self.store.claim_path(task_id).unlink()
+        except FileNotFoundError:
+            pass
+
+    def active_claims(self) -> List[Dict[str, Any]]:
+        claims_dir = self.store.claims_dir
+        if not claims_dir.exists():
+            return []
+        out = []
+        for path in sorted(claims_dir.glob("*.claim")):
+            claim = self.read_claim(path.name[: -len(".claim")])
+            if claim is not None:
+                out.append(claim)
+        return out
+
+    # -------------------------------------------------------------- workers
+    def worker_record(self, worker_id: str, **fields: Any) -> None:
+        from repro.sim.store import _atomic_write_text
+
+        workers_dir = self.store.workers_dir
+        workers_dir.mkdir(parents=True, exist_ok=True)
+        document = {"worker": worker_id, "heartbeat_at": time.time(), **jsonify(dict(fields))}
+        _atomic_write_text(self.store.worker_path(worker_id), dumps_artifact(document))
+
+    def worker_records(self) -> List[Dict[str, Any]]:
+        workers_dir = self.store.workers_dir
+        if not workers_dir.exists():
+            return []
+        out = []
+        for path in sorted(workers_dir.glob("*.json")):
+            try:
+                out.append(json.loads(path.read_text()))
+            except (json.JSONDecodeError, FileNotFoundError):
+                continue
+        return out
+
+    # -------------------------------------------------------------- timings
+    def record_timing(self, task_id: str, worker_id: str, seconds: float, trials: int) -> None:
+        from repro.sim.store import _atomic_write_text
+
+        timings_dir = self.store.timings_dir
+        timings_dir.mkdir(parents=True, exist_ok=True)
+        document = {
+            "task": task_id,
+            "worker": worker_id,
+            "seconds": float(seconds),
+            "trials": int(trials),
+            "recorded_at": time.time(),
+        }
+        _atomic_write_text(timings_dir / f"{task_id}.json", dumps_artifact(document))
+
+    def task_timings(self) -> List[Dict[str, Any]]:
+        timings_dir = self.store.timings_dir
+        if not timings_dir.exists():
+            return []
+        out = []
+        for path in sorted(timings_dir.glob("*.json")):
+            try:
+                out.append(json.loads(path.read_text()))
+            except (json.JSONDecodeError, FileNotFoundError):
+                continue
+        return out
+
+
+# ---------------------------------------------------------------------- sqlite
+class SQLiteBackend(DispatchBackend):
+    """All coordination state in one WAL-mode SQLite database per run directory.
+
+    ``claims``, ``workers`` and ``timings`` are tables; claim/steal/batch-
+    claim are single ``BEGIN IMMEDIATE`` transactions, so a 500-cell sweep
+    costs a handful of page writes instead of thousands of claim-file
+    creates, and expiry (``heartbeat_at + lease_seconds < now``) is evaluated
+    inside the steal transaction against timestamps that all come from
+    processes on the database host -- one clock, structurally.
+
+    WAL mode requires a local (non-NFS) filesystem, which makes this backend
+    **single-host**: N worker processes on one machine.  For multi-host
+    fleets sharing NFS, use :class:`FilesystemBackend`.
+
+    Connections are opened lazily and never survive a ``fork()`` -- each
+    process (and the run's daemon heartbeat thread, serialised by a lock)
+    gets a connection bound to its own pid, so multiprocessing workers and
+    SIGKILLed victims can never corrupt each other's transactions.
+    """
+
+    name = "sqlite"
+    DB_NAME = "dispatch.sqlite"
+
+    _SCHEMA = """
+    CREATE TABLE IF NOT EXISTS claims (
+        task          TEXT PRIMARY KEY,
+        worker        TEXT NOT NULL,
+        acquired_at   REAL NOT NULL,
+        heartbeat_at  REAL NOT NULL,
+        lease_seconds REAL NOT NULL
+    );
+    CREATE TABLE IF NOT EXISTS workers (
+        worker        TEXT PRIMARY KEY,
+        heartbeat_at  REAL NOT NULL,
+        fields        TEXT NOT NULL DEFAULT '{}'
+    );
+    CREATE TABLE IF NOT EXISTS timings (
+        task          TEXT PRIMARY KEY,
+        worker        TEXT NOT NULL,
+        seconds       REAL NOT NULL,
+        trials        INTEGER NOT NULL,
+        recorded_at   REAL NOT NULL
+    );
+    """
+
+    def __init__(self, store: Any) -> None:
+        self.store = store
+        self.path = store.root / self.DB_NAME
+        self._lock = threading.RLock()
+        self._conn: Optional[sqlite3.Connection] = None
+        self._conn_pid: Optional[int] = None
+
+    def _connection(self) -> sqlite3.Connection:
+        if self._conn is None or self._conn_pid != os.getpid():
+            # A connection inherited across fork() must never be reused: the
+            # child opens its own (the parent's stays with the parent).
+            self.store.root.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(
+                self.path, timeout=30.0, isolation_level=None, check_same_thread=False
+            )
+            conn.row_factory = sqlite3.Row
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute("PRAGMA busy_timeout=30000")
+            conn.executescript(self._SCHEMA)
+            self._conn = conn
+            self._conn_pid = os.getpid()
+        return self._conn
+
+    def _transaction(self, conn: sqlite3.Connection):
+        """``BEGIN IMMEDIATE`` context: take the write lock up front, commit/rollback."""
+        return _ImmediateTransaction(conn)
+
+    # -------------------------------------------------------------- claims
+    def try_claim(self, task_id: str, worker_id: str, lease_seconds: float) -> bool:
+        return self.claim_many([task_id], worker_id, lease_seconds) == [task_id]
+
+    def claim_many(self, task_ids: Sequence[str], worker_id: str, lease_seconds: float) -> List[str]:
+        won: List[str] = []
+        with self._lock:
+            conn = self._connection()
+            now = time.time()
+            with self._transaction(conn):
+                for task_id in task_ids:
+                    cursor = conn.execute(
+                        "INSERT OR IGNORE INTO claims"
+                        " (task, worker, acquired_at, heartbeat_at, lease_seconds)"
+                        " VALUES (?, ?, ?, ?, ?)",
+                        (task_id, worker_id, now, now, float(lease_seconds)),
+                    )
+                    if cursor.rowcount == 1:
+                        won.append(task_id)
+        return won
+
+    def read_claim(self, task_id: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            conn = self._connection()
+            row = conn.execute("SELECT * FROM claims WHERE task = ?", (task_id,)).fetchone()
+            now = time.time()
+        if row is None:
+            return None
+        return self._claim_dict(row, now)
+
+    @staticmethod
+    def _claim_dict(row: sqlite3.Row, now: float) -> Dict[str, Any]:
+        claim = dict(row)
+        # All writers share the database host's clock (WAL = local fs), so
+        # reader-minus-writer wall time *is* single-clock heartbeat age.
+        claim["_heartbeat_age"] = max(0.0, now - float(claim["heartbeat_at"]))
+        return claim
+
+    def heartbeat(self, task_id: str, worker_id: str) -> bool:
+        with self._lock:
+            conn = self._connection()
+            with self._transaction(conn):
+                cursor = conn.execute(
+                    "UPDATE claims SET heartbeat_at = ? WHERE task = ? AND worker = ?",
+                    (time.time(), task_id, worker_id),
+                )
+                return cursor.rowcount == 1
+
+    def steal(self, task_id: str, worker_id: str, lease_seconds: float) -> bool:
+        with self._lock:
+            conn = self._connection()
+            now = time.time()
+            with self._transaction(conn):
+                # Expiry is checked and the takeover applied in ONE guarded
+                # UPDATE: of several contenders exactly one sees the expired
+                # row, the rest match zero rows -- the SQL analogue of the
+                # filesystem backend's rename-to-tombstone.
+                row = conn.execute(
+                    "SELECT worker, lease_seconds FROM claims WHERE task = ?", (task_id,)
+                ).fetchone()
+                cursor = conn.execute(
+                    "UPDATE claims SET worker = ?, acquired_at = ?, heartbeat_at = ?,"
+                    " lease_seconds = ?"
+                    " WHERE task = ? AND heartbeat_at + lease_seconds < ?",
+                    (worker_id, now, now, float(lease_seconds), task_id, now),
+                )
+                stolen = cursor.rowcount == 1
+        if stolen and row is not None:
+            _logger.info(
+                "claim %s of worker %s expired (lease %.1fs); reclaimed by %s",
+                task_id,
+                row["worker"],
+                float(row["lease_seconds"]),
+                worker_id,
+            )
+        return stolen
+
+    def release(self, task_id: str, worker_id: str) -> None:
+        with self._lock:
+            conn = self._connection()
+            with self._transaction(conn):
+                # The owner guard makes releasing a stolen claim a no-op,
+                # exactly like the filesystem backend.
+                conn.execute(
+                    "DELETE FROM claims WHERE task = ? AND worker = ?", (task_id, worker_id)
+                )
+
+    def active_claims(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            conn = self._connection()
+            rows = conn.execute("SELECT * FROM claims ORDER BY task").fetchall()
+            now = time.time()
+        return [self._claim_dict(row, now) for row in rows]
+
+    # -------------------------------------------------------------- workers
+    def worker_record(self, worker_id: str, **fields: Any) -> None:
+        payload = json.dumps(jsonify(dict(fields)), sort_keys=True)
+        with self._lock:
+            conn = self._connection()
+            with self._transaction(conn):
+                conn.execute(
+                    "INSERT OR REPLACE INTO workers (worker, heartbeat_at, fields)"
+                    " VALUES (?, ?, ?)",
+                    (worker_id, time.time(), payload),
+                )
+
+    def worker_records(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            conn = self._connection()
+            rows = conn.execute("SELECT * FROM workers ORDER BY worker").fetchall()
+        out = []
+        for row in rows:
+            record = {"worker": row["worker"], "heartbeat_at": row["heartbeat_at"]}
+            try:
+                record.update(json.loads(row["fields"]))
+            except json.JSONDecodeError:  # pragma: no cover - we wrote it
+                pass
+            out.append(record)
+        return out
+
+    # -------------------------------------------------------------- timings
+    def record_timing(self, task_id: str, worker_id: str, seconds: float, trials: int) -> None:
+        with self._lock:
+            conn = self._connection()
+            with self._transaction(conn):
+                conn.execute(
+                    "INSERT OR REPLACE INTO timings"
+                    " (task, worker, seconds, trials, recorded_at)"
+                    " VALUES (?, ?, ?, ?, ?)",
+                    (task_id, worker_id, float(seconds), int(trials), time.time()),
+                )
+
+    def task_timings(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            conn = self._connection()
+            rows = conn.execute("SELECT * FROM timings ORDER BY task").fetchall()
+        return [dict(row) for row in rows]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None and self._conn_pid == os.getpid():
+                self._conn.close()
+            self._conn = None
+            self._conn_pid = None
+
+
+class _ImmediateTransaction:
+    """``with`` block running ``BEGIN IMMEDIATE`` ... ``COMMIT``/``ROLLBACK``."""
+
+    def __init__(self, conn: sqlite3.Connection) -> None:
+        self.conn = conn
+
+    def __enter__(self) -> sqlite3.Connection:
+        self.conn.execute("BEGIN IMMEDIATE")
+        return self.conn
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if exc_type is None:
+            self.conn.execute("COMMIT")
+        else:
+            self.conn.execute("ROLLBACK")
+
+
+# ---------------------------------------------------------------------- registry
+BACKENDS: Dict[str, type] = {
+    FilesystemBackend.name: FilesystemBackend,
+    SQLiteBackend.name: SQLiteBackend,
+}
+
+
+def make_backend(store: Any, name: str) -> DispatchBackend:
+    """Instantiate the backend registered under ``name`` for ``store``."""
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise ValueError(f"unknown dispatch backend {name!r}; known: {sorted(BACKENDS)}") from None
+    return cls(store)
+
+
+def backend_from_manifest(store: Any) -> DispatchBackend:
+    """The backend a run directory's manifest names (filesystem when unset/absent)."""
+    try:
+        manifest = store.manifest()
+    except (FileNotFoundError, json.JSONDecodeError):
+        manifest = {}
+    name = (manifest.get("dispatch") or {}).get("backend", FilesystemBackend.name)
+    return make_backend(store, name)

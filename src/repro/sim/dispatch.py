@@ -8,14 +8,18 @@ complete one run:
 
 * every missing sweep cell (and every *seed-chunk* of a large cell) becomes a
   claimable :class:`DispatchTask`;
-* a worker takes a task by atomically creating ``claims/<task>.claim``
-  (``O_CREAT | O_EXCL`` -- exactly one winner), computes it with its local
-  :class:`~repro.sim.runner.TrialRunner`, writes the artifact, releases the
-  claim;
-* while computing, a background thread heartbeats the claim; a worker that
-  dies stops heartbeating, its **lease expires**, and any other worker
-  reclaims the task with an atomic-rename takeover
-  (:meth:`~repro.sim.store.ResultStore.steal_claim`);
+* a worker takes a task through a pluggable
+  :class:`~repro.sim.backends.DispatchBackend` -- atomically creating
+  ``claims/<task>.claim`` on the filesystem backend, or one ``INSERT OR
+  IGNORE`` transaction on the SQLite backend (exactly one winner either
+  way) -- computes it with its local :class:`~repro.sim.runner.TrialRunner`,
+  writes the artifact, releases the claim; ``claim_batch`` lets one
+  round-trip win a whole window of tiny tasks;
+* while computing, a background thread heartbeats every held claim; a worker
+  that dies stops heartbeating, its **lease expires** (staleness is judged
+  against the *backend's* clock, never by comparing two hosts' wall clocks),
+  and any other worker reclaims the task with an atomic takeover
+  (:meth:`~repro.sim.backends.DispatchBackend.steal`);
 * the **chunked scheduler** amortises scheduling overhead in both directions:
   cells with many seeds are split into seed-chunks so several workers share
   one big cell, and runs with hundreds of tiny cells are batched into task
@@ -59,6 +63,7 @@ from hashlib import sha256
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.obs.observer import NULL_OBSERVER, active_observer
+from repro.sim.backends import TRANSIENT_ERRORS, DispatchBackend
 from repro.sim.experiment import ExperimentConfig, TrialResult
 from repro.sim.runner import persist_cell_telemetry
 from repro.sim.store import ResultStore
@@ -91,6 +96,8 @@ DEFAULT_MIN_TRIALS_PER_TASK = 6
 DEFAULT_LEASE_SECONDS = 30.0
 #: Sleep between scans while other workers hold all remaining work.
 DEFAULT_POLL_SECONDS = 0.2
+#: How many tasks one backend claim round-trip covers (1 = claim per task).
+DEFAULT_CLAIM_BATCH = 1
 
 
 class DispatchTimeout(RuntimeError):
@@ -232,36 +239,45 @@ def plan_tasks(
 
 # ---------------------------------------------------------------------- heartbeats
 class _Heartbeat(threading.Thread):
-    """Daemon thread refreshing the claim + worker record of the task being computed.
+    """Daemon thread refreshing the claims + worker record of the tasks being held.
+
+    A worker may hold several claims at once (batched claims grab a window of
+    tiny tasks in one backend round-trip), so the thread maintains a *set* of
+    held task ids -- every held claim is refreshed each beat, including the
+    ones queued behind the task currently computing.
 
     ``claim_lock`` serialises this thread's heartbeat writes against the main
     thread's ``release_claim``: without it, a heartbeat that read the claim
-    just before the release could re-create the file afterwards, leaving a
-    phantom claim that ``status`` would report forever.
+    just before the release could re-create it afterwards, leaving a phantom
+    claim that ``status`` would report forever.
     """
 
     def __init__(
         self,
-        store: ResultStore,
+        backend: DispatchBackend,
         worker_id: str,
         interval: float,
         claim_lock: threading.Lock,
         obs: Any = NULL_OBSERVER,
     ) -> None:
         super().__init__(name=f"dispatch-heartbeat-{worker_id}", daemon=True)
-        self.store = store
+        self.backend = backend
         self.worker_id = worker_id
         self.interval = interval
         self.claim_lock = claim_lock
         self.obs = obs
         self._lock = threading.Lock()
-        self._current_task: Optional[str] = None
+        self._held: set = set()
         # NB: not named _stop -- threading.Thread has a private _stop() method.
         self._halt = threading.Event()
 
-    def set_task(self, task_id: Optional[str]) -> None:
+    def hold(self, task_id: str) -> None:
         with self._lock:
-            self._current_task = task_id
+            self._held.add(task_id)
+
+    def drop(self, task_id: str) -> None:
+        with self._lock:
+            self._held.discard(task_id)
 
     def stop(self) -> None:
         self._halt.set()
@@ -269,20 +285,24 @@ class _Heartbeat(threading.Thread):
     def run(self) -> None:  # pragma: no cover - timing-dependent; exercised by crash tests
         while not self._halt.wait(self.interval):
             with self._lock:
-                task_id = self._current_task
+                held = sorted(self._held)
             try:
-                if task_id is not None:
+                for task_id in held:
                     with self.claim_lock:
                         # Re-check under the lock: the main thread may have
                         # completed and released the task since the read above.
                         with self._lock:
-                            still_current = self._current_task == task_id
-                        if still_current:
+                            still_held = task_id in self._held
+                        if still_held:
                             with self.obs.span("dispatch.heartbeat", task=task_id):
-                                self.store.heartbeat_claim(task_id, self.worker_id)
-                self.store.write_worker_record(self.worker_id, computing=task_id)
-            except OSError:
-                pass  # transient filesystem hiccup; next beat retries
+                                self.backend.heartbeat(task_id, self.worker_id)
+                self.backend.worker_record(
+                    self.worker_id,
+                    computing=held[0] if held else None,
+                    holding=len(held),
+                )
+            except TRANSIENT_ERRORS:
+                pass  # transient filesystem/database hiccup; next beat retries
 
 
 # ---------------------------------------------------------------------- the worker
@@ -302,6 +322,20 @@ class DispatchWorker:
         Sleep between scans while every remaining task is claimed elsewhere.
     chunk_seeds / min_trials_per_task:
         Chunked-scheduler knobs, see :func:`plan_tasks`.
+    backend:
+        The :class:`~repro.sim.backends.DispatchBackend` holding claims,
+        leases, worker records and timings.  Defaults to the store's
+        manifest-selected backend (claim files when the manifest is silent),
+        so CLI workers automatically join the queue ``dispatch --backend``
+        chose.
+    claim_batch:
+        How many tasks one backend claim round-trip covers.  The default (1)
+        claims task-by-task; raising it lets a worker grab a window of tiny
+        tasks in one operation -- a single ``BEGIN IMMEDIATE`` transaction on
+        the SQLite backend -- which is worth it when individual tasks are
+        sub-millisecond and claim overhead dominates.  Batched claims are
+        all heartbeated while held, and each is still released as soon as
+        its task completes.
     wait_timeout:
         Optional cap (seconds) on how long to sit *without observing any
         progress* -- own computes, peer task completions, or chunk merges --
@@ -332,15 +366,21 @@ class DispatchWorker:
         min_trials_per_task: int = DEFAULT_MIN_TRIALS_PER_TASK,
         wait_timeout: Optional[float] = None,
         drain_and_exit: bool = False,
+        backend: Optional[DispatchBackend] = None,
+        claim_batch: int = DEFAULT_CLAIM_BATCH,
     ) -> None:
         if lease_seconds <= 0:
             raise ValueError("lease_seconds must be positive")
+        if claim_batch < 1:
+            raise ValueError(f"claim_batch must be >= 1, got {claim_batch}")
         self.store = store
+        self.backend = store.backend if backend is None else backend
         self.worker_id = make_worker_id() if worker_id is None else worker_id
         self.lease_seconds = float(lease_seconds)
         self.poll_seconds = float(poll_seconds)
         self.chunk_seeds = int(chunk_seeds)
         self.min_trials_per_task = int(min_trials_per_task)
+        self.claim_batch = int(claim_batch)
         self.wait_timeout = wait_timeout
         self.drain_and_exit = bool(drain_and_exit)
         #: tasks this worker actually computed (entry counts; for logs/tests)
@@ -391,6 +431,7 @@ class DispatchWorker:
         try:
             while True:
                 progressed = False
+                todo: List[DispatchTask] = []
                 for task in list(outstanding.values()):
                     if task.is_complete(store):
                         # A peer finished it: observable progress, so the
@@ -400,14 +441,25 @@ class DispatchWorker:
                         del outstanding[task.task_id]
                         progressed = True
                         continue
-                    if self._claim_or_steal(task.task_id):
-                        try:
-                            self._execute_task(task, trial, runner, local, chunk_cache)
-                        finally:
-                            with self._claim_lock:
-                                store.release_claim(task.task_id, self.worker_id)
-                        del outstanding[task.task_id]
-                        progressed = True
+                    todo.append(task)
+                for lo in range(0, len(todo), self.claim_batch):
+                    won = self._claim_window(todo[lo : lo + self.claim_batch])
+                    pending = list(won)
+                    try:
+                        while pending:
+                            task = pending.pop(0)
+                            try:
+                                self._execute_task(task, trial, runner, local, chunk_cache)
+                            finally:
+                                self._release(task.task_id)
+                            del outstanding[task.task_id]
+                            progressed = True
+                    finally:
+                        # On an exception mid-window, hand the unstarted wins
+                        # back immediately instead of making peers wait out
+                        # their leases.
+                        for task in pending:
+                            self._release(task.task_id)
                 merged = self._merge_ready_cells(trial, chunked_keys, local, chunk_cache)
                 progressed = progressed or merged
                 if self._all_cells_complete(specs):
@@ -444,8 +496,8 @@ class DispatchWorker:
 
     # ------------------------------------------------------------------ internals
     def _claim_is_stale(self, task_id: str) -> bool:
-        claim = self.store.read_claim(task_id)
-        return claim is not None and self.store.claim_expired(claim)
+        claim = self.backend.read_claim(task_id)
+        return claim is not None and self.backend.claim_expired(claim)
 
     def _claim_or_steal(self, task_id: str) -> bool:
         """Claim ``task_id``, or steal it when its holder's lease expired.
@@ -456,16 +508,69 @@ class DispatchWorker:
         """
         obs = self._obs
         with obs.span("dispatch.claim", task=task_id):
-            claimed = self.store.try_claim(task_id, self.worker_id, self.lease_seconds)
+            claimed = self.backend.try_claim(task_id, self.worker_id, self.lease_seconds)
         if claimed:
             return True
         if not self._claim_is_stale(task_id):
             return False
         with obs.span("dispatch.steal", task=task_id):
-            stolen = self.store.steal_claim(task_id, self.worker_id, self.lease_seconds)
+            stolen = self.backend.steal(task_id, self.worker_id, self.lease_seconds)
         if stolen and obs.telemetry:
             obs.count("dispatch.lease_steals")
         return stolen
+
+    def _claim_window(self, window: Sequence[DispatchTask]) -> List[DispatchTask]:
+        """Claim up to ``claim_batch`` tasks in one backend round-trip.
+
+        A single-task window keeps the claim-then-steal fast path.  Larger
+        windows go through :meth:`~repro.sim.backends.DispatchBackend.
+        claim_many` -- one ``BEGIN IMMEDIATE`` transaction on the SQLite
+        backend -- and fall back to per-task steals for ids another worker
+        holds with an expired lease.  Every task won here is handed to the
+        heartbeat thread immediately, so claims queued behind the first
+        window member stay fresh while it computes.
+        """
+        obs = self._obs
+        won: List[DispatchTask] = []
+        if len(window) == 1:
+            if self._claim_or_steal(window[0].task_id):
+                won.append(window[0])
+        else:
+            by_id = {task.task_id: task for task in window}
+            with obs.span("dispatch.claim_batch", tasks=len(window)):
+                won_ids = self.backend.claim_many(
+                    list(by_id), self.worker_id, self.lease_seconds
+                )
+            for task_id in won_ids:
+                won.append(by_id.pop(task_id))
+            for task_id, task in by_id.items():
+                if not self._claim_is_stale(task_id):
+                    continue
+                with obs.span("dispatch.steal", task=task_id):
+                    stolen = self.backend.steal(task_id, self.worker_id, self.lease_seconds)
+                if stolen:
+                    if obs.telemetry:
+                        obs.count("dispatch.lease_steals")
+                    won.append(task)
+        beat = self._heartbeat
+        if beat is not None:
+            for task in won:
+                beat.hold(task.task_id)
+        return won
+
+    def _release(self, task_id: str) -> None:
+        """Release a held claim: stop heartbeating it first, then delete it.
+
+        Dropping from the heartbeat set before taking ``claim_lock`` means no
+        *new* beat starts for the task, and the lock waits out any in-flight
+        beat -- so a released claim can never be resurrected by this worker's
+        own heartbeat thread.
+        """
+        beat = self._heartbeat
+        if beat is not None:
+            beat.drop(task_id)
+        with self._claim_lock:
+            self.backend.release(task_id, self.worker_id)
 
     def _execute_task(
         self,
@@ -481,55 +586,49 @@ class DispatchWorker:
         final result assembly (and chunk merging) reuses the in-memory
         objects instead of re-parsing this worker's own artifacts.
         """
-        beat = self._heartbeat
-        if beat is not None:
-            beat.set_task(task.task_id)
         obs = self._obs
         computed_any = False
         started = time.perf_counter()
-        try:
-            with obs.span("dispatch.task", task=task.task_id, trials=task.trial_count):
-                for entry in task.entries:
-                    if entry.is_complete(self.store):
-                        continue
-                    computed_any = True
-                    spec = entry.spec
-                    trials = runner.run(spec.config, trial, seeds=entry.seeds)
-                    if entry.chunk is None:
-                        self.store.save_cell(
-                            spec.key,
-                            trial=trial,
-                            config=spec.config,
-                            seeds=spec.seeds,
-                            trials=trials,
-                            index=spec.index,
-                            overrides=spec.overrides,
-                        )
-                        local[spec.key] = trials
-                        entry_name = spec.key
-                    else:
-                        self.store.save_chunk(
-                            spec.key, *entry.chunk, seeds=entry.seeds, trials=trials
-                        )
-                        chunk_cache[(spec.key, *entry.chunk)] = trials
-                        entry_name = f"{spec.key}.{entry.chunk[0]}-{entry.chunk[1]}"
-                    if obs.telemetry:
-                        persist_cell_telemetry(self.store, entry_name, runner.last_counters)
-                    self.store.heartbeat_claim(task.task_id, self.worker_id)
-            if computed_any:
-                self.computed_tasks.append(task.task_id)
-                self.store.write_task_timing(
-                    task.task_id, self.worker_id, time.perf_counter() - started, task.trial_count
-                )
-                _logger.info(
-                    "worker %s completed task %s (%d trials)",
-                    self.worker_id,
-                    task.task_id,
-                    task.trial_count,
-                )
-        finally:
-            if beat is not None:
-                beat.set_task(None)
+        with obs.span("dispatch.task", task=task.task_id, trials=task.trial_count):
+            for entry in task.entries:
+                if entry.is_complete(self.store):
+                    continue
+                computed_any = True
+                spec = entry.spec
+                trials = runner.run(spec.config, trial, seeds=entry.seeds)
+                if entry.chunk is None:
+                    self.store.save_cell(
+                        spec.key,
+                        trial=trial,
+                        config=spec.config,
+                        seeds=spec.seeds,
+                        trials=trials,
+                        index=spec.index,
+                        overrides=spec.overrides,
+                    )
+                    local[spec.key] = trials
+                    entry_name = spec.key
+                else:
+                    self.store.save_chunk(
+                        spec.key, *entry.chunk, seeds=entry.seeds, trials=trials
+                    )
+                    chunk_cache[(spec.key, *entry.chunk)] = trials
+                    entry_name = f"{spec.key}.{entry.chunk[0]}-{entry.chunk[1]}"
+                if obs.telemetry:
+                    persist_cell_telemetry(self.store, entry_name, runner.last_counters)
+                with self._claim_lock:
+                    self.backend.heartbeat(task.task_id, self.worker_id)
+        if computed_any:
+            self.computed_tasks.append(task.task_id)
+            self.backend.record_timing(
+                task.task_id, self.worker_id, time.perf_counter() - started, task.trial_count
+            )
+            _logger.info(
+                "worker %s completed task %s (%d trials)",
+                self.worker_id,
+                task.task_id,
+                task.trial_count,
+            )
 
     def _merge_ready_cells(
         self,
@@ -596,10 +695,10 @@ class DispatchWorker:
             return
         interval = max(0.05, self.lease_seconds / 4.0)
         self._heartbeat = _Heartbeat(
-            self.store, self.worker_id, interval, self._claim_lock, obs=self._obs
+            self.backend, self.worker_id, interval, self._claim_lock, obs=self._obs
         )
         self._heartbeat.start()
-        self.store.write_worker_record(self.worker_id, computing=None)
+        self.backend.worker_record(self.worker_id, computing=None)
 
     def _stop_heartbeat(self) -> None:
         if self._heartbeat is None:
@@ -607,7 +706,7 @@ class DispatchWorker:
         self._heartbeat.stop()
         self._heartbeat.join(timeout=2.0)
         self._heartbeat = None
-        self.store.write_worker_record(self.worker_id, computing=None, finished=True)
+        self.backend.worker_record(self.worker_id, computing=None, finished=True)
 
 
 # ---------------------------------------------------------------------- context plumbing

@@ -31,14 +31,22 @@ against it.
 Distributed execution (``repro.sim.dispatch``) turns the same run directory
 into a shared work queue.  The store supplies the three primitives it needs:
 
-* **claims** -- ``try_claim`` creates ``claims/<task>.claim`` with
-  ``O_CREAT | O_EXCL`` so exactly one worker wins a task; the file carries the
-  owner id and a heartbeat timestamp and is *advisory*: a lost race only
-  duplicates deterministic work, it never corrupts results (cell writes stay
-  atomic and byte-identical regardless of who computes them).
-* **leases** -- a claim expires when its heartbeat is older than its lease;
-  ``steal_claim`` reclaims an expired claim with an atomic rename so exactly
-  one of several contending workers takes over a crashed worker's task.
+* **claims** -- ``try_claim`` wins ``task_id`` for exactly one worker; the
+  claim carries the owner id and a heartbeated lease and is *advisory*: a
+  lost race only duplicates deterministic work, it never corrupts results
+  (cell writes stay atomic and byte-identical regardless of who computes
+  them).  Where claims physically live is pluggable (see
+  :mod:`repro.sim.backends`): claim files under ``claims/`` on the default
+  filesystem backend, rows of a WAL-mode ``dispatch.sqlite`` on the SQLite
+  backend.  The store's claim/worker/timing methods delegate to the backend
+  its manifest names, so ``status``/``report`` and PR-4-era callers work
+  unchanged on either.
+* **leases** -- a claim expires when its heartbeat age exceeds its lease,
+  with the age measured in a *single clock domain* per backend (claim-file
+  mtimes on the shared filesystem, the database host's clock on SQLite) so
+  cross-host wall-clock skew cannot expire a live worker's lease;
+  ``steal_claim`` reclaims an expired claim atomically so exactly one of
+  several contending workers takes over a crashed worker's task.
 * **chunks** -- large cells are split into seed-chunks persisted under
   ``chunks/``; once every chunk of a cell exists, any worker can merge them
   into the canonical ``cells/<key>.json`` artifact (idempotent: the merged
@@ -90,10 +98,33 @@ def _atomic_write_text(path: Path, text: str) -> None:
     byte-identical) artifact, or a worker's main thread and its heartbeat
     thread refreshing the same claim -- never truncate or steal each other's
     in-flight temp file; the final ``os.replace`` is atomic either way.
+
+    The rename alone only guarantees *atomicity*, not *durability*: without
+    an fsync, a crash (power loss, container kill) after ``os.replace`` can
+    persist the rename but not the data, leaving an empty or truncated
+    artifact under the final name.  So the temp file is fsynced before the
+    rename (data reaches the disk first) and the directory after (the rename
+    itself reaches the disk) -- the classic write/fsync/rename/fsync-dir
+    sequence.
     """
     tmp = path.with_name(f"{path.name}.{os.getpid()}-{threading.get_ident()}.tmp")
-    tmp.write_text(text)
+    fd = os.open(tmp, os.O_CREAT | os.O_WRONLY | os.O_TRUNC, 0o644)
+    try:
+        os.write(fd, text.encode("utf-8"))
+        os.fsync(fd)
+    finally:
+        os.close(fd)
     os.replace(tmp, path)
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - parent vanished mid-write
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - some filesystems reject directory fsync
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def _strip_trial_timing(trial_docs: Sequence[Dict[str, Any]]) -> None:
@@ -173,6 +204,8 @@ class ResultStore:
 
     def __init__(self, root: Path) -> None:
         self.root = Path(root)
+        #: dispatch backend, resolved lazily from the manifest (see ``backend``)
+        self._backend = None
 
     # ------------------------------------------------------------------ lifecycle
     @classmethod
@@ -381,183 +414,111 @@ class ResultStore:
             except FileNotFoundError:  # another worker cleaned up first
                 pass
 
+    # ------------------------------------------------------------------ dispatch backend
+    @property
+    def backend(self):
+        """The :class:`~repro.sim.backends.DispatchBackend` coordinating this run.
+
+        Resolved lazily from the manifest's ``dispatch.backend`` entry (the
+        claim-file :class:`~repro.sim.backends.FilesystemBackend` when unset),
+        so every worker, ``status`` and ``report`` read the same queue a
+        ``dispatch --backend ...`` invocation selected.  Replace it with
+        :meth:`attach_backend`.
+        """
+        if self._backend is None:
+            from repro.sim.backends import backend_from_manifest  # local import: backends imports this module
+
+            self._backend = backend_from_manifest(self)
+        return self._backend
+
+    def attach_backend(self, backend) -> None:
+        """Install ``backend`` as this store's dispatch backend (closes the old one)."""
+        if self._backend is not None:
+            self._backend.close()
+        self._backend = backend
+
     # ------------------------------------------------------------------ claims / leases
+    # Thin delegation onto the active dispatch backend; kept as methods so
+    # PR-4-era callers (and the CLI's status path) keep working unchanged.
     def claim_path(self, task_id: str) -> Path:
         return self.claims_dir / f"{task_id}.claim"
 
     def try_claim(self, task_id: str, worker_id: str, lease_seconds: float) -> bool:
-        """Atomically claim ``task_id`` for ``worker_id`` (O_CREAT | O_EXCL).
+        """Atomically claim ``task_id`` for ``worker_id`` (exactly one winner).
 
         Returns False when another worker already holds the claim.  Claims are
         advisory work-partitioning hints: a worker that loses every race still
         produces correct results, it just recomputes deterministic bytes.
         """
-        self.claims_dir.mkdir(parents=True, exist_ok=True)
-        now = time.time()
-        document = dumps_artifact(
-            {
-                "task": task_id,
-                "worker": worker_id,
-                "acquired_at": now,
-                "heartbeat_at": now,
-                "lease_seconds": float(lease_seconds),
-            }
-        )
-        try:
-            fd = os.open(self.claim_path(task_id), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-        except FileExistsError:
-            return False
-        try:
-            os.write(fd, document.encode("utf-8"))
-        finally:
-            os.close(fd)
-        return True
+        return self.backend.try_claim(task_id, worker_id, lease_seconds)
 
     def read_claim(self, task_id: str) -> Optional[Dict[str, Any]]:
-        """The claim document of ``task_id`` (None when unclaimed or unreadable).
+        """The claim document of ``task_id`` (None when unclaimed).
 
-        An unreadable claim (caught mid-write or hand-damaged) is reported as
-        a zero-lease claim so it expires immediately and gets stolen.
+        A claim that stays unreadable after one retry (hand-damaged, or a
+        non-atomic writer died mid-write) is reported as an immediately
+        expired claim so the task can be rescued by a steal.
         """
-        path = self.claim_path(task_id)
-        try:
-            text = path.read_text()
-        except FileNotFoundError:
-            return None
-        try:
-            return json.loads(text)
-        except json.JSONDecodeError:
-            return {"task": task_id, "worker": "?", "heartbeat_at": 0.0, "lease_seconds": 0.0}
+        return self.backend.read_claim(task_id)
 
-    @staticmethod
-    def claim_expired(claim: Mapping[str, Any], now: Optional[float] = None) -> bool:
-        """Whether a claim's lease ran out (heartbeat older than the lease)."""
-        now = time.time() if now is None else now
-        heartbeat = float(claim.get("heartbeat_at", 0.0))
-        lease = float(claim.get("lease_seconds", 0.0))
-        return now > heartbeat + lease
+    def claim_expired(self, claim: Mapping[str, Any], now: Optional[float] = None) -> bool:
+        """Whether a claim's lease ran out (heartbeat age beyond the lease)."""
+        return self.backend.claim_expired(claim, now)
 
     def heartbeat_claim(self, task_id: str, worker_id: str) -> bool:
-        """Refresh the lease of a claim this worker owns (atomic rewrite).
+        """Refresh the lease of a claim this worker owns.
 
         Returns False without touching anything when the claim is gone or
         owned by someone else (e.g. it expired and was stolen while a trial
         ran long) -- the caller keeps computing, because duplicated work is
         harmless, but it must not overwrite the thief's claim.
         """
-        claim = self.read_claim(task_id)
-        if claim is None or claim.get("worker") != worker_id:
-            return False
-        claim["heartbeat_at"] = time.time()
-        _atomic_write_text(self.claim_path(task_id), dumps_artifact(claim))
-        return True
+        return self.backend.heartbeat(task_id, worker_id)
 
     def release_claim(self, task_id: str, worker_id: str) -> None:
         """Drop a claim after its task's artifacts are written (missing is fine)."""
-        claim = self.read_claim(task_id)
-        if claim is not None and claim.get("worker") != worker_id:
-            return  # stolen while we computed; the thief owns the file now
-        try:
-            self.claim_path(task_id).unlink()
-        except FileNotFoundError:
-            pass
+        self.backend.release(task_id, worker_id)
 
     def steal_claim(self, task_id: str, worker_id: str, lease_seconds: float) -> bool:
         """Take over an *expired* claim left by a crashed worker.
 
-        The takeover is race-free: the expired claim file is first renamed to
-        a tombstone (``os.rename`` succeeds for exactly one contender; losers
-        get ``FileNotFoundError``) and only the winner creates a fresh claim.
-        Returns True when this worker now owns the task.
+        The takeover is race-free -- an atomic-rename tombstone on the
+        filesystem backend, a guarded ``UPDATE`` inside one transaction on
+        SQLite -- so exactly one of several contenders wins.  Returns True
+        when this worker now owns the task.
         """
-        claim = self.read_claim(task_id)
-        if claim is None or not self.claim_expired(claim):
-            return False
-        path = self.claim_path(task_id)
-        tombstone = path.with_name(f"{path.name}.stale.{worker_id}")
-        try:
-            os.rename(path, tombstone)
-        except FileNotFoundError:
-            return False  # another worker stole (or the owner released) first
-        try:
-            tombstone.unlink()
-        except FileNotFoundError:  # pragma: no cover - nothing else touches the tombstone
-            pass
-        _logger.info(
-            "claim %s of worker %s expired (lease %.1fs); reclaimed by %s",
-            task_id,
-            claim.get("worker"),
-            float(claim.get("lease_seconds", 0.0)),
-            worker_id,
-        )
-        return self.try_claim(task_id, worker_id, lease_seconds)
+        return self.backend.steal(task_id, worker_id, lease_seconds)
 
     def active_claims(self) -> List[Dict[str, Any]]:
-        """Every claim currently on disk (stale tombstones excluded)."""
-        if not self.claims_dir.exists():
-            return []
-        out = []
-        for path in sorted(self.claims_dir.glob("*.claim")):
-            claim = self.read_claim(path.name[: -len(".claim")])
-            if claim is not None:
-                out.append(claim)
-        return out
+        """Every live claim of this run (stale tombstones excluded)."""
+        return self.backend.active_claims()
 
     # ------------------------------------------------------------------ worker registry
     def worker_path(self, worker_id: str) -> Path:
         return self.workers_dir / f"{worker_id}.json"
 
-    def write_worker_record(self, worker_id: str, **fields: Any) -> Path:
+    def write_worker_record(self, worker_id: str, **fields: Any) -> None:
         """Publish/refresh this worker's heartbeat record (for ``status``)."""
-        self.workers_dir.mkdir(parents=True, exist_ok=True)
-        document = {"worker": worker_id, "heartbeat_at": time.time(), **jsonify(dict(fields))}
-        path = self.worker_path(worker_id)
-        _atomic_write_text(path, dumps_artifact(document))
-        return path
+        self.backend.worker_record(worker_id, **fields)
 
     def worker_records(self) -> List[Dict[str, Any]]:
         """All published worker records, sorted by worker id."""
-        if not self.workers_dir.exists():
-            return []
-        out = []
-        for path in sorted(self.workers_dir.glob("*.json")):
-            try:
-                out.append(json.loads(path.read_text()))
-            except (json.JSONDecodeError, FileNotFoundError):
-                continue
-        return out
+        return self.backend.worker_records()
 
     # ------------------------------------------------------------------ task timings
-    def write_task_timing(self, task_id: str, worker_id: str, seconds: float, trials: int) -> Path:
+    def write_task_timing(self, task_id: str, worker_id: str, seconds: float, trials: int) -> None:
         """Record how long one dispatch task took on one worker (for ``status``).
 
-        Timing records live in their own ``timings/`` directory, outside the
-        byte-compared result surface (cells, chunks, ``result.json``), so two
-        runs of different speed still produce identical results.
+        Timing records live outside the byte-compared result surface (cells,
+        chunks, ``result.json``) -- the ``timings/`` directory or the
+        backend's database -- so two runs of different speed still produce
+        identical results.
         """
-        self.timings_dir.mkdir(parents=True, exist_ok=True)
-        document = {
-            "task": task_id,
-            "worker": worker_id,
-            "seconds": float(seconds),
-            "trials": int(trials),
-            "recorded_at": time.time(),
-        }
-        path = self.timings_dir / f"{task_id}.json"
-        _atomic_write_text(path, dumps_artifact(document))
-        return path
+        self.backend.record_timing(task_id, worker_id, seconds, trials)
 
     def task_timings(self) -> List[Dict[str, Any]]:
         """All recorded task timings, sorted by task id."""
-        if not self.timings_dir.exists():
-            return []
-        out = []
-        for path in sorted(self.timings_dir.glob("*.json")):
-            try:
-                out.append(json.loads(path.read_text()))
-            except (json.JSONDecodeError, FileNotFoundError):
-                continue
-        return out
+        return self.backend.task_timings()
 
     # ------------------------------------------------------------------ telemetry
     def save_telemetry(self, name: str, snapshot: Mapping[str, Any], **meta: Any) -> Path:

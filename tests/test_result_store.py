@@ -9,6 +9,8 @@ untouched (already-completed) cells must not be rewritten at all.
 from __future__ import annotations
 
 import json
+import os
+import stat
 from functools import partial
 
 import pytest
@@ -17,7 +19,7 @@ from repro.experiments import registry
 from repro.sim.experiment import ExperimentConfig, run_trials
 from repro.sim.results import ExperimentResult
 from repro.sim.runner import GridSpec, Sweep, TrialRunner
-from repro.sim.store import ResultStore, active_store, trial_name, use_store
+from repro.sim.store import ResultStore, _atomic_write_text, active_store, trial_name, use_store
 
 #: Module-level call log so the (picklable) trial can prove which cells ran.
 CALL_LOG = []
@@ -206,3 +208,48 @@ class TestCliJsonOutAndResume:
         restored = ExperimentResult.from_json(store.result_path.read_text())
         original = ExperimentResult.from_json(fresh_result)
         assert [t.to_text() for t in restored.tables] == [t.to_text() for t in original.tables]
+
+
+class TestAtomicWriteDurability:
+    """ISSUE 10 satellite: the atomic-write helper must actually reach disk.
+
+    "Never leaves a partial artifact" needs more than a rename: without an
+    fsync of the temp file before ``os.replace`` a crash can persist an
+    empty/truncated target, and without an fsync of the directory the rename
+    itself can be lost.
+    """
+
+    def test_fsyncs_temp_file_then_directory(self, tmp_path, monkeypatch):
+        real_fsync = os.fsync
+        synced = []
+
+        def recording_fsync(fd):
+            synced.append(stat.S_ISDIR(os.fstat(fd).st_mode))
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        target = tmp_path / "artifact.json"
+        _atomic_write_text(target, '{"ok": true}')
+        assert target.read_text() == '{"ok": true}'
+        # The data file was synced before the rename, the directory after.
+        assert synced == [False, True]
+
+    def test_overwrites_and_leaves_no_temp_files(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        _atomic_write_text(target, "first")
+        _atomic_write_text(target, "second")
+        assert target.read_text() == "second"
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.json"]
+
+    def test_interrupted_write_leaves_old_content_intact(self, tmp_path, monkeypatch):
+        """A crash before the rename must leave the previous artifact untouched."""
+        target = tmp_path / "artifact.json"
+        _atomic_write_text(target, "durable")
+
+        def exploding_fsync(fd):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(os, "fsync", exploding_fsync)
+        with pytest.raises(OSError, match="simulated crash"):
+            _atomic_write_text(target, "torn")
+        assert target.read_text() == "durable"

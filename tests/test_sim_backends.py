@@ -1,0 +1,403 @@
+"""Tests for repro.sim.backends: pluggable dispatch queues (ISSUE 10).
+
+Three layers:
+
+* a **contract suite** run against every registered backend -- claim
+  exclusivity, lease expiry, heartbeats, steals, batch claims, worker
+  records and timings must behave identically whether the medium is claim
+  files or an SQLite database;
+* **regression tests for the lease-clock bugs**: a live worker's lease must
+  not be stealable when the reading host's wall clock is ±5 minutes off
+  (expiry runs on the filesystem's clock, not the reader's), and a reader
+  that catches a peer's heartbeat rewrite mid-flight must retry instead of
+  synthesizing an immediately-stealable claim;
+* the **cross-backend byte-identity matrix**: a quick-mode E7 dispatched
+  through each backend at 1 and 2 workers (with batched claims) produces
+  ``result.json`` and every cell artifact byte-identical to a sequential
+  run.  (The SIGKILL/steal schedule is covered per-backend in
+  test_sim_dispatch.py's TestDispatchMultiProcess.)
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+
+import pytest
+
+from repro.experiments import registry
+from repro.sim.backends import (
+    BACKENDS,
+    FilesystemBackend,
+    SQLiteBackend,
+    backend_from_manifest,
+    make_backend,
+)
+from repro.sim.store import ResultStore
+
+
+@pytest.fixture(params=sorted(BACKENDS))
+def backend(request, tmp_path):
+    store = ResultStore.create(tmp_path / "run", {})
+    instance = make_backend(store, request.param)
+    yield instance
+    instance.close()
+
+
+# ---------------------------------------------------------------------- contract
+class TestBackendContract:
+    """Every backend must expose the same claim/lease/record semantics."""
+
+    def test_claim_is_exclusive(self, backend):
+        assert backend.try_claim("t1", "worker-a", 30.0)
+        assert not backend.try_claim("t1", "worker-b", 30.0)
+        claim = backend.read_claim("t1")
+        assert claim["worker"] == "worker-a"
+        assert not backend.claim_expired(claim)
+
+    def test_read_claim_attaches_single_clock_age(self, backend):
+        backend.try_claim("t1", "worker-a", 30.0)
+        claim = backend.read_claim("t1")
+        assert 0.0 <= claim["_heartbeat_age"] < 5.0
+
+    def test_missing_claim_reads_none(self, backend):
+        assert backend.read_claim("nope") is None
+
+    def test_release_then_reclaim(self, backend):
+        assert backend.try_claim("t1", "worker-a", 30.0)
+        backend.release("t1", "worker-a")
+        assert backend.read_claim("t1") is None
+        assert backend.try_claim("t1", "worker-b", 30.0)
+
+    def test_release_refuses_foreign_claim(self, backend):
+        assert backend.try_claim("t1", "worker-a", 30.0)
+        backend.release("t1", "worker-b")
+        assert backend.read_claim("t1")["worker"] == "worker-a"
+
+    def test_heartbeat_extends_lease(self, backend):
+        backend.try_claim("t1", "worker-a", 0.2)
+        time.sleep(0.15)
+        assert backend.heartbeat("t1", "worker-a")
+        time.sleep(0.1)  # 0.25s after acquire, but only 0.1s after heartbeat
+        assert not backend.claim_expired(backend.read_claim("t1"))
+
+    def test_heartbeat_refuses_foreign_claim(self, backend):
+        backend.try_claim("t1", "worker-a", 30.0)
+        assert not backend.heartbeat("t1", "worker-b")
+        assert not backend.heartbeat("gone", "worker-b")
+
+    def test_steal_requires_expiry(self, backend):
+        backend.try_claim("t1", "worker-a", 30.0)
+        assert not backend.steal("t1", "worker-b", 30.0)
+        assert backend.read_claim("t1")["worker"] == "worker-a"
+
+    def test_steal_expired_claim(self, backend):
+        backend.try_claim("t1", "worker-a", 0.05)
+        time.sleep(0.15)
+        assert backend.claim_expired(backend.read_claim("t1"))
+        assert backend.steal("t1", "worker-b", 30.0)
+        claim = backend.read_claim("t1")
+        assert claim["worker"] == "worker-b"
+        assert not backend.claim_expired(claim)
+
+    def test_claim_many_returns_only_wins(self, backend):
+        assert backend.try_claim("t2", "worker-peer", 30.0)
+        won = backend.claim_many(["t1", "t2", "t3"], "worker-a", 30.0)
+        assert won == ["t1", "t3"]
+        assert backend.read_claim("t2")["worker"] == "worker-peer"
+        for task_id in won:
+            assert backend.read_claim(task_id)["worker"] == "worker-a"
+
+    def test_active_claims_sorted_by_task(self, backend):
+        backend.try_claim("t-b", "worker-a", 30.0)
+        backend.try_claim("t-a", "worker-a", 30.0)
+        claims = backend.active_claims()
+        assert [c["task"] for c in claims] == ["t-a", "t-b"]
+
+    def test_worker_record_upserts(self, backend):
+        backend.worker_record("w1", computing="t1")
+        backend.worker_record("w1", computing=None, finished=True)
+        backend.worker_record("w2", computing="t9")
+        records = backend.worker_records()
+        assert [r["worker"] for r in records] == ["w1", "w2"]
+        assert records[0]["finished"] is True
+        assert records[1]["computing"] == "t9"
+
+    def test_timings_round_trip(self, backend):
+        backend.record_timing("cell.0-2", "w1", 1.5, 2)
+        backend.record_timing("cell.0-2", "w2", 2.5, 2)  # re-run overwrites
+        backend.record_timing("cell.2-4", "w1", 0.5, 2)
+        timings = backend.task_timings()
+        assert [t["task"] for t in timings] == ["cell.0-2", "cell.2-4"]
+        assert timings[0]["worker"] == "w2"
+        assert timings[0]["seconds"] == 2.5
+        assert timings[0]["trials"] == 2
+
+    def test_close_is_idempotent_and_reopenable(self, backend):
+        backend.try_claim("t1", "worker-a", 30.0)
+        backend.close()
+        backend.close()
+        assert backend.read_claim("t1")["worker"] == "worker-a"  # lazily reopens
+
+
+# ---------------------------------------------------------------------- clock skew
+class TestLeaseClockSkew:
+    """ISSUE 10 satellite: expiry must survive ±5 min of reader clock skew.
+
+    The filesystem backend evaluates staleness entirely in mtimes stamped by
+    the filesystem (claim file vs. probe file), so warping the reader's
+    ``time.time`` must change nothing.
+    """
+
+    SKEWS = [-300.0, 300.0]
+
+    def _skew_clock(self, monkeypatch, offset: float) -> None:
+        real_time = time.time
+        monkeypatch.setattr(time, "time", lambda: real_time() + offset)
+
+    @pytest.mark.parametrize("offset", SKEWS)
+    def test_live_lease_not_stealable_under_reader_skew(self, tmp_path, monkeypatch, offset):
+        store = ResultStore.create(tmp_path / "run", {})
+        backend = FilesystemBackend(store)
+        assert backend.try_claim("t1", "worker-live", 30.0)
+        self._skew_clock(monkeypatch, offset)
+        claim = backend.read_claim("t1")
+        assert claim["_heartbeat_age"] < 30.0
+        assert not backend.claim_expired(claim)
+        assert not backend.steal("t1", "worker-thief", 30.0)
+        assert backend.read_claim("t1")["worker"] == "worker-live"
+
+    @pytest.mark.parametrize("offset", SKEWS)
+    def test_genuinely_stale_lease_expires_despite_reader_skew(self, tmp_path, monkeypatch, offset):
+        store = ResultStore.create(tmp_path / "run", {})
+        backend = FilesystemBackend(store)
+        assert backend.try_claim("t1", "worker-dead", 30.0)
+        # A crashed worker is silence: the claim file's mtime stops moving.
+        path = store.claim_path("t1")
+        stale = os.stat(path).st_mtime - 600.0
+        os.utime(path, (stale, stale))
+        self._skew_clock(monkeypatch, offset)
+        claim = backend.read_claim("t1")
+        assert claim["_heartbeat_age"] > 30.0
+        assert backend.claim_expired(claim)
+        assert backend.steal("t1", "worker-rescuer", 30.0)
+
+    def test_heartbeat_refreshes_the_mtime_clock(self, tmp_path):
+        """The lease the protocol actually extends is the claim file's mtime."""
+        store = ResultStore.create(tmp_path / "run", {})
+        backend = FilesystemBackend(store)
+        backend.try_claim("t1", "worker-a", 30.0)
+        path = store.claim_path("t1")
+        stale = os.stat(path).st_mtime - 600.0
+        os.utime(path, (stale, stale))
+        assert backend.claim_expired(backend.read_claim("t1"))
+        assert backend.heartbeat("t1", "worker-a")
+        assert not backend.claim_expired(backend.read_claim("t1"))
+
+    def test_legacy_claim_dict_still_supports_explicit_now(self, tmp_path):
+        """Callers that build their own claim dicts keep the wall-clock path."""
+        store = ResultStore.create(tmp_path / "run", {})
+        backend = FilesystemBackend(store)
+        claim = {"heartbeat_at": 100.0, "lease_seconds": 30.0}
+        assert not backend.claim_expired(claim, now=120.0)
+        assert backend.claim_expired(claim, now=140.0)
+
+
+# ---------------------------------------------------------------------- torn reads
+class TestTornReadRetry:
+    """ISSUE 10 satellite: a mid-write reader must not fabricate a stealable claim."""
+
+    def test_mid_write_reader_retries_and_sees_live_claim(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        backend = FilesystemBackend(store)
+        assert backend.try_claim("t1", "worker-live", 30.0)
+        path = store.claim_path("t1")
+        document = path.read_text()
+        torn = document[: len(document) // 2]
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(torn)  # the test premise: a prefix is not valid JSON
+        path.write_text(torn)
+
+        def writer_finishes():
+            # The "peer" completes its rewrite well inside the retry window.
+            time.sleep(FilesystemBackend.TORN_READ_RETRY_SECONDS / 5)
+            path.write_text(document)
+
+        thread = threading.Thread(target=writer_finishes)
+        thread.start()
+        claim = backend.read_claim("t1")
+        thread.join(timeout=5)
+        assert claim["worker"] == "worker-live"
+        assert not backend.claim_expired(claim)
+        assert not backend.steal("t1", "worker-thief", 30.0)
+        assert backend.read_claim("t1")["worker"] == "worker-live"
+
+    def test_permanently_torn_claim_expires_after_the_retry(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        backend = FilesystemBackend(store)
+        assert backend.try_claim("t1", "worker-a", 30.0)
+        store.claim_path("t1").write_text("{ not json")
+        started = time.monotonic()
+        claim = backend.read_claim("t1")
+        elapsed = time.monotonic() - started
+        # One retry sleep happened before giving up on the document...
+        assert elapsed >= FilesystemBackend.TORN_READ_RETRY_SECONDS
+        # ... and the sentinel is immediately expired so the task is rescuable.
+        assert claim["_heartbeat_age"] == float("inf")
+        assert backend.claim_expired(claim)
+        assert backend.steal("t1", "worker-b", 30.0)
+
+
+# ---------------------------------------------------------------------- selection
+class TestBackendSelection:
+    def test_make_backend_rejects_unknown_name(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        with pytest.raises(ValueError, match="unknown dispatch backend"):
+            make_backend(store, "postgres")
+
+    def test_manifest_selects_backend(self, tmp_path):
+        plain = ResultStore.create(tmp_path / "plain", {})
+        assert isinstance(backend_from_manifest(plain), FilesystemBackend)
+        chosen = ResultStore.create(tmp_path / "chosen", {"dispatch": {"backend": "sqlite"}})
+        assert isinstance(backend_from_manifest(chosen), SQLiteBackend)
+
+    def test_store_resolves_backend_lazily_from_manifest(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {"dispatch": {"backend": "sqlite"}})
+        assert isinstance(store.backend, SQLiteBackend)
+        assert store.backend is store.backend  # cached, not re-created
+
+    def test_store_delegates_claims_to_attached_backend(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {})
+        store.attach_backend(make_backend(store, "sqlite"))
+        assert store.try_claim("t1", "worker-a", 30.0)
+        assert store.read_claim("t1")["worker"] == "worker-a"
+        assert not store.claim_expired(store.read_claim("t1"))
+        assert store.heartbeat_claim("t1", "worker-a")
+        store.release_claim("t1", "worker-a")
+        assert store.read_claim("t1") is None
+        # Everything went through the database; no claim files were written.
+        assert (store.root / SQLiteBackend.DB_NAME).exists()
+        assert not list(store.claims_dir.glob("*.claim"))
+
+    def test_worker_records_and_timings_delegate_too(self, tmp_path):
+        store = ResultStore.create(tmp_path / "run", {"dispatch": {"backend": "sqlite"}})
+        store.write_worker_record("w1", computing="t1")
+        assert store.worker_records()[0]["worker"] == "w1"
+        store.write_task_timing("t1", "w1", 1.0, 4)
+        assert store.task_timings()[0]["task"] == "t1"
+        assert not store.workers_dir.exists() or not list(store.workers_dir.glob("*.json"))
+
+    def test_cli_dispatch_rejects_invalid_claim_batch(self, tmp_path, capsys):
+        rc = registry.main(
+            ["dispatch", "E7", "--json-out", str(tmp_path), "--claim-batch", "0"]
+        )
+        assert rc == 2
+        assert "claim-batch" in capsys.readouterr().err
+        assert list(tmp_path.glob("E7-*")) == []
+
+    def test_cli_worker_backend_override_warns(self, tmp_path, capsys):
+        rc = registry.main(
+            [
+                "dispatch",
+                "E7",
+                "--json-out",
+                str(tmp_path),
+                "--set",
+                "n=64",
+                "--set",
+                "measure_rounds=5",
+                "--set",
+                "items=1",
+                "--seeds",
+                "0..1",
+            ]
+        )
+        assert rc == 0
+        run_dir = next(tmp_path.glob("E7-*"))
+        rc = registry.main(["worker", str(run_dir), "--backend", "sqlite", "--wait-timeout", "120"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "overrides the manifest" in captured.err
+        # The override really took: claims ran through the database.
+        assert (run_dir / SQLiteBackend.DB_NAME).exists()
+
+
+# ---------------------------------------------------------------------- byte identity
+def _cli_worker(run_dir: str) -> None:
+    """Subprocess body: one CLI worker joining a dispatched run directory."""
+    os.environ["REPRO_CANONICAL_TIMING"] = "1"
+    raise SystemExit(registry.main(["worker", run_dir, "--wait-timeout", "300"]))
+
+
+E7_ARGS = [
+    "--set", "n=64", "--set", "measure_rounds=5", "--set", "items=1", "--seeds", "0..3",
+]
+
+
+@pytest.fixture(scope="module")
+def e7_reference(tmp_path_factory):
+    """One sequential E7 quick run shared by the whole backend/worker matrix."""
+    out = tmp_path_factory.mktemp("e7-seq")
+    previous = os.environ.get("REPRO_CANONICAL_TIMING")
+    os.environ["REPRO_CANONICAL_TIMING"] = "1"
+    try:
+        assert registry.main(["run", "E7", "--json-out", str(out), *E7_ARGS]) == 0
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_CANONICAL_TIMING", None)
+        else:
+            os.environ["REPRO_CANONICAL_TIMING"] = previous
+    return next(out.glob("E7-*"))
+
+
+class TestCrossBackendByteIdentity:
+    """ISSUE 10 acceptance: E7 artifacts identical across backends and worker counts."""
+
+    @pytest.mark.parametrize("backend_name", sorted(BACKENDS))
+    @pytest.mark.parametrize("worker_count", [1, 2])
+    def test_dispatched_e7_matches_sequential(
+        self, tmp_path, capsys, monkeypatch, e7_reference, backend_name, worker_count
+    ):
+        monkeypatch.setenv("REPRO_CANONICAL_TIMING", "1")
+        rc = registry.main(
+            [
+                "dispatch",
+                "E7",
+                "--json-out",
+                str(tmp_path),
+                "--backend",
+                backend_name,
+                "--claim-batch",
+                "2",
+                *E7_ARGS,
+            ]
+        )
+        assert rc == 0
+        run_dir = next(tmp_path.glob("E7-*"))
+        if worker_count == 1:
+            assert registry.main(["worker", str(run_dir), "--wait-timeout", "300"]) == 0
+        else:
+            ctx = multiprocessing.get_context("fork")
+            procs = [
+                ctx.Process(target=_cli_worker, args=(str(run_dir),))
+                for _ in range(worker_count)
+            ]
+            for proc in procs:
+                proc.start()
+            for proc in procs:
+                proc.join(timeout=300)
+                assert proc.exitcode == 0
+        capsys.readouterr()
+        assert (run_dir / "result.json").read_bytes() == (e7_reference / "result.json").read_bytes()
+        reference_cells = sorted((e7_reference / "cells").glob("*.json"))
+        assert reference_cells
+        for cell in reference_cells:
+            assert (run_dir / "cells" / cell.name).read_bytes() == cell.read_bytes(), cell.name
+        store = ResultStore.open(run_dir)
+        assert store.active_claims() == []
+        # The queue medium matched the requested backend.
+        has_db = (run_dir / SQLiteBackend.DB_NAME).exists()
+        assert has_db == (backend_name == "sqlite")

@@ -263,7 +263,9 @@ class TestDispatchSingleWorker:
 
 
 # ---------------------------------------------------------------------- multi-process helpers
-def _drain_worker(run_dir: str, log_path: str, lease: float, block_path: str = "") -> None:
+def _drain_worker(
+    run_dir: str, log_path: str, lease: float, block_path: str = "", claim_batch: int = 1
+) -> None:
     """Subprocess body: join ``run_dir`` as a worker and drain the sweep."""
     os.environ["DISPATCH_TEST_LOG"] = log_path
     os.environ["REPRO_CANONICAL_TIMING"] = "1"
@@ -277,6 +279,7 @@ def _drain_worker(run_dir: str, log_path: str, lease: float, block_path: str = "
         chunk_seeds=3,
         min_trials_per_task=4,
         wait_timeout=120.0,
+        claim_batch=claim_batch,
     )
     with use_store(store), use_dispatcher(worker):
         Sweep(BASE, GRID, _logged_trial).run(TrialRunner(workers=1))
@@ -298,16 +301,22 @@ def _assert_stores_byte_identical(reference: ResultStore, other: ResultStore) ->
         assert other.cell_path(key).read_bytes() == reference.cell_path(key).read_bytes(), key
 
 
+@pytest.mark.parametrize("backend_name", ["filesystem", "sqlite"])
 class TestDispatchMultiProcess:
-    """ISSUE 4 acceptance: concurrent workers, races, crash recovery."""
+    """ISSUE 4 acceptance: concurrent workers, races, crash recovery.
 
-    def test_two_workers_complete_every_cell_exactly_once(self, tmp_path, monkeypatch):
+    Parametrized over every dispatch backend (ISSUE 10): the manifest names
+    the backend, each forked worker resolves it via ``ResultStore.open``, and
+    the artifacts must come out byte-identical either way.
+    """
+
+    def test_two_workers_complete_every_cell_exactly_once(self, tmp_path, monkeypatch, backend_name):
         monkeypatch.setenv("REPRO_CANONICAL_TIMING", "1")
         monkeypatch.delenv("DISPATCH_TEST_LOG", raising=False)
         monkeypatch.delenv("DISPATCH_TEST_BLOCK", raising=False)
         reference = _sequential_reference(tmp_path)
 
-        shared = ResultStore.create(tmp_path / "shared", {})
+        shared = ResultStore.create(tmp_path / "shared", {"dispatch": {"backend": backend_name}})
         log_path = tmp_path / "compute.log"
         ctx = multiprocessing.get_context("fork")
         workers = [
@@ -330,13 +339,41 @@ class TestDispatchMultiProcess:
         assert len(lines) == len(set(lines)) == len(expected)
         assert shared.active_claims() == []
 
-    def test_killed_worker_lease_expires_and_cell_is_reclaimed(self, tmp_path, monkeypatch):
+    def test_two_workers_with_batched_claims(self, tmp_path, monkeypatch, backend_name):
+        """claim_batch > 1: windows of tiny tasks claimed per round-trip, still exactly-once."""
         monkeypatch.setenv("REPRO_CANONICAL_TIMING", "1")
         monkeypatch.delenv("DISPATCH_TEST_LOG", raising=False)
         monkeypatch.delenv("DISPATCH_TEST_BLOCK", raising=False)
         reference = _sequential_reference(tmp_path)
 
-        shared = ResultStore.create(tmp_path / "shared", {})
+        shared = ResultStore.create(tmp_path / "shared", {"dispatch": {"backend": backend_name}})
+        log_path = tmp_path / "compute.log"
+        ctx = multiprocessing.get_context("fork")
+        workers = [
+            ctx.Process(target=_drain_worker, args=(str(shared.root), str(log_path), 10.0, "", 3))
+            for _ in range(2)
+        ]
+        for proc in workers:
+            proc.start()
+        for proc in workers:
+            proc.join(timeout=180)
+            assert proc.exitcode == 0
+
+        _assert_stores_byte_identical(reference, shared)
+        lines = log_path.read_text().splitlines()
+        expected = {f"{BASE.name}|{rate}|{seed}" for rate in range(6) for seed in (0, 1)}
+        expected |= {f"{BIG_BASE.name}|None|{seed}" for seed in range(10)}
+        assert sorted(lines) == sorted(expected)
+        assert len(lines) == len(set(lines)) == len(expected)
+        assert shared.active_claims() == []
+
+    def test_killed_worker_lease_expires_and_cell_is_reclaimed(self, tmp_path, monkeypatch, backend_name):
+        monkeypatch.setenv("REPRO_CANONICAL_TIMING", "1")
+        monkeypatch.delenv("DISPATCH_TEST_LOG", raising=False)
+        monkeypatch.delenv("DISPATCH_TEST_BLOCK", raising=False)
+        reference = _sequential_reference(tmp_path)
+
+        shared = ResultStore.create(tmp_path / "shared", {"dispatch": {"backend": backend_name}})
         block_path = tmp_path / "block.sentinel"
         block_path.write_text("")
         log_path = tmp_path / "compute.log"
@@ -462,7 +499,12 @@ class TestCliManifestKnobs:
         capsys.readouterr()
         run_dir = next(tmp_path.glob("E7-*"))
         manifest = ResultStore.open(run_dir).manifest()
-        assert manifest["dispatch"] == {"chunk_seeds": 2, "min_trials_per_task": 3}
+        assert manifest["dispatch"] == {
+            "chunk_seeds": 2,
+            "min_trials_per_task": 3,
+            "claim_batch": 1,
+            "backend": "filesystem",
+        }
 
         assert registry.main(["worker", str(run_dir), "--wait-timeout", "120"]) == 0
         capsys.readouterr()
